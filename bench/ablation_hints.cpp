@@ -1,0 +1,56 @@
+// Ablation: power-management policy (paper §IV-C application hints).
+// Compares the classic idle timer, the predictive policy (EEVFS default),
+// the hint-driven policy with proactive wake, and the oracle — across the
+// MU sweep, since prediction quality is what separates them.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace eevfs;
+
+int main() {
+  auto csv = bench::open_csv(
+      "ablation_hints", {"mu", "policy", "joules", "gain_vs_npf",
+                         "transitions", "wakeups", "resp_mean_s"});
+  bench::banner("Ablation", "power policies: timer / predictive / hints / oracle",
+                "data=10MB, K=70, inter-arrival=700ms");
+
+  const core::PowerPolicy policies[] = {
+      core::PowerPolicy::kIdleTimer, core::PowerPolicy::kPredictive,
+      core::PowerPolicy::kHints, core::PowerPolicy::kOracle};
+
+  for (const double mu : {10.0, 100.0, 1000.0}) {
+    const auto w = bench::paper_workload(10.0, mu);
+    core::ClusterConfig npf_cfg = bench::paper_config();
+    npf_cfg.enable_prefetch = false;
+    core::Cluster npf_cluster(npf_cfg);
+    const core::RunMetrics npf = npf_cluster.run(w);
+
+    std::printf("\nMU = %.0f\n", mu);
+    std::printf("%-12s %14s %8s %12s %8s %10s\n", "policy", "energy (J)",
+                "gain", "transitions", "wakes", "resp (s)");
+    for (const auto policy : policies) {
+      core::ClusterConfig cfg = bench::paper_config();
+      cfg.power_policy = policy;
+      core::Cluster c(cfg);
+      const core::RunMetrics m = c.run(w);
+      std::printf("%-12s %14.4e %8s %12llu %8llu %10.3f\n",
+                  core::to_string(policy).c_str(), m.total_joules,
+                  bench::pct(m.energy_gain_vs(npf)).c_str(),
+                  static_cast<unsigned long long>(m.power_transitions),
+                  static_cast<unsigned long long>(m.wakeups_on_demand),
+                  m.response_time_sec.mean());
+      csv->row({CsvWriter::cell(mu), core::to_string(policy),
+                CsvWriter::cell(m.total_joules),
+                CsvWriter::cell(m.energy_gain_vs(npf)),
+                CsvWriter::cell(m.power_transitions),
+                CsvWriter::cell(m.wakeups_on_demand),
+                CsvWriter::cell(m.response_time_sec.mean())});
+    }
+  }
+  std::printf("\nexpected shape (§IV-C): hints eliminate on-demand wake-ups "
+              "and their\nresponse penalty at equal-or-better energy; the "
+              "timer policy pays the\nmost wake-ups.\n");
+  std::printf("\nCSV: %s\n", csv->path().c_str());
+  return 0;
+}

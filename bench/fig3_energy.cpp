@@ -1,0 +1,110 @@
+// Regenerates Fig. 3 of the paper: energy consumption of the cluster as
+// a function of (a) data size, (b) popularity rate MU, (c) inter-arrival
+// delay, and (d) number of files to prefetch — EEVFS with prefetching
+// (PF) vs without (NPF).
+//
+// Paper reference points (§VI-A):
+//   (a) gains grow with data size: 11 % at 1 MB -> 15 % at 50 MB, and at
+//       50 MB the absolute totals balloon (the 700 ms inter-arrival can
+//       no longer drain the queue).
+//   (b) gains equal for MU <= 100 (prefetch covers the whole working
+//       set; disks sleep for the entire trace) and smaller at MU = 1000.
+//   (c) gains grow with inter-arrival delay and level off around 700 ms,
+//       with a small dip at 1000 ms.
+//   (d) 3 % at K=10; significant savings once K >= 40.
+//
+// All 16 sweep points run in parallel (one self-contained simulator
+// pair per point); output order is deterministic.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace eevfs;
+using bench::Defaults;
+
+namespace {
+
+void print_header() {
+  std::printf("%-12s %14s %14s %9s %12s\n", "x", "PF (J)", "NPF (J)",
+              "gain", "paper gain");
+}
+
+void print_point(CsvWriter& csv, const std::string& panel,
+                 const bench::SweepPoint& point,
+                 const core::PfNpfComparison& cmp) {
+  std::printf("%-12s %14.4e %14.4e %9s %12s\n", point.x.c_str(),
+              cmp.pf.total_joules, cmp.npf.total_joules,
+              bench::pct(cmp.energy_gain()).c_str(), point.paper_note);
+  csv.row({panel, point.x, CsvWriter::cell(cmp.pf.total_joules),
+           CsvWriter::cell(cmp.npf.total_joules),
+           CsvWriter::cell(cmp.energy_gain()), point.paper_note});
+}
+
+}  // namespace
+
+int main() {
+  auto csv = bench::open_csv(
+      "fig3_energy",
+      {"panel", "x", "pf_joules", "npf_joules", "gain", "paper_gain"});
+
+  // Build all sweep points up front, then fan out.
+  std::vector<bench::SweepPoint> points;
+  const char* paper_a[] = {"11%", "~13%", "~14%", "15%"};
+  int i = 0;
+  for (const double mb : {1.0, 10.0, 25.0, 50.0}) {
+    points.push_back({std::to_string(static_cast<int>(mb)),
+                      bench::paper_config(), bench::paper_workload(mb),
+                      paper_a[i++]});
+  }
+  const char* paper_b[] = {"~15%", "~15%", "~15%", "~12%"};
+  i = 0;
+  for (const double mu : {1.0, 10.0, 100.0, 1000.0}) {
+    points.push_back({std::to_string(static_cast<int>(mu)),
+                      bench::paper_config(),
+                      bench::paper_workload(Defaults::kDataMb, mu),
+                      paper_b[i++]});
+  }
+  const char* paper_c[] = {"small", "~10%", "~13%", "~12%"};
+  i = 0;
+  for (const double ia : {0.0, 350.0, 700.0, 1000.0}) {
+    points.push_back(
+        {std::to_string(static_cast<int>(ia)), bench::paper_config(),
+         bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
+         paper_c[i++]});
+  }
+  const char* paper_d[] = {"3%", "significant", "~13%", "~14%"};
+  i = 0;
+  for (const std::size_t k : {10u, 40u, 70u, 100u}) {
+    points.push_back({std::to_string(k), bench::paper_config(k),
+                      bench::paper_workload(), paper_d[i++]});
+  }
+
+  const auto results = bench::run_sweep(points);
+
+  const struct {
+    const char* title;
+    const char* what;
+    const char* fixed;
+    const char* panel;
+  } panels[] = {
+      {"Fig. 3(a)", "energy vs data size (MB)",
+       "MU=1000, K=70, inter-arrival=700ms, 1000 requests", "a_data_size"},
+      {"Fig. 3(b)", "energy vs popularity rate (MU)",
+       "data=10MB, K=70, inter-arrival=700ms", "b_mu"},
+      {"Fig. 3(c)", "energy vs inter-arrival delay (ms)",
+       "data=10MB, K=70, MU=1000", "c_inter_arrival"},
+      {"Fig. 3(d)", "energy vs number of files to prefetch",
+       "data=10MB, MU=1000, inter-arrival=700ms", "d_prefetch_count"},
+  };
+  for (std::size_t p = 0; p < 4; ++p) {
+    bench::banner(panels[p].title, panels[p].what, panels[p].fixed);
+    print_header();
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t idx = p * 4 + j;
+      print_point(*csv, panels[p].panel, points[idx], results[idx]);
+    }
+  }
+
+  std::printf("\nCSV: %s\n", csv->path().c_str());
+  return 0;
+}

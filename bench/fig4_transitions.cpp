@@ -1,0 +1,95 @@
+// Regenerates Fig. 4: total number of power state transitions (spin-ups
+// + spin-downs over all data disks) for the PF runs of the same four
+// sweeps as Fig. 3.
+//
+// Paper reference points (§VI-B):
+//   (a) transitions decrease as data size grows (longer service keeps a
+//       woken disk busy; consecutive buffer hits open longer windows);
+//   (b) tiny for MU <= 100 (disks sleep once, for the whole trace),
+//       hundreds at MU = 1000;
+//   (c) transitions decrease as inter-arrival delay grows;
+//   (d) K=10 produces the maximum of all tests — 447 — matching its
+//       minimal 3 % energy gain; few transitions at K >= 40.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace eevfs;
+using bench::Defaults;
+
+namespace {
+
+void print_header() {
+  std::printf("%-12s %12s %12s %10s %14s\n", "x", "PF trans", "NPF trans",
+              "PF wakes", "paper (PF)");
+}
+
+void run_point(CsvWriter& csv, const std::string& panel,
+               const std::string& x, const workload::Workload& w,
+               const core::ClusterConfig& cfg, const char* paper_note) {
+  const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
+  std::printf("%-12s %12llu %12llu %10llu %14s\n", x.c_str(),
+              static_cast<unsigned long long>(cmp.pf.power_transitions),
+              static_cast<unsigned long long>(cmp.npf.power_transitions),
+              static_cast<unsigned long long>(cmp.pf.wakeups_on_demand),
+              paper_note);
+  csv.row({panel, x, CsvWriter::cell(cmp.pf.power_transitions),
+           CsvWriter::cell(cmp.npf.power_transitions),
+           CsvWriter::cell(cmp.pf.wakeups_on_demand), paper_note});
+}
+
+}  // namespace
+
+int main() {
+  auto csv = bench::open_csv(
+      "fig4_transitions",
+      {"panel", "x", "pf_transitions", "npf_transitions",
+       "pf_wakeups_on_demand", "paper"});
+
+  bench::banner("Fig. 4(a)", "power state transitions vs data size (MB)",
+                "MU=1000, K=70, inter-arrival=700ms");
+  print_header();
+  const char* paper_a[] = {"~300", "~250", "~150", "~50"};
+  int i = 0;
+  for (const double mb : {1.0, 10.0, 25.0, 50.0}) {
+    run_point(*csv, "a_data_size", std::to_string(static_cast<int>(mb)),
+              bench::paper_workload(mb), bench::paper_config(), paper_a[i++]);
+  }
+
+  bench::banner("Fig. 4(b)", "transitions vs popularity rate (MU)",
+                "data=10MB, K=70, inter-arrival=700ms");
+  print_header();
+  const char* paper_b[] = {"~16 (whole trace)", "~16 (whole trace)",
+                           "~16 (whole trace)", "~250"};
+  i = 0;
+  for (const double mu : {1.0, 10.0, 100.0, 1000.0}) {
+    run_point(*csv, "b_mu", std::to_string(static_cast<int>(mu)),
+              bench::paper_workload(Defaults::kDataMb, mu),
+              bench::paper_config(), paper_b[i++]);
+  }
+
+  bench::banner("Fig. 4(c)", "transitions vs inter-arrival delay (ms)",
+                "data=10MB, K=70, MU=1000");
+  print_header();
+  const char* paper_c[] = {"~250", "~200", "~150", "~100"};
+  i = 0;
+  for (const double ia : {0.0, 350.0, 700.0, 1000.0}) {
+    run_point(*csv, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
+              bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
+              bench::paper_config(), paper_c[i++]);
+  }
+
+  bench::banner("Fig. 4(d)", "transitions vs number of files to prefetch",
+                "data=10MB, MU=1000, inter-arrival=700ms");
+  print_header();
+  const char* paper_d[] = {"447 (maximum)", "~100", "~250", "~50"};
+  i = 0;
+  const auto w = bench::paper_workload();
+  for (const std::size_t k : {10u, 40u, 70u, 100u}) {
+    run_point(*csv, "d_prefetch_count", std::to_string(k), w,
+              bench::paper_config(k), paper_d[i++]);
+  }
+
+  std::printf("\nCSV: %s\n", csv->path().c_str());
+  return 0;
+}

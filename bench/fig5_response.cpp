@@ -1,0 +1,91 @@
+// Regenerates Fig. 5: file-request response time, PF vs NPF, for the
+// same four sweeps.
+//
+// Paper reference points (§VI-C):
+//   (a) penalties shrink as data size grows: 121 % at 1 MB (120 ms ->
+//       265 ms) down to 4 % at 25 MB; 50 MB omitted (server queueing);
+//   (b) ~no penalty for MU <= 100 (disks sleep whole trace, responses
+//       come from the buffer disk); visible penalty at MU = 1000;
+//   (c) 31 % at 0 ms, a 37 % anomaly at 700 ms, 16 % at 1000 ms;
+//   (d) penalty tracks the number of transitions (largest near K=10).
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace eevfs;
+using bench::Defaults;
+
+namespace {
+
+void print_header() {
+  std::printf("%-12s %10s %10s %10s %10s %14s\n", "x", "PF (s)", "NPF (s)",
+              "PF p95", "penalty", "paper penalty");
+}
+
+void run_point(CsvWriter& csv, const std::string& panel,
+               const std::string& x, const workload::Workload& w,
+               const core::ClusterConfig& cfg, const char* paper_note) {
+  const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
+  std::printf("%-12s %10.3f %10.3f %10.3f %10s %14s\n", x.c_str(),
+              cmp.pf.response_time_sec.mean(),
+              cmp.npf.response_time_sec.mean(), cmp.pf.response_p95_sec,
+              bench::pct(cmp.response_penalty()).c_str(), paper_note);
+  csv.row({panel, x, CsvWriter::cell(cmp.pf.response_time_sec.mean()),
+           CsvWriter::cell(cmp.npf.response_time_sec.mean()),
+           CsvWriter::cell(cmp.pf.response_p95_sec),
+           CsvWriter::cell(cmp.response_penalty()), paper_note});
+}
+
+}  // namespace
+
+int main() {
+  auto csv = bench::open_csv(
+      "fig5_response", {"panel", "x", "pf_mean_s", "npf_mean_s", "pf_p95_s",
+                        "penalty", "paper"});
+
+  bench::banner("Fig. 5(a)", "response time vs data size (MB)",
+                "MU=1000, K=70, inter-arrival=700ms; paper omits 50MB");
+  print_header();
+  const char* paper_a[] = {"121%", "~40%", "4%"};
+  int i = 0;
+  for (const double mb : {1.0, 10.0, 25.0}) {
+    run_point(*csv, "a_data_size", std::to_string(static_cast<int>(mb)),
+              bench::paper_workload(mb), bench::paper_config(), paper_a[i++]);
+  }
+
+  bench::banner("Fig. 5(b)", "response time vs popularity rate (MU)",
+                "data=10MB, K=70, inter-arrival=700ms");
+  print_header();
+  const char* paper_b[] = {"~0%", "~0%", "~0%", "~13%"};
+  i = 0;
+  for (const double mu : {1.0, 10.0, 100.0, 1000.0}) {
+    run_point(*csv, "b_mu", std::to_string(static_cast<int>(mu)),
+              bench::paper_workload(Defaults::kDataMb, mu),
+              bench::paper_config(), paper_b[i++]);
+  }
+
+  bench::banner("Fig. 5(c)", "response time vs inter-arrival delay (ms)",
+                "data=10MB, K=70, MU=1000");
+  print_header();
+  const char* paper_c[] = {"31%", "~25%", "37% (anomaly)", "16%"};
+  i = 0;
+  for (const double ia : {0.0, 350.0, 700.0, 1000.0}) {
+    run_point(*csv, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
+              bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
+              bench::paper_config(), paper_c[i++]);
+  }
+
+  bench::banner("Fig. 5(d)", "response time vs number of files to prefetch",
+                "data=10MB, MU=1000, inter-arrival=700ms");
+  print_header();
+  const char* paper_d[] = {"large (447 trans)", "~30%", "~35%", "~20%"};
+  i = 0;
+  const auto w = bench::paper_workload();
+  for (const std::size_t k : {10u, 40u, 70u, 100u}) {
+    run_point(*csv, "d_prefetch_count", std::to_string(k), w,
+              bench::paper_config(k), paper_d[i++]);
+  }
+
+  std::printf("\nCSV: %s\n", csv->path().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Regenerates Fig. 6: energy consumption on the Berkeley web trace.
+//
+// Paper reference (§VI-D): 17 % energy-efficiency improvement with
+// prefetching; investigation showed every data disk stayed in standby for
+// the entire trace (the web pattern is skewed to a small subset of data).
+// The paper fixed data size at 10 MB, K=70, and tuned the inter-arrival
+// delay to avoid server queueing; we synthesise a trace with the same
+// exploited skew (see workload/webtrace.hpp for the substitution note).
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace eevfs;
+
+int main() {
+  auto csv = bench::open_csv(
+      "fig6_webtrace",
+      {"variant", "pf_joules", "npf_joules", "gain", "pf_hit_rate",
+       "pf_transitions", "paper_gain"});
+
+  bench::banner("Fig. 6", "Berkeley-web-trace energy, PF vs NPF",
+                "data=10MB, K=70; synthetic stand-in for the UCB web trace");
+
+  std::printf("%-22s %14s %14s %8s %9s %11s %10s\n", "variant", "PF (J)",
+              "NPF (J)", "gain", "hit rate", "PF trans", "paper");
+
+  // Main reproduction plus skew sensitivity (the paper could not recover
+  // the trace's file count; we show the result is robust to it).
+  struct Variant {
+    const char* name;
+    std::size_t working_set;
+    double alpha;
+    const char* paper;
+  };
+  const Variant variants[] = {
+      {"webtrace (ws=60)", 60, 0.98, "17%"},
+      {"webtrace (ws=40)", 40, 0.98, "-"},
+      {"webtrace (ws=100)", 100, 0.98, "-"},
+      {"webtrace (alpha=0.7)", 60, 0.70, "-"},
+  };
+  for (const Variant& v : variants) {
+    workload::WebTraceConfig cfg;
+    cfg.num_requests = 1000;
+    cfg.working_set = v.working_set;
+    cfg.zipf_alpha = v.alpha;
+    const auto w = workload::generate_webtrace(cfg);
+    const core::PfNpfComparison cmp =
+        core::run_pf_npf(bench::paper_config(), w);
+    std::printf("%-22s %14.4e %14.4e %8s %8.1f%% %11llu %10s\n", v.name,
+                cmp.pf.total_joules, cmp.npf.total_joules,
+                bench::pct(cmp.energy_gain()).c_str(),
+                100.0 * cmp.pf.buffer_hit_rate(),
+                static_cast<unsigned long long>(cmp.pf.power_transitions),
+                v.paper);
+    csv->row({v.name, CsvWriter::cell(cmp.pf.total_joules),
+              CsvWriter::cell(cmp.npf.total_joules),
+              CsvWriter::cell(cmp.energy_gain()),
+              CsvWriter::cell(cmp.pf.buffer_hit_rate()),
+              CsvWriter::cell(cmp.pf.power_transitions), v.paper});
+  }
+
+  // The paper's diagnostic: with PF, the data disks should spend nearly
+  // the whole replay in standby.
+  {
+    workload::WebTraceConfig cfg;
+    cfg.num_requests = 1000;
+    const auto w = workload::generate_webtrace(cfg);
+    core::Cluster cluster(bench::paper_config());
+    const core::RunMetrics m = cluster.run(w);
+    Tick standby = 0;
+    for (const auto& nm : m.per_node) standby += nm.data_disk_standby_ticks;
+    const auto denom = static_cast<double>(m.makespan) * 16.0;
+    std::printf("\nPF data disks spent %.1f%% of the run in standby "
+                "(paper: \"entirety of the trace\")\n",
+                100.0 * static_cast<double>(standby) / denom);
+  }
+
+  std::printf("\nCSV: %s\n", csv->path().c_str());
+  return 0;
+}

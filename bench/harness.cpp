@@ -1,0 +1,59 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace eevfs::bench {
+
+workload::Workload paper_workload(double data_mb, double mu,
+                                  double inter_arrival_ms,
+                                  std::size_t requests) {
+  workload::SyntheticConfig cfg;
+  cfg.num_files = 1000;
+  cfg.num_requests = requests;
+  cfg.mean_data_size_mb = data_mb;
+  cfg.mu = mu;
+  cfg.inter_arrival_ms = inter_arrival_ms;
+  cfg.seed = 42;
+  return workload::generate_synthetic(cfg);
+}
+
+core::ClusterConfig paper_config(std::size_t prefetch_count) {
+  core::ClusterConfig cfg;  // defaults model Table I
+  cfg.prefetch_file_count = prefetch_count;
+  return cfg;
+}
+
+void banner(const std::string& figure, const std::string& what,
+            const std::string& fixed_params) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  if (!fixed_params.empty()) {
+    std::printf("fixed: %s\n", fixed_params.c_str());
+  }
+  std::printf("================================================================\n");
+}
+
+std::string pct(double fraction) {
+  return format("%.1f%%", 100.0 * fraction);
+}
+
+std::vector<core::PfNpfComparison> run_sweep(
+    const std::vector<SweepPoint>& points) {
+  ThreadPool pool;
+  return pool.map_indexed(points.size(), [&](std::size_t i) {
+    return core::run_pf_npf(points[i].config, points[i].workload);
+  });
+}
+
+std::unique_ptr<CsvWriter> open_csv(const std::string& name,
+                                    std::vector<std::string> header) {
+  std::filesystem::create_directories("bench_results");
+  return std::make_unique<CsvWriter>("bench_results/" + name + ".csv",
+                                     std::move(header));
+}
+
+}  // namespace eevfs::bench

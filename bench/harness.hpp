@@ -1,0 +1,70 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench prints a self-contained table: the sweep axis, our measured
+// values (PF and NPF where applicable), and the paper's reported value or
+// trend for the same cell, so paper-vs-measured comparison needs no
+// external notes.  Each bench also drops a CSV under bench_results/ for
+// re-plotting.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "util/csv.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/webtrace.hpp"
+
+namespace eevfs::bench {
+
+/// Table II defaults (§V-B): 1000 files, 1000 requests, 10 MB files,
+/// MU = 1000, 700 ms inter-arrival, prefetch 70, 5 s idle threshold.
+struct Defaults {
+  static constexpr double kDataMb = 10.0;
+  static constexpr double kMu = 1000.0;
+  static constexpr double kInterArrivalMs = 700.0;
+  static constexpr std::size_t kPrefetch = 70;
+  static constexpr std::size_t kRequests = 1000;
+};
+
+/// Synthetic workload with the paper's defaults; override per sweep.
+workload::Workload paper_workload(double data_mb = Defaults::kDataMb,
+                                  double mu = Defaults::kMu,
+                                  double inter_arrival_ms =
+                                      Defaults::kInterArrivalMs,
+                                  std::size_t requests = Defaults::kRequests);
+
+/// The paper's testbed cluster (8 nodes, 2 data + 1 buffer disk each).
+core::ClusterConfig paper_config(std::size_t prefetch_count =
+                                     Defaults::kPrefetch);
+
+/// Prints the bench banner: what figure/table it regenerates and the
+/// workload/parameter fine print.
+void banner(const std::string& figure, const std::string& what,
+            const std::string& fixed_params);
+
+/// "12.3%" (or "-" when the baseline is zero).
+std::string pct(double fraction);
+
+/// Opens bench_results/<name>.csv (directory created on demand).
+std::unique_ptr<CsvWriter> open_csv(const std::string& name,
+                                    std::vector<std::string> header);
+
+/// One point of a PF/NPF sweep.
+struct SweepPoint {
+  std::string x;
+  core::ClusterConfig config;
+  workload::Workload workload;
+  const char* paper_note = "";
+};
+
+/// Runs every point's PF and NPF clusters in parallel (each Simulator is
+/// self-contained, so sweep points are embarrassingly parallel — one
+/// worker per hardware thread) and returns the comparisons in input
+/// order.  Deterministic: results are identical to a serial run.
+std::vector<core::PfNpfComparison> run_sweep(
+    const std::vector<SweepPoint>& points);
+
+}  // namespace eevfs::bench

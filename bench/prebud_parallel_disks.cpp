@@ -1,0 +1,85 @@
+// Substrate bench: PRE-BUD on the single-node BUD architecture ([12]) —
+// the "extensive simulations" whose findings motivated EEVFS (§I: access
+// patterns, data size, inter-arrival delays and disk energy parameters
+// combine to produce sleep opportunities; savings grow with the number
+// of data disks behind one buffer disk).
+#include <cstdio>
+
+#include "harness.hpp"
+#include "prebud/bud_simulator.hpp"
+
+using namespace eevfs;
+using namespace eevfs::prebud;
+
+namespace {
+
+BudStats run(const BudConfig& cfg, BudPolicy policy,
+             const std::vector<BlockRequest>& reqs) {
+  BudSimulator sim(cfg, policy);
+  return sim.run(reqs);
+}
+
+}  // namespace
+
+int main() {
+  auto csv = bench::open_csv(
+      "prebud_parallel_disks",
+      {"axis", "value", "policy", "joules", "gain_vs_always_on",
+       "hit_rate", "transitions", "resp_mean_s"});
+  bench::banner("PRE-BUD substrate ([12])",
+                "energy vs data disks and look-ahead window",
+                "single BUD node, 4 MB blocks, Zipf 0.9, 4000 requests");
+
+  BlockWorkloadConfig wcfg;
+  const auto reqs = generate_block_workload(wcfg);
+
+  std::printf("%-10s %6s %-10s %14s %8s %9s %12s %10s\n", "axis", "value",
+              "policy", "energy (J)", "gain", "hit rate", "transitions",
+              "resp (s)");
+  const auto report = [&](const char* axis, double value,
+                          BudPolicy policy, const BudStats& s,
+                          const BudStats& on) {
+    const double gain =
+        (on.total_joules - s.total_joules) / on.total_joules;
+    std::printf("%-10s %6.0f %-10s %14.4e %8s %8.1f%% %12llu %10.3f\n",
+                axis, value, to_string(policy).c_str(), s.total_joules,
+                bench::pct(gain).c_str(), 100.0 * s.hit_rate(),
+                static_cast<unsigned long long>(s.power_transitions),
+                s.response_time_sec.mean());
+    csv->row({axis, CsvWriter::cell(value), to_string(policy),
+              CsvWriter::cell(s.total_joules), CsvWriter::cell(gain),
+              CsvWriter::cell(s.hit_rate()),
+              CsvWriter::cell(s.power_transitions),
+              CsvWriter::cell(s.response_time_sec.mean())});
+  };
+
+  // Sweep 1: data disks behind one buffer disk (the EEVFS motivation).
+  for (const std::size_t disks : {2u, 4u, 8u, 12u}) {
+    BudConfig cfg;
+    cfg.data_disks = disks;
+    const BudStats on = run(cfg, BudPolicy::kAlwaysOn, reqs);
+    report("disks", static_cast<double>(disks), BudPolicy::kAlwaysOn, on, on);
+    report("disks", static_cast<double>(disks), BudPolicy::kDpmOnly,
+           run(cfg, BudPolicy::kDpmOnly, reqs), on);
+    report("disks", static_cast<double>(disks), BudPolicy::kPreBud,
+           run(cfg, BudPolicy::kPreBud, reqs), on);
+  }
+
+  // Sweep 2: look-ahead window length (PRE-BUD's key parameter).
+  {
+    BudConfig base;
+    const BudStats on = run(base, BudPolicy::kAlwaysOn, reqs);
+    for (const double window_s : {30.0, 120.0, 300.0, 900.0}) {
+      BudConfig cfg;
+      cfg.lookahead = seconds_to_ticks(window_s);
+      report("lookahead", window_s, BudPolicy::kPreBud,
+             run(cfg, BudPolicy::kPreBud, reqs), on);
+    }
+  }
+
+  std::printf("\nexpected shape ([12] / §I): PRE-BUD < DPM-only < always-on "
+              "in energy,\nwith the PRE-BUD advantage growing with the "
+              "number of data disks and with\nthe look-ahead window.\n");
+  std::printf("\nCSV: %s\n", csv->path().c_str());
+  return 0;
+}

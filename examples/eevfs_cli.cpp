@@ -1,0 +1,175 @@
+// eevfs_cli — run any EEVFS configuration from the command line.
+//
+//   $ ./eevfs_cli --workload web --requests 2000 --system eevfs_pf
+//   $ ./eevfs_cli --workload synthetic --mu 100 --size-mb 25
+//         --system eevfs_pf --compare eevfs_npf   (one line)
+//   $ ./eevfs_cli --trace /path/to/trace.txt --system maid
+//
+// Systems: eevfs_pf, eevfs_npf, maid, pdc, drpm, always_on, oracle.
+#include <cstdio>
+#include <string>
+
+#include "baseline/presets.hpp"
+#include "core/cluster.hpp"
+#include "trace/io.hpp"
+#include "util/cli.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/webtrace.hpp"
+
+namespace {
+
+using namespace eevfs;
+
+std::optional<core::ClusterConfig> config_by_name(const std::string& name) {
+  for (auto& [preset_name, config] : baseline::all_presets()) {
+    if (name == preset_name) return config;
+  }
+  return std::nullopt;
+}
+
+void apply_overrides(const CliParser& cli, core::ClusterConfig& cfg) {
+  cfg.num_storage_nodes = static_cast<std::size_t>(
+      cli.get_int("nodes", static_cast<std::int64_t>(cfg.num_storage_nodes)));
+  cfg.data_disks_per_node = static_cast<std::size_t>(cli.get_int(
+      "data-disks", static_cast<std::int64_t>(cfg.data_disks_per_node)));
+  cfg.prefetch_file_count = static_cast<std::size_t>(cli.get_int(
+      "prefetch", static_cast<std::int64_t>(cfg.prefetch_file_count)));
+  cfg.idle_threshold_sec =
+      cli.get_double("idle-threshold", cfg.idle_threshold_sec);
+  cfg.stripe_width = static_cast<std::size_t>(
+      cli.get_int("stripe", static_cast<std::int64_t>(cfg.stripe_width)));
+  cfg.online_popularity = cli.get_bool("online", cfg.online_popularity);
+  cfg.refresh_interval_sec =
+      cli.get_double("refresh-interval", cfg.refresh_interval_sec);
+  cfg.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+}
+
+workload::Workload build_workload(const CliParser& cli) {
+  if (const auto path = cli.get("trace")) {
+    const trace::Trace t = trace::read_trace_file(*path);
+    workload::Workload w;
+    w.name = *path;
+    // Derive file sizes from the largest transfer each file sees.
+    trace::FileId max_id = 0;
+    for (const auto& r : t.records()) max_id = std::max(max_id, r.file);
+    w.file_sizes.assign(max_id + 1, 1);
+    for (const auto& r : t.records()) {
+      w.file_sizes[r.file] = std::max(w.file_sizes[r.file], r.bytes);
+    }
+    w.requests = t;
+    return w;
+  }
+  const auto requests =
+      static_cast<std::size_t>(cli.get_int("requests", 1000));
+  if (cli.get_or("workload", "synthetic") == "web") {
+    workload::WebTraceConfig cfg;
+    cfg.num_requests = requests;
+    cfg.data_size_mb = cli.get_double("size-mb", cfg.data_size_mb);
+    cfg.working_set = static_cast<std::size_t>(
+        cli.get_int("working-set", static_cast<std::int64_t>(cfg.working_set)));
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+    return workload::generate_webtrace(cfg);
+  }
+  workload::SyntheticConfig cfg;
+  cfg.num_requests = requests;
+  cfg.mean_data_size_mb = cli.get_double("size-mb", cfg.mean_data_size_mb);
+  cfg.mu = cli.get_double("mu", cfg.mu);
+  cfg.inter_arrival_ms = cli.get_double("ia-ms", cfg.inter_arrival_ms);
+  cfg.num_files = static_cast<std::size_t>(cli.get_int("files", 1000));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  return workload::generate_synthetic(cfg);
+}
+
+void print_run(const char* name, const core::RunMetrics& m,
+               const core::RunMetrics* baseline,
+               std::size_t num_data_disks) {
+  std::printf("%-12s energy %.4e J", name, m.total_joules);
+  if (baseline && baseline->total_joules > 0) {
+    std::printf(" (%+.1f%% vs baseline)", -100.0 * m.energy_gain_vs(*baseline));
+  }
+  std::printf("\n  transitions %llu (on-demand wakes %llu), hit rate %.1f%%\n",
+              static_cast<unsigned long long>(m.power_transitions),
+              static_cast<unsigned long long>(m.wakeups_on_demand),
+              100.0 * m.buffer_hit_rate());
+  std::printf("  response mean %.3f s, p95 %.3f s, p99 %.3f s\n",
+              m.response_time_sec.mean(), m.response_p95_sec,
+              m.response_p99_sec);
+  std::printf("  makespan %.1f s, duty cycles %.2f per disk-hour\n",
+              ticks_to_seconds(m.makespan),
+              m.duty_cycles_per_disk_hour(num_data_disks));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("eevfs_cli — drive the EEVFS simulator from the shell");
+  cli.add_flag("workload", "synthetic | web", "synthetic");
+  cli.add_flag("trace", "replay a #eevfs-trace v1 file instead");
+  cli.add_flag("requests", "number of requests", "1000");
+  cli.add_flag("files", "number of files (synthetic)", "1000");
+  cli.add_flag("size-mb", "mean data size in MB", "10");
+  cli.add_flag("mu", "popularity MU value (synthetic)", "1000");
+  cli.add_flag("ia-ms", "inter-arrival delay in ms", "700");
+  cli.add_flag("working-set", "hot-file count (web)", "60");
+  cli.add_flag("system", "preset to run (see header)", "eevfs_pf");
+  cli.add_flag("compare", "second preset to run as baseline");
+  cli.add_flag("nodes", "storage nodes", "8");
+  cli.add_flag("data-disks", "data disks per node", "2");
+  cli.add_flag("prefetch", "files to prefetch (K)", "70");
+  cli.add_flag("idle-threshold", "disk idle threshold seconds", "5");
+  cli.add_flag("stripe", "stripe width", "1");
+  cli.add_flag("online", "learn popularity online (bool)", "false");
+  cli.add_flag("refresh-interval", "online refresh seconds", "60");
+  cli.add_flag("seed", "workload seed", "42");
+
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(),
+                 cli.usage(argv[0]).c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage(argv[0]).c_str());
+    return 0;
+  }
+
+  try {
+    const workload::Workload w = build_workload(cli);
+    std::printf("workload: %s — %zu requests, %zu files, %.1f s\n\n",
+                w.name.c_str(), w.requests.size(), w.num_files(),
+                ticks_to_seconds(w.requests.duration()));
+
+    const std::string system = cli.get_or("system", "eevfs_pf");
+    auto cfg = config_by_name(system);
+    if (!cfg) {
+      std::fprintf(stderr, "error: unknown system '%s'\n", system.c_str());
+      return 2;
+    }
+    apply_overrides(cli, *cfg);
+
+    core::RunMetrics baseline;
+    bool have_baseline = false;
+    if (const auto cmp = cli.get("compare")) {
+      auto base_cfg = config_by_name(*cmp);
+      if (!base_cfg) {
+        std::fprintf(stderr, "error: unknown system '%s'\n", cmp->c_str());
+        return 2;
+      }
+      apply_overrides(cli, *base_cfg);
+      core::Cluster cluster(*base_cfg);
+      baseline = cluster.run(w);
+      have_baseline = true;
+      print_run(cmp->c_str(), baseline, nullptr,
+                base_cfg->num_storage_nodes * base_cfg->data_disks_per_node);
+    }
+
+    core::Cluster cluster(*cfg);
+    const core::RunMetrics m = cluster.run(w);
+    print_run(system.c_str(), m, have_baseline ? &baseline : nullptr,
+              cfg->num_storage_nodes * cfg->data_disks_per_node);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Quickstart: build the paper's 8-node cluster, generate a synthetic
+// workload (Table II defaults), and compare EEVFS with prefetching (PF)
+// against the same system without it (NPF).
+//
+//   $ ./quickstart [num_requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/presets.hpp"
+#include "core/cluster.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eevfs;
+
+  workload::SyntheticConfig wcfg;  // 1000 files, 10 MB, MU=1000, 700 ms
+  if (argc > 1) wcfg.num_requests = std::strtoul(argv[1], nullptr, 10);
+  const workload::Workload w = workload::generate_synthetic(wcfg);
+
+  std::printf("workload: %s (%zu unique files, %.1f s duration)\n",
+              w.name.c_str(), w.requests.unique_files(),
+              ticks_to_seconds(w.requests.duration()));
+
+  const core::ClusterConfig config = baseline::eevfs_pf();
+  const core::PfNpfComparison cmp = core::run_pf_npf(config, w);
+
+  std::printf("\n%-28s %14s %14s\n", "", "PF", "NPF");
+  std::printf("%-28s %14.3e %14.3e\n", "energy (J)", cmp.pf.total_joules,
+              cmp.npf.total_joules);
+  std::printf("%-28s %14llu %14llu\n", "power state transitions",
+              static_cast<unsigned long long>(cmp.pf.power_transitions),
+              static_cast<unsigned long long>(cmp.npf.power_transitions));
+  std::printf("%-28s %14.3f %14.3f\n", "mean response time (s)",
+              cmp.pf.response_time_sec.mean(),
+              cmp.npf.response_time_sec.mean());
+  std::printf("%-28s %13.1f%% %14s\n", "buffer-disk hit rate",
+              100.0 * cmp.pf.buffer_hit_rate(), "-");
+  std::printf("\nenergy efficiency gain: %.1f%%   response-time penalty: %.1f%%\n",
+              100.0 * cmp.energy_gain(), 100.0 * cmp.response_penalty());
+  return 0;
+}

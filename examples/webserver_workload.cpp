@@ -1,0 +1,58 @@
+// Web-server scenario (the paper's motivating workload class, §I): a
+// multimedia/web site whose accesses are Zipf-skewed over a small hot
+// set.  Compares every policy in the library on the same trace — EEVFS
+// PF/NPF, MAID, PDC, always-on, and the oracle — and prints where the
+// energy went per power state.
+//
+//   $ ./webserver_workload [num_requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/presets.hpp"
+#include "core/cluster.hpp"
+#include "disk/power_state.hpp"
+#include "workload/webtrace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eevfs;
+
+  workload::WebTraceConfig wcfg;
+  wcfg.num_requests = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  const workload::Workload w = workload::generate_webtrace(wcfg);
+  std::printf("workload: %s, %zu requests over %.0f s, %zu hot files\n\n",
+              w.name.c_str(), w.requests.size(),
+              ticks_to_seconds(w.requests.duration()),
+              w.requests.unique_files());
+
+  std::printf("%-12s %12s %8s %12s %10s %10s\n", "policy", "energy (J)",
+              "vs NPF", "transitions", "resp (s)", "hit rate");
+
+  core::RunMetrics npf;
+  {
+    core::Cluster baseline_cluster(baseline::eevfs_npf());
+    npf = baseline_cluster.run(w);
+  }
+  for (const auto& [name, config] : baseline::all_presets()) {
+    core::Cluster cluster(config);
+    const core::RunMetrics m = cluster.run(w);
+    const double gain = m.energy_gain_vs(npf);
+    std::printf("%-12s %12.4g %7.1f%% %12llu %10.3f %9.1f%%\n", name,
+                m.total_joules, 100.0 * gain,
+                static_cast<unsigned long long>(m.power_transitions),
+                m.response_time_sec.mean(), 100.0 * m.buffer_hit_rate());
+  }
+
+  // Energy decomposition of the EEVFS PF run.
+  core::Cluster pf(baseline::eevfs_pf());
+  const core::RunMetrics m = pf.run(w);
+  std::printf("\nEEVFS PF data-disk time by power state (all nodes):\n");
+  disk::EnergyMeter total;
+  for (const auto& nm : m.per_node) total.merge(nm.data_disk_meter);
+  for (std::size_t s = 0; s < disk::kNumPowerStates; ++s) {
+    const auto state = static_cast<disk::PowerState>(s);
+    std::printf("  %-14s %10.1f s  %10.4g J\n",
+                std::string(disk::to_string(state)).c_str(),
+                ticks_to_seconds(total.ticks(state)), total.joules(state));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Baseline system configurations for the ablation benches.
+//
+// The paper compares EEVFS *conceptually* against MAID [4] and PDC [15]
+// (§II-A) without running them; we implement both inside the same
+// simulated cluster so the comparison is measured, not asserted:
+//
+//  * eevfs_pf / eevfs_npf — the paper's PF and NPF systems.
+//  * maid       — MAID-style: no a-priori popularity knowledge; the
+//    buffer disk is an LRU copy-on-access cache, power management is the
+//    classic idle timer.  (MAID is a storage-level technique; EEVFS's
+//    claimed advantage is its file-level look-ahead, §II-A.)
+//  * pdc        — PDC-style: no buffer-disk cache; the node concentrates
+//    popular files on its first data disks so the rest can sleep.  Our
+//    version places optimally up front and pays no migration I/O, which
+//    *favours* PDC versus the paper's description of it.
+//  * always_on  — no power management at all (energy ceiling).
+//  * oracle     — perfect-future power management with a break-even
+//    profit gate (energy floor for a given cache policy).
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace eevfs::baseline {
+
+/// The paper's EEVFS with prefetching (PF).
+core::ClusterConfig eevfs_pf();
+
+/// The paper's EEVFS without prefetching (NPF).
+core::ClusterConfig eevfs_npf();
+
+/// MAID-style LRU copy-on-access cache.
+core::ClusterConfig maid();
+
+/// PDC-style popular-data concentration (idealised: no migration cost).
+core::ClusterConfig pdc();
+
+/// No power management — every disk idles at full spin forever.
+core::ClusterConfig always_on();
+
+/// Perfect-foresight power management on top of EEVFS prefetching.
+core::ClusterConfig oracle();
+
+/// DRPM-style multi-speed disks with a plain idle timer and no buffer
+/// cache — the hardware alternative the paper argues is rarely available
+/// ([7]/[10], §II-A "few commercial multi-speed disks").
+core::ClusterConfig drpm();
+
+/// All presets with display names, for sweep-style benches.
+struct NamedConfig {
+  const char* name;
+  core::ClusterConfig config;
+};
+std::vector<NamedConfig> all_presets();
+
+}  // namespace eevfs::baseline

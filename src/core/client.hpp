@@ -1,0 +1,41 @@
+// A compute-node client: issues file requests against the storage server
+// (open loop, like the paper's trace replayer — requests are issued at
+// their trace arrival times regardless of earlier completions, which is
+// what makes queues build up at 50 MB in Fig. 3a) and records response
+// times.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace eevfs::core {
+
+class Client {
+ public:
+  Client(net::EndpointId endpoint, std::uint32_t id)
+      : endpoint_(endpoint), id_(id) {}
+
+  net::EndpointId endpoint() const { return endpoint_; }
+  std::uint32_t id() const { return id_; }
+
+  /// Records one completed request.
+  void record_response(Tick issued, Tick completed) {
+    const double seconds = ticks_to_seconds(completed - issued);
+    stats_.add(seconds);
+    percentiles_.add(seconds);
+  }
+
+  const OnlineStats& response_stats() const { return stats_; }
+  const PercentileTracker& percentiles() const { return percentiles_; }
+
+ private:
+  net::EndpointId endpoint_;
+  std::uint32_t id_;
+  OnlineStats stats_;
+  PercentileTracker percentiles_;
+};
+
+}  // namespace eevfs::core

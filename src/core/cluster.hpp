@@ -1,0 +1,81 @@
+// The EEVFS facade: builds the simulated cluster from a ClusterConfig,
+// executes the paper's six-step process flow (Fig. 2) against a
+// workload, and returns the run metrics.
+//
+//   Step 1  initialisation: server connects to the nodes
+//   Step 2  server derives file popularity (history trace / request log)
+//   Step 3  placement + create files + prefetch popular files
+//   Step 4  access-pattern hints forwarded to the nodes
+//   Step 5  clients submit requests through the server
+//   Step 6  nodes return data directly to the clients
+//
+// A Cluster object is single-use: construct, run(), inspect.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/storage_node.hpp"
+#include "core/storage_server.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "workload/synthetic.hpp"
+
+namespace eevfs::core {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Runs the full process flow over `workload` and returns the metrics
+  /// (metered from t=0, i.e. including the prefetch phase, until the last
+  /// response — plus the final write-buffer destage if any).
+  RunMetrics run(const workload::Workload& workload);
+
+  // Post-run introspection (valid after run()).
+  const StorageServer& server() const { return *server_; }
+  const StorageNode& node(std::size_t i) const { return *nodes_.at(i); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const net::NetworkFabric& network() const { return *net_; }
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  void build(const workload::Workload& workload);
+  void start_replay(const workload::Workload& workload, Tick replay_start);
+  void issue_next(std::size_t client_idx, Tick replay_start);
+  void finish_run();
+
+  ClusterConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::NetworkFabric> net_;
+  std::unique_ptr<StorageServer> server_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::vector<Client> clients_;
+
+  std::size_t responses_outstanding_ = 0;
+  bool all_issued_ = false;
+  std::vector<std::deque<trace::TraceRecord>> replay_queues_;
+  bool finished_ = false;
+  RunMetrics metrics_;
+};
+
+/// Convenience for the benches: run the same workload with and without
+/// prefetching (PF vs NPF) and return both metric sets.
+struct PfNpfComparison {
+  RunMetrics pf;
+  RunMetrics npf;
+  double energy_gain() const { return pf.energy_gain_vs(npf); }
+  double response_penalty() const { return pf.response_penalty_vs(npf); }
+};
+PfNpfComparison run_pf_npf(const ClusterConfig& config,
+                           const workload::Workload& workload);
+
+}  // namespace eevfs::core

@@ -1,0 +1,96 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace eevfs::core {
+
+std::string to_string(PowerPolicy p) {
+  switch (p) {
+    case PowerPolicy::kNone: return "none";
+    case PowerPolicy::kIdleTimer: return "idle_timer";
+    case PowerPolicy::kPredictive: return "predictive";
+    case PowerPolicy::kHints: return "hints";
+    case PowerPolicy::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+std::string to_string(CachePolicy p) {
+  switch (p) {
+    case CachePolicy::kPrefetch: return "prefetch";
+    case CachePolicy::kLruOnMiss: return "lru_on_miss";
+    case CachePolicy::kNone: return "none";
+  }
+  return "?";
+}
+
+std::string to_string(DiskPlacement p) {
+  switch (p) {
+    case DiskPlacement::kRoundRobin: return "round_robin";
+    case DiskPlacement::kConcentrate: return "concentrate";
+  }
+  return "?";
+}
+
+std::string to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kPopularityRoundRobin: return "popularity_rr";
+    case PlacementPolicy::kRandom: return "random";
+    case PlacementPolicy::kSizeBalanced: return "size_balanced";
+  }
+  return "?";
+}
+
+bool ClusterConfig::is_type2(NodeId node) const {
+  if (type2_stride == 0) return false;
+  return node % type2_stride == type2_stride - 1;
+}
+
+disk::DiskProfile ClusterConfig::node_disk_profile(NodeId node) const {
+  if (disk_profile_override) return *disk_profile_override;
+  return is_type2(node) ? disk::DiskProfile::ata133_slow()
+                        : disk::DiskProfile::ata133_fast();
+}
+
+double ClusterConfig::node_nic_mbps(NodeId node) const {
+  return is_type2(node) ? type2_nic_mbps : type1_nic_mbps;
+}
+
+void ClusterConfig::validate() const {
+  if (num_storage_nodes == 0) {
+    throw std::invalid_argument("ClusterConfig: need at least one node");
+  }
+  if (data_disks_per_node == 0) {
+    throw std::invalid_argument("ClusterConfig: need at least one data disk");
+  }
+  if (buffer_disks_per_node == 0 &&
+      (cache_policy != CachePolicy::kNone || write_buffering)) {
+    throw std::invalid_argument(
+        "ClusterConfig: caching/write buffering requires a buffer disk");
+  }
+  if (num_clients == 0) {
+    throw std::invalid_argument("ClusterConfig: need at least one client");
+  }
+  if (idle_threshold_sec < 0.0 || sleep_margin < 0.0) {
+    throw std::invalid_argument("ClusterConfig: negative power parameters");
+  }
+  if (node_base_watts < 0.0) {
+    throw std::invalid_argument("ClusterConfig: negative base power");
+  }
+  if (online_popularity && refresh_interval_sec <= 0.0) {
+    throw std::invalid_argument(
+        "ClusterConfig: refresh_interval_sec must be positive");
+  }
+  if (stripe_width == 0) {
+    throw std::invalid_argument("ClusterConfig: stripe_width must be >= 1");
+  }
+  if (nic_efficiency <= 0.0 || nic_efficiency > 1.0) {
+    throw std::invalid_argument("ClusterConfig: nic_efficiency in (0, 1]");
+  }
+  if (type1_nic_mbps <= 0.0 || type2_nic_mbps <= 0.0 ||
+      server_nic_mbps <= 0.0 || client_nic_mbps <= 0.0) {
+    throw std::invalid_argument("ClusterConfig: NIC rates must be positive");
+  }
+}
+
+}  // namespace eevfs::core

@@ -1,0 +1,137 @@
+// Cluster configuration.
+//
+// The defaults replicate the paper's testbed (§V-A, Table I): one storage
+// server, eight storage nodes of two hardware types, one buffer disk and
+// two data disks per node, a 5 s disk idle threshold, and prefetching of
+// the 70 most popular files out of 1000.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "disk/disk_profile.hpp"
+#include "util/units.hpp"
+
+namespace eevfs::core {
+
+using NodeId = std::size_t;
+
+/// How a storage node decides to spin data disks down.
+enum class PowerPolicy {
+  kNone,        // never spin down (AlwaysOn baseline)
+  kIdleTimer,   // classic DPM: sleep after `idle_threshold` of idleness
+  kPredictive,  // paper default (§III-C): sleep after the idle threshold
+                // only when the node's energy model predicts the next
+                // idle window is long enough to profit; on-demand wake
+  kHints,       // §IV-C: exact forwarded access pattern; immediate sleep
+                // into known-long windows and proactive wake
+  kOracle,      // perfect foresight, profit-only gate (lower bound)
+};
+
+/// What the buffer disk caches.
+enum class CachePolicy {
+  kPrefetch,   // EEVFS: popularity-ranked prefetch before replay
+  kLruOnMiss,  // MAID baseline: copy-on-access with LRU eviction
+  kNone,       // no buffer-disk caching (buffer still absorbs writes)
+};
+
+/// How the server spreads files over nodes/disks.
+enum class PlacementPolicy {
+  kPopularityRoundRobin,  // paper §III-B
+  kRandom,                // ablation: popularity-blind
+  kSizeBalanced,          // ablation: balance bytes, ignore popularity
+};
+
+/// How a storage node spreads its files over its data disks.
+enum class DiskPlacement {
+  kRoundRobin,   // paper §III-B: k-th created file -> disk k mod n
+  kConcentrate,  // PDC baseline: hottest files packed onto the first
+                 // disks so the last disks can sleep
+};
+
+std::string to_string(PowerPolicy p);
+std::string to_string(CachePolicy p);
+std::string to_string(PlacementPolicy p);
+std::string to_string(DiskPlacement p);
+
+struct ClusterConfig {
+  // --- topology (Table I) ------------------------------------------------
+  std::size_t num_storage_nodes = 8;
+  std::size_t data_disks_per_node = 2;
+  std::size_t buffer_disks_per_node = 1;
+  /// Every `type2_stride`-th node is a slow type-2 node (100 Mb/s NIC,
+  /// 34 MB/s disk); 2 = half the nodes, 0 = none.
+  std::size_t type2_stride = 2;
+  double type1_nic_mbps = 1000.0;
+  double type2_nic_mbps = 100.0;
+  double server_nic_mbps = 1000.0;
+  double client_nic_mbps = 1000.0;
+  /// Fraction of the NIC line rate TCP actually delivers (protocol
+  /// overhead + the P4-era CPU bound); applied to every endpoint.
+  double nic_efficiency = 0.7;
+  std::size_t num_clients = 4;
+
+  // --- power model ---------------------------------------------------
+  /// Chassis power of one storage node excluding disks (CPU, memory,
+  /// NIC, PSU loss).  Calibrated so that the modelled cluster lands in
+  /// the paper's 4-8e5 J band with a ~17 % ceiling on disk savings.
+  Watts node_base_watts = 50.0;
+  /// Meter the storage server and clients too?  The paper measured only
+  /// the storage nodes, so this defaults to off.
+  bool meter_server_and_clients = false;
+
+  // --- EEVFS policies ------------------------------------------------
+  bool enable_prefetch = true;           // PF vs NPF
+  std::size_t prefetch_file_count = 70;  // Table II: 10, 40, 70, 100
+  double idle_threshold_sec = 5.0;       // Table II
+  PowerPolicy power_policy = PowerPolicy::kPredictive;
+  /// kPredictive sleeps only when the predicted idle gap exceeds
+  /// `sleep_margin` x break-even time (profit gate).
+  double sleep_margin = 1.0;
+  /// kPredictive: also schedule proactive wake-ups at the predicted next
+  /// arrival (off by default — see PowerManager::Params::wake_marking).
+  bool wake_marking = false;
+  CachePolicy cache_policy = CachePolicy::kPrefetch;
+  PlacementPolicy placement = PlacementPolicy::kPopularityRoundRobin;
+  DiskPlacement disk_placement = DiskPlacement::kRoundRobin;
+  /// PRE-BUD gate: drop prefetch candidates whose predicted energy
+  /// benefit is negative.
+  bool prebud_gate = true;
+  /// Buffer-disk free space doubles as a write buffer (§III-C).
+  bool write_buffering = true;
+  /// Cap on buffered file bytes per node (both prefetch area and write
+  /// buffer); 0 = limited only by the buffer disk capacity.
+  Bytes buffer_capacity_bytes = 0;
+  /// Online mode (extension): the server gets NO workload foreknowledge.
+  /// Placement is popularity-blind, nothing is prefetched up front, and
+  /// every `refresh_interval_sec` the server re-ranks its append-only
+  /// request log (§IV) and tells each node to update its buffered set —
+  /// the adaptive system the paper's log-based design implies.
+  bool online_popularity = false;
+  double refresh_interval_sec = 60.0;
+  /// Intra-node striping width (paper §VII future work): each file is
+  /// split over `stripe_width` consecutive data disks and read/written in
+  /// parallel.  1 = whole-file placement (the paper's evaluated system).
+  /// Striping trades energy (every miss spins up the whole stripe set)
+  /// for service time — bench/ablation_striping quantifies it.
+  std::size_t stripe_width = 1;
+
+  std::uint64_t seed = 1;
+
+  /// When set, every storage-node disk uses this profile instead of the
+  /// Table I ATA profiles (e.g. disk::DiskProfile::drpm() for the
+  /// multi-speed baseline, or a custom drive).
+  std::optional<disk::DiskProfile> disk_profile_override;
+
+  /// Disk profile for a node; type-2 nodes get the slower ATA disk
+  /// unless `disk_profile_override` is set.
+  disk::DiskProfile node_disk_profile(NodeId node) const;
+  bool is_type2(NodeId node) const;
+  double node_nic_mbps(NodeId node) const;
+
+  /// Throws std::invalid_argument on nonsensical combinations.
+  void validate() const;
+};
+
+}  // namespace eevfs::core

@@ -1,0 +1,71 @@
+#include "core/metadata.hpp"
+
+#include <stdexcept>
+
+namespace eevfs::core {
+
+void ServerMetadata::insert(trace::FileId file, NodeId node, Bytes size) {
+  const auto [it, inserted] =
+      entries_.emplace(file, ServerFileEntry{node, size});
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("ServerMetadata: duplicate file " +
+                                std::to_string(file));
+  }
+}
+
+std::optional<ServerFileEntry> ServerMetadata::lookup(trace::FileId file) {
+  ++lookups_;
+  const auto it = entries_.find(file);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Bytes ServerMetadata::memory_footprint() const {
+  // id + node + size + hash-table overhead, roughly.
+  return static_cast<Bytes>(entries_.size()) * 48;
+}
+
+void NodeMetadata::insert(trace::FileId file, LocalFileMeta meta) {
+  const auto [it, inserted] = entries_.emplace(file, std::move(meta));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("NodeMetadata: duplicate file " +
+                                std::to_string(file));
+  }
+}
+
+LocalFileMeta& NodeMetadata::at(trace::FileId file) {
+  ++lookups_;
+  return entries_.at(file);
+}
+
+const LocalFileMeta& NodeMetadata::at(trace::FileId file) const {
+  ++lookups_;
+  return entries_.at(file);
+}
+
+const LocalFileMeta* NodeMetadata::find(trace::FileId file) const {
+  ++lookups_;
+  const auto it = entries_.find(file);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+LocalFileMeta* NodeMetadata::find(trace::FileId file) {
+  ++lookups_;
+  const auto it = entries_.find(file);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Bytes NodeMetadata::memory_footprint() const {
+  Bytes total = 0;
+  for (const auto& [_, meta] : entries_) {
+    total += 64 + static_cast<Bytes>(meta.disks.size()) * 8;
+  }
+  return total;
+}
+
+}  // namespace eevfs::core

@@ -1,0 +1,38 @@
+#include "core/metrics.hpp"
+
+#include "util/string_util.hpp"
+
+namespace eevfs::core {
+
+double RunMetrics::duty_cycles_per_disk_hour(
+    std::size_t num_data_disks) const {
+  if (num_data_disks == 0 || makespan <= 0) return 0.0;
+  const double hours = ticks_to_seconds(makespan) / 3600.0;
+  return static_cast<double>(spin_downs) /
+         static_cast<double>(num_data_disks) / hours;
+}
+
+double RunMetrics::energy_gain_vs(const RunMetrics& baseline) const {
+  if (baseline.total_joules <= 0.0) return 0.0;
+  return (baseline.total_joules - total_joules) / baseline.total_joules;
+}
+
+double RunMetrics::response_penalty_vs(const RunMetrics& baseline) const {
+  if (baseline.response_time_sec.mean() <= 0.0) return 0.0;
+  return response_time_sec.mean() / baseline.response_time_sec.mean() - 1.0;
+}
+
+std::string RunMetrics::summary() const {
+  return format(
+      "energy=%.3e J (disk %.3e + base %.3e), transitions=%llu "
+      "(up %llu/down %llu), resp mean=%.3f s p95=%.3f s, hit rate=%.1f%%, "
+      "makespan=%.1f s, requests=%llu",
+      total_joules, disk_joules, base_joules,
+      static_cast<unsigned long long>(power_transitions),
+      static_cast<unsigned long long>(spin_ups),
+      static_cast<unsigned long long>(spin_downs),
+      response_time_sec.mean(), response_p95_sec, 100.0 * buffer_hit_rate(),
+      ticks_to_seconds(makespan), static_cast<unsigned long long>(requests));
+}
+
+}  // namespace eevfs::core

@@ -1,0 +1,84 @@
+// Run metrics — exactly the three the paper evaluates (§V-C): energy
+// consumption, number of power state transitions, and response time —
+// plus the internals (hit rates, queueing) needed to explain them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/energy_meter.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace eevfs::core {
+
+struct NodeMetrics {
+  std::string label;
+  Joules disk_joules = 0.0;
+  Joules base_joules = 0.0;
+  std::uint64_t spin_ups = 0;
+  std::uint64_t spin_downs = 0;
+  std::uint64_t buffer_hits = 0;
+  std::uint64_t data_disk_reads = 0;
+  std::uint64_t writes_buffered = 0;
+  std::uint64_t writes_direct = 0;
+  Bytes bytes_served = 0;
+  Bytes bytes_prefetched = 0;
+  Tick data_disk_standby_ticks = 0;
+  disk::EnergyMeter data_disk_meter;    // aggregated over the node's data disks
+  disk::EnergyMeter buffer_disk_meter;  // aggregated over buffer disks
+
+  Joules total_joules() const { return disk_joules + base_joules; }
+  std::uint64_t power_transitions() const { return spin_ups + spin_downs; }
+};
+
+struct RunMetrics {
+  // --- paper metrics ---------------------------------------------------
+  Joules total_joules = 0.0;            // all storage nodes, disks + base
+  std::uint64_t power_transitions = 0;  // spin-ups + spin-downs, data disks
+  OnlineStats response_time_sec;        // per-request, client-observed
+  double response_p95_sec = 0.0;
+  double response_p99_sec = 0.0;
+
+  // --- decomposition ---------------------------------------------------
+  Joules disk_joules = 0.0;
+  Joules base_joules = 0.0;
+  std::uint64_t spin_ups = 0;
+  std::uint64_t spin_downs = 0;
+  Tick makespan = 0;           // first issue to last response
+  Tick prefetch_duration = 0;  // setup phase before replay starts
+  std::uint64_t requests = 0;
+  std::uint64_t buffer_hits = 0;    // read served by a buffer disk
+  std::uint64_t data_disk_reads = 0;
+  std::uint64_t wakeups_on_demand = 0;  // request found its disk asleep
+  Bytes bytes_served = 0;
+  Bytes bytes_prefetched = 0;
+  std::vector<NodeMetrics> per_node;
+
+  double buffer_hit_rate() const {
+    const auto reads = buffer_hits + data_disk_reads;
+    return reads ? static_cast<double>(buffer_hits) /
+                       static_cast<double>(reads)
+                 : 0.0;
+  }
+
+  /// Reliability wear: start-stop (or speed-ramp) cycles per data disk
+  /// per hour of run time.  The paper (§VI-B) flags that small energy
+  /// wins at high transition counts "may not be worth the stress put on
+  /// the hard drives"; compare against DiskProfile::duty_cycle_rating.
+  double duty_cycles_per_disk_hour(std::size_t num_data_disks) const;
+
+  /// Energy-efficiency gain of this run relative to `baseline` (e.g. the
+  /// NPF run), as a fraction: 0.15 = 15 % less energy.
+  double energy_gain_vs(const RunMetrics& baseline) const;
+
+  /// Response-time degradation relative to `baseline` as a fraction:
+  /// 0.37 = 37 % slower.
+  double response_penalty_vs(const RunMetrics& baseline) const;
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace eevfs::core

@@ -1,0 +1,80 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eevfs::core {
+
+namespace {
+
+/// Ranked files first, then never-accessed files by ascending id.
+std::vector<trace::FileId> creation_order(
+    std::size_t num_files, const trace::PopularityAnalyzer& popularity) {
+  std::vector<trace::FileId> order;
+  order.reserve(num_files);
+  std::vector<bool> placed(num_files, false);
+  for (const auto& p : popularity.ranked()) {
+    if (p.file < num_files) {
+      order.push_back(p.file);
+      placed[p.file] = true;
+    }
+  }
+  for (trace::FileId f = 0; f < num_files; ++f) {
+    if (!placed[f]) order.push_back(f);
+  }
+  return order;
+}
+
+}  // namespace
+
+PlacementMap place_files(PlacementPolicy policy, std::size_t num_nodes,
+                         std::size_t num_files,
+                         const trace::PopularityAnalyzer& popularity,
+                         const std::vector<Bytes>& sizes, Rng& rng) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("place_files: no nodes");
+  }
+  if (sizes.size() < num_files) {
+    throw std::invalid_argument("place_files: sizes shorter than file count");
+  }
+
+  PlacementMap map;
+  map.node_of.assign(num_files, 0);
+  map.files_on_node.assign(num_nodes, {});
+
+  const std::vector<trace::FileId> order = creation_order(num_files, popularity);
+
+  switch (policy) {
+    case PlacementPolicy::kPopularityRoundRobin: {
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const NodeId n = i % num_nodes;
+        map.node_of[order[i]] = n;
+        map.files_on_node[n].push_back(order[i]);
+      }
+      break;
+    }
+    case PlacementPolicy::kRandom: {
+      for (const trace::FileId f : order) {
+        const auto n = static_cast<NodeId>(rng.next_below(num_nodes));
+        map.node_of[f] = n;
+        map.files_on_node[n].push_back(f);
+      }
+      break;
+    }
+    case PlacementPolicy::kSizeBalanced: {
+      std::vector<Bytes> load(num_nodes, 0);
+      for (const trace::FileId f : order) {
+        const auto it = std::min_element(load.begin(), load.end());
+        const auto n = static_cast<NodeId>(
+            std::distance(load.begin(), it));
+        map.node_of[f] = n;
+        map.files_on_node[n].push_back(f);
+        load[n] += sizes[f];
+      }
+      break;
+    }
+  }
+  return map;
+}
+
+}  // namespace eevfs::core

@@ -1,0 +1,35 @@
+// Server-side data placement (paper §III-B): files are distributed to
+// storage nodes in popularity order, round-robin, so every node receives
+// an equal share of hot and cold data; each node then round-robins its
+// share over its data disks in the same order.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace eevfs::core {
+
+struct PlacementMap {
+  /// Owning node per file, indexed by FileId.
+  std::vector<NodeId> node_of;
+  /// Files per node in creation (i.e. popularity) order — the order in
+  /// which the server issues create-file requests, which drives the
+  /// node-local disk round-robin.
+  std::vector<std::vector<trace::FileId>> files_on_node;
+
+  NodeId node(trace::FileId f) const { return node_of.at(f); }
+};
+
+/// Places `num_files` files (ids 0..num_files-1).  `popularity` ranks the
+/// accessed files; files absent from the ranking (never accessed) are
+/// placed after all ranked files, in id order.  `sizes` is indexed by
+/// FileId and used by the size-balanced policy.
+PlacementMap place_files(PlacementPolicy policy, std::size_t num_nodes,
+                         std::size_t num_files,
+                         const trace::PopularityAnalyzer& popularity,
+                         const std::vector<Bytes>& sizes, Rng& rng);
+
+}  // namespace eevfs::core

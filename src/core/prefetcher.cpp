@@ -1,0 +1,153 @@
+#include "core/prefetcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace eevfs::core {
+
+Prefetcher::Prefetcher(EnergyPredictionModel data_disk_model,
+                       disk::DiskProfile buffer_profile, bool prebud_gate)
+    : model_(std::move(data_disk_model)),
+      buffer_profile_(std::move(buffer_profile)),
+      prebud_gate_(prebud_gate) {}
+
+namespace {
+
+/// Sorted-multiset difference: disk accesses minus one file's accesses.
+std::vector<Tick> remove_accesses(const std::vector<Tick>& disk,
+                                  const std::vector<Tick>& file) {
+  std::vector<Tick> out;
+  out.reserve(disk.size() - std::min(disk.size(), file.size()));
+  std::size_t j = 0;
+  for (const Tick a : disk) {
+    if (j < file.size() && file[j] == a) {
+      ++j;
+      continue;
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+PrefetchPlan Prefetcher::plan(
+    std::span<const PrefetchCandidate> candidates,
+    const std::map<trace::FileId, std::vector<Tick>>& file_accesses,
+    std::vector<std::vector<Tick>> disk_accesses, Tick horizon,
+    Bytes capacity) const {
+  PrefetchPlan out;
+  out.residual_disk_accesses = std::move(disk_accesses);
+
+  // Group candidates by the *set* of disks they touch, preserving rank
+  // order within a group.  The PRE-BUD benefit of buffering files is not
+  // additive (single files rarely open a sleep window; a set does), so
+  // the gate scores rank-order *prefixes* per disk set and accepts the
+  // best-scoring one.  Whole-file placement yields singleton sets; with
+  // striping a group spans the stripe's disks.
+  std::map<std::vector<std::size_t>, std::vector<PrefetchCandidate>> groups;
+  for (const PrefetchCandidate& c : candidates) {
+    groups[c.disks].push_back(c);
+  }
+
+  static const std::vector<Tick> kNoAccesses;
+  const auto accesses_of = [&](trace::FileId f) -> const std::vector<Tick>& {
+    const auto it = file_accesses.find(f);
+    return it == file_accesses.end() ? kNoAccesses : it->second;
+  };
+  const auto set_savings =
+      [&](const std::vector<std::size_t>& disks,
+          const std::vector<std::vector<Tick>>& residuals) {
+        Joules total = 0.0;
+        for (const std::size_t d : disks) {
+          total += model_.plan_windows(residuals.at(d), 0, horizon)
+                       .predicted_savings;
+        }
+        return total;
+      };
+  const auto copy_cost = [&](const PrefetchCandidate& c) {
+    // The read is split over the stripe set (each disk moves bytes/W);
+    // the buffer write is one sequential stream of the whole file.  Both
+    // are priced as the increment over staying idle.
+    const auto width = static_cast<Bytes>(c.disks.size());
+    const Bytes per_disk = (c.bytes + width - 1) / width;
+    const Tick read_time =
+        model_.profile().service_time(per_disk, /*sequential=*/false);
+    const Tick write_time =
+        buffer_profile_.service_time(c.bytes, /*sequential=*/true);
+    return static_cast<double>(c.disks.size()) *
+               energy(model_.profile().active_watts -
+                          model_.profile().idle_watts,
+                      read_time) +
+           energy(buffer_profile_.active_watts - buffer_profile_.idle_watts,
+                  write_time);
+  };
+
+  Bytes remaining = capacity;
+  for (auto& [disks, list] : groups) {
+    if (list.empty()) continue;
+
+    if (!prebud_gate_) {
+      for (const PrefetchCandidate& c : list) {
+        if (c.bytes > remaining) continue;
+        for (const std::size_t d : disks) {
+          out.residual_disk_accesses[d] =
+              remove_accesses(out.residual_disk_accesses[d],
+                              accesses_of(c.file));
+        }
+        out.accepted.push_back(c);
+        out.total_bytes += c.bytes;
+        remaining -= c.bytes;
+      }
+      continue;
+    }
+
+    const Joules base_savings = set_savings(disks, out.residual_disk_accesses);
+    std::vector<std::vector<Tick>> residual = out.residual_disk_accesses;
+    Joules copy_cost_sum = 0.0;
+    Joules best_benefit = 0.0;
+    std::size_t best_k = 0;
+    Bytes prefix_bytes = 0;
+    std::vector<std::vector<Tick>> best_residual = residual;
+
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      const PrefetchCandidate& c = list[k];
+      if (prefix_bytes + c.bytes > remaining) break;
+      prefix_bytes += c.bytes;
+      for (const std::size_t d : disks) {
+        residual[d] = remove_accesses(residual[d], accesses_of(c.file));
+      }
+      copy_cost_sum += copy_cost(c);
+      const Joules benefit =
+          set_savings(disks, residual) - base_savings - copy_cost_sum;
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_k = k + 1;
+        best_residual = residual;
+      }
+    }
+
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      if (k < best_k) {
+        out.accepted.push_back(list[k]);
+        out.total_bytes += list[k].bytes;
+        remaining -= list[k].bytes;
+      } else {
+        out.rejected_by_gate.push_back(list[k].file);
+      }
+    }
+    if (best_k > 0) {
+      out.residual_disk_accesses = std::move(best_residual);
+      out.predicted_benefit += best_benefit;
+      EEVFS_DEBUG() << "prefetch gate: disk set of " << disks.size()
+                    << " accepts " << best_k << "/" << list.size()
+                    << " candidates, predicted benefit " << best_benefit
+                    << " J";
+    }
+  }
+  return out;
+}
+
+}  // namespace eevfs::core

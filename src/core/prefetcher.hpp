@@ -1,0 +1,60 @@
+// Node-local prefetch planning (paper §IV-B + the PRE-BUD energy gate
+// from the authors' earlier work [12] that EEVFS builds on).
+//
+// The server hands each node its slice of the globally most popular
+// files, in rank order.  The node walks that list and accepts a candidate
+// if it fits the buffer and — when the PRE-BUD gate is enabled — if
+// redirecting its accesses to the buffer disk is predicted to save more
+// energy than the copy costs.  Benefits are evaluated against the
+// *residual* access pattern left by the candidates already accepted, so
+// the marginal value of each additional file is priced correctly.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/energy_model.hpp"
+#include "trace/record.hpp"
+
+namespace eevfs::core {
+
+struct PrefetchCandidate {
+  trace::FileId file = 0;
+  Bytes bytes = 0;
+  /// Data disks holding the file — one entry for whole-file placement,
+  /// `stripe_width` entries when the node stripes (§VII extension).
+  std::vector<std::size_t> disks;
+};
+
+struct PrefetchPlan {
+  std::vector<PrefetchCandidate> accepted;
+  std::vector<trace::FileId> rejected_by_gate;
+  Bytes total_bytes = 0;
+  Joules predicted_benefit = 0.0;
+  /// Per-data-disk access times with the accepted files removed — what
+  /// the power manager should expect to reach each disk.
+  std::vector<std::vector<Tick>> residual_disk_accesses;
+};
+
+class Prefetcher {
+ public:
+  Prefetcher(EnergyPredictionModel data_disk_model,
+             disk::DiskProfile buffer_profile, bool prebud_gate);
+
+  /// `candidates` in priority (popularity-rank) order;
+  /// `file_accesses[f]` sorted access offsets of file f;
+  /// `disk_accesses[d]` sorted offsets of everything on data disk d;
+  /// `horizon` the trace duration; `capacity` remaining buffer bytes.
+  PrefetchPlan plan(std::span<const PrefetchCandidate> candidates,
+                    const std::map<trace::FileId, std::vector<Tick>>& file_accesses,
+                    std::vector<std::vector<Tick>> disk_accesses,
+                    Tick horizon, Bytes capacity) const;
+
+ private:
+  EnergyPredictionModel model_;
+  disk::DiskProfile buffer_profile_;
+  bool prebud_gate_;
+};
+
+}  // namespace eevfs::core

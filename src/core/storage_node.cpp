@@ -1,0 +1,474 @@
+#include "core/storage_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace eevfs::core {
+
+StorageNode::StorageNode(sim::Simulator& sim, net::NetworkFabric& net,
+                         net::EndpointId self, NodeParams params)
+    : sim_(sim), net_(net), self_(self), params_(std::move(params)) {
+  if (params_.data_disks == 0) {
+    throw std::invalid_argument("StorageNode: need at least one data disk");
+  }
+  for (std::size_t i = 0; i < params_.data_disks; ++i) {
+    data_disks_.push_back(std::make_unique<disk::DiskModel>(
+        sim_, params_.disk_profile,
+        format("node%zu/data%zu", params_.id, i)));
+  }
+  for (std::size_t i = 0; i < params_.buffer_disks; ++i) {
+    buffer_disks_.push_back(std::make_unique<disk::DiskModel>(
+        sim_, params_.disk_profile,
+        format("node%zu/buffer%zu", params_.id, i)));
+  }
+
+  Bytes capacity = params_.buffer_capacity;
+  if (capacity == 0 && !buffer_disks_.empty()) {
+    capacity = params_.disk_profile.capacity *
+               static_cast<Bytes>(buffer_disks_.size());
+  }
+  if (!buffer_disks_.empty()) {
+    buffer_ = std::make_unique<BufferManager>(capacity);
+  }
+
+  std::vector<disk::DiskModel*> managed;
+  managed.reserve(data_disks_.size());
+  for (auto& d : data_disks_) managed.push_back(d.get());
+  power_ = std::make_unique<PowerManager>(sim_, params_.power, managed);
+
+  pending_writes_.resize(data_disks_.size());
+  flush_in_progress_.assign(data_disks_.size(), false);
+}
+
+void StorageNode::create_file(trace::FileId f, Bytes size) {
+  LocalFileMeta lf;
+  std::size_t primary = 0;
+  if (params_.disk_placement == DiskPlacement::kConcentrate) {
+    if (expected_files_ == 0) {
+      throw std::logic_error(
+          "StorageNode: kConcentrate requires expect_files() first");
+    }
+    // PDC-style: the popularity-ordered creation stream is cut into n
+    // contiguous bands; the hottest band lands on disk 0 so the later
+    // disks can sleep.
+    primary = std::min(files_created_ * data_disks_.size() / expected_files_,
+                       data_disks_.size() - 1);
+  } else {
+    primary = files_created_ % data_disks_.size();
+  }
+  const std::size_t width =
+      std::min(std::max<std::size_t>(params_.stripe_width, 1),
+               data_disks_.size());
+  lf.disks.reserve(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    lf.disks.push_back((primary + j) % data_disks_.size());
+  }
+  lf.size = size;
+  meta_.insert(f, std::move(lf));
+  ++files_created_;
+}
+
+void StorageNode::receive_access_pattern(
+    std::map<trace::FileId, std::vector<Tick>> offsets, Tick horizon) {
+  pattern_ = std::move(offsets);
+  horizon_ = horizon;
+}
+
+void StorageNode::start_prefetch(const std::vector<trace::FileId>& candidates,
+                                 std::function<void()> done) {
+  // Merge the per-file pattern into per-data-disk access timelines; a
+  // striped file's accesses reach every disk in its stripe set.
+  std::vector<std::vector<Tick>> disk_accesses(data_disks_.size());
+  for (const auto& [file, offsets] : pattern_) {
+    const LocalFileMeta* file_meta = meta_.find(file);
+    if (file_meta == nullptr) continue;
+    for (const std::size_t d : file_meta->disks) {
+      auto& timeline = disk_accesses[d];
+      timeline.insert(timeline.end(), offsets.begin(), offsets.end());
+    }
+  }
+  for (auto& t : disk_accesses) std::sort(t.begin(), t.end());
+
+  std::vector<PrefetchCandidate> cands;
+  cands.reserve(candidates.size());
+  for (const trace::FileId f : candidates) {
+    const LocalFileMeta* file_meta = meta_.find(f);
+    if (file_meta == nullptr) {
+      throw std::invalid_argument("StorageNode: prefetch candidate " +
+                                  std::to_string(f) + " not on this node");
+    }
+    cands.push_back(PrefetchCandidate{f, file_meta->size, file_meta->disks});
+  }
+
+  const bool can_prefetch =
+      buffer_ && params_.cache_policy == CachePolicy::kPrefetch;
+  const Bytes capacity =
+      can_prefetch ? buffer_->capacity() - buffer_->used() : 0;
+  const Prefetcher prefetcher(
+      EnergyPredictionModel(params_.disk_profile, params_.power.idle_threshold,
+                            params_.power.sleep_margin),
+      params_.disk_profile, params_.prebud_gate);
+  plan_ = prefetcher.plan(can_prefetch ? std::span<const PrefetchCandidate>(cands)
+                                       : std::span<const PrefetchCandidate>(),
+                          pattern_, std::move(disk_accesses), horizon_,
+                          capacity);
+  plan_ready_ = true;
+
+  // Static expectation per disk for the predictive power policy: the mean
+  // gap between residual accesses over the horizon.
+  for (std::size_t d = 0; d < data_disks_.size(); ++d) {
+    const auto& residual = plan_.residual_disk_accesses[d];
+    if (horizon_ <= 0) {
+      power_->set_expected_gap(d, std::nullopt);
+    } else if (residual.empty()) {
+      power_->set_expected_gap(d, PowerManager::kNever);
+    } else {
+      power_->set_expected_gap(
+          d, horizon_ / static_cast<Tick>(residual.size()));
+    }
+  }
+
+  if (plan_.accepted.empty()) {
+    sim_.schedule_after(0, std::move(done));
+    return;
+  }
+  auto outstanding = std::make_shared<std::size_t>(plan_.accepted.size());
+  for (const PrefetchCandidate& c : plan_.accepted) {
+    copy_into_buffer(c.file, [this, outstanding, done] {
+      if (--*outstanding == 0) {
+        EEVFS_DEBUG() << "node " << params_.id << ": prefetch done at t="
+                      << ticks_to_seconds(sim_.now());
+        done();
+      }
+    });
+  }
+}
+
+void StorageNode::stripe_io(const LocalFileMeta& file, Bytes bytes,
+                            bool is_write, bool notify_power_manager,
+                            std::function<void(Tick)> done) {
+  const auto width = static_cast<Bytes>(file.disks.size());
+  const Bytes per_disk = (bytes + width - 1) / width;
+  auto outstanding = std::make_shared<std::size_t>(file.disks.size());
+  auto shared_done =
+      std::make_shared<std::function<void(Tick)>>(std::move(done));
+  for (const std::size_t d : file.disks) {
+    disk::DiskRequest req;
+    req.bytes = per_disk;
+    req.sequential = false;
+    req.is_write = is_write;
+    req.on_complete = [outstanding, shared_done](Tick t) {
+      if (--*outstanding == 0 && *shared_done) (*shared_done)(t);
+    };
+    if (notify_power_manager) {
+      submit_to_data_disk(d, std::move(req));
+    } else {
+      // Node-internal work (prefetch copies, destages) must not perturb
+      // the power manager's inter-arrival estimate.
+      data_disks_[d]->submit(std::move(req));
+    }
+  }
+}
+
+void StorageNode::copy_into_buffer(trace::FileId f,
+                                   std::function<void()> done) {
+  assert(buffer_);
+  const LocalFileMeta& lf = meta_.at(f);
+  const Bytes bytes = lf.size;
+  const auto inserted = buffer_->insert(f, bytes, /*allow_evict=*/false);
+  if (!inserted.inserted) {
+    // Space accounting said no (planned capacity should prevent this).
+    sim_.schedule_after(0, std::move(done));
+    return;
+  }
+  stripe_io(lf, bytes, /*is_write=*/false, /*notify_power_manager=*/false,
+            [this, f, bytes, done = std::move(done)](Tick) {
+              const std::size_t bd = buffered_count_ % buffer_disks_.size();
+              disk::DiskRequest write;
+              write.bytes = bytes;
+              write.sequential = true;  // buffer disks are log-structured
+              write.is_write = true;
+              write.on_complete = [this, f, bytes, bd, done](Tick) {
+                LocalFileMeta& meta = meta_.at(f);
+                meta.buffered = true;
+                meta.buffer_disk = bd;
+                bytes_prefetched_ += bytes;
+                done();
+              };
+              ++buffered_count_;
+              buffer_disks_[bd]->submit(std::move(write));
+            });
+}
+
+void StorageNode::begin_replay(Tick replay_start) {
+  if (!plan_ready_) {
+    throw std::logic_error("StorageNode: begin_replay before start_prefetch");
+  }
+  replay_start_ = replay_start;
+  if (params_.power.policy == PowerPolicy::kHints ||
+      params_.power.policy == PowerPolicy::kOracle) {
+    for (std::size_t d = 0; d < data_disks_.size(); ++d) {
+      std::vector<Tick> absolute = plan_.residual_disk_accesses[d];
+      for (Tick& t : absolute) t += replay_start;
+      power_->set_future_accesses(d, std::move(absolute));
+    }
+  }
+  power_->start();
+}
+
+void StorageNode::update_prefetch(const std::vector<trace::FileId>& wanted) {
+  if (!buffer_ || params_.cache_policy != CachePolicy::kPrefetch) return;
+  const std::set<trace::FileId> target(wanted.begin(), wanted.end());
+  // Evict buffered files that fell out of the top set — dropping a cached
+  // copy is metadata-only, no I/O.
+  for (auto& [f, meta] : meta_) {
+    if (meta.buffered && !target.contains(f)) {
+      buffer_->erase(f);
+      meta.buffered = false;
+    }
+  }
+  // Copy in newly popular files (rank order), skipping ones already
+  // buffered or already on their way.
+  for (const trace::FileId f : wanted) {
+    const LocalFileMeta* file_meta = meta_.find(f);
+    if (file_meta == nullptr) {
+      throw std::invalid_argument("StorageNode: update_prefetch candidate " +
+                                  std::to_string(f) + " not on this node");
+    }
+    if (file_meta->buffered || copies_in_flight_.contains(f)) continue;
+    copies_in_flight_.insert(f);
+    copy_into_buffer(f, [this, f] { copies_in_flight_.erase(f); });
+  }
+}
+
+void StorageNode::submit_to_data_disk(std::size_t disk,
+                                      disk::DiskRequest request) {
+  power_->note_arrival(disk);
+  if (!disk::is_spun_up(data_disks_[disk]->state())) {
+    ++wakeups_on_demand_;
+  }
+  data_disks_[disk]->submit(std::move(request));
+}
+
+void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
+                             std::function<void(Tick)> on_delivered) {
+  LocalFileMeta* found = meta_.find(f);
+  if (found == nullptr) {
+    throw std::logic_error("StorageNode: read for unknown file " +
+                           std::to_string(f));
+  }
+  LocalFileMeta& meta = *found;
+  const Bytes bytes = meta.size;
+
+  const bool hit = buffer_ && meta.buffered && buffer_->contains(f);
+  auto ship = [this, client, bytes,
+               on_delivered = std::move(on_delivered)](Tick) {
+    bytes_served_ += bytes;
+    net_.send(self_, client, bytes, on_delivered);
+  };
+
+  if (hit) {
+    ++buffer_hits_;
+    buffer_->touch(f);
+    disk::DiskRequest req;
+    req.bytes = bytes;
+    req.sequential = true;
+    req.on_complete = std::move(ship);
+    buffer_disks_[meta.buffer_disk]->submit(std::move(req));
+    return;
+  }
+
+  ++data_disk_reads_;
+  const std::vector<std::size_t> disks = meta.disks;
+  const bool maid_copy =
+      buffer_ && params_.cache_policy == CachePolicy::kLruOnMiss;
+  stripe_io(meta, bytes, /*is_write=*/false, /*notify_power_manager=*/true,
+            [this, disks, f, maid_copy, ship = std::move(ship)](Tick t) {
+    ship(t);
+    for (const std::size_t d : disks) {
+      maybe_flush(d);  // the platters are spinning: destage queued writes
+    }
+    if (maid_copy) {
+      // MAID: cache on access.  The insert may evict colder files.
+      const auto res = buffer_->insert(f, meta_.at(f).size,
+                                       /*allow_evict=*/true);
+      for (const trace::FileId victim : res.evicted) {
+        LocalFileMeta* vmeta = meta_.find(victim);
+        if (vmeta != nullptr) vmeta->buffered = false;
+      }
+      if (res.inserted && !meta_.at(f).buffered) {
+        const std::size_t bd = buffered_count_++ % buffer_disks_.size();
+        disk::DiskRequest copy;
+        copy.bytes = meta_.at(f).size;
+        copy.sequential = true;
+        copy.is_write = true;
+        copy.on_complete = [this, f, bd](Tick) {
+          LocalFileMeta& m = meta_.at(f);
+          m.buffered = true;
+          m.buffer_disk = bd;
+        };
+        buffer_disks_[bd]->submit(std::move(copy));
+      }
+    }
+  });
+}
+
+void StorageNode::serve_write(trace::FileId f, Bytes bytes,
+                              net::EndpointId client,
+                              std::function<void(Tick)> on_acked) {
+  LocalFileMeta* wmeta = meta_.find(f);
+  if (wmeta == nullptr) {
+    throw std::logic_error("StorageNode: write for unknown file " +
+                           std::to_string(f));
+  }
+  const std::size_t d = wmeta->disks.front();  // primary stripe disk
+  auto ack = [this, client, on_acked = std::move(on_acked)](Tick) {
+    net_.send(self_, client, net::kControlMessageBytes, on_acked);
+  };
+
+  if (params_.write_buffering && buffer_ && buffer_->reserve_write(bytes)) {
+    ++writes_buffered_;
+    const std::size_t bd = d % buffer_disks_.size();
+    pending_writes_[d].push_back(PendingWrite{f, bytes, bd});
+    disk::DiskRequest req;
+    req.bytes = bytes;
+    req.sequential = true;  // append to the buffer-disk log
+    req.is_write = true;
+    req.on_complete = std::move(ack);
+    buffer_disks_[bd]->submit(std::move(req));
+    // If the target data disk happens to be spinning and unloaded, the
+    // destage can start right away.
+    if (disk::is_spun_up(data_disks_[d]->state())) maybe_flush(d);
+    return;
+  }
+
+  ++writes_direct_;
+  stripe_io(*wmeta, bytes, /*is_write=*/true,
+            /*notify_power_manager=*/true, std::move(ack));
+}
+
+void StorageNode::maybe_flush(std::size_t d) {
+  if (flush_in_progress_[d] || pending_writes_[d].empty()) return;
+  if (!disk::is_spun_up(data_disks_[d]->state())) return;
+  flush_in_progress_[d] = true;
+  auto batch = std::make_shared<std::vector<PendingWrite>>(
+      std::move(pending_writes_[d]));
+  pending_writes_[d].clear();
+  auto remaining = std::make_shared<std::size_t>(batch->size());
+  for (const PendingWrite& w : *batch) {
+    flush_one(d, w, [this, d, remaining] {
+      if (--*remaining == 0) {
+        flush_in_progress_[d] = false;
+        maybe_flush(d);  // new writes may have queued meanwhile
+      }
+    });
+  }
+}
+
+void StorageNode::flush_one(std::size_t d, PendingWrite w,
+                            std::function<void()> done) {
+  // Destage = sequential read from the buffer-disk log + random write to
+  // the data disk.
+  ++destages_in_flight_;
+  disk::DiskRequest read;
+  read.bytes = w.bytes;
+  read.sequential = true;
+  (void)d;  // destination disks come from the file's stripe set
+  read.on_complete = [this, w, done = std::move(done)](Tick) {
+    // Destages ride along with foreground traffic; they do not count as
+    // arrivals for the power manager's gap estimate (the disk was already
+    // awake for a read in the common path) but do keep it busy.
+    stripe_io(meta_.at(w.file), w.bytes, /*is_write=*/true,
+              /*notify_power_manager=*/false, [this, w, done](Tick) {
+                buffer_->release_write(w.bytes);
+                --destages_in_flight_;
+                done();
+                notify_flush_waiters();
+              });
+  };
+  buffer_disks_[w.buffer_disk]->submit(std::move(read));
+}
+
+void StorageNode::notify_flush_waiters() {
+  if (has_pending_writes() || flush_waiters_.empty()) return;
+  auto waiters = std::move(flush_waiters_);
+  flush_waiters_.clear();
+  for (auto& w : waiters) w();
+}
+
+bool StorageNode::has_pending_writes() const {
+  if (destages_in_flight_ > 0) return true;
+  for (const auto& q : pending_writes_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void StorageNode::flush_pending_writes(std::function<void()> done) {
+  // Destage everything still queued, then wait for all in-flight
+  // destages (including ones started by opportunistic maybe_flush calls)
+  // to land.
+  for (std::size_t d = 0; d < data_disks_.size(); ++d) {
+    auto batch = std::move(pending_writes_[d]);
+    pending_writes_[d].clear();
+    for (const PendingWrite& w : batch) {
+      flush_one(d, w, [] {});
+    }
+  }
+  if (!has_pending_writes()) {
+    sim_.schedule_after(0, std::move(done));
+    return;
+  }
+  flush_waiters_.push_back(std::move(done));
+}
+
+NodeMetrics StorageNode::collect_metrics() {
+  NodeMetrics m;
+  m.label = format("node%zu", params_.id);
+  for (auto& d : data_disks_) {
+    d->finalize();
+    m.data_disk_meter.merge(d->meter());
+    m.spin_ups += d->spin_ups();
+    m.spin_downs += d->spin_downs();
+    m.data_disk_standby_ticks += d->meter().ticks(disk::PowerState::kStandby);
+  }
+  for (auto& b : buffer_disks_) {
+    b->finalize();
+    m.buffer_disk_meter.merge(b->meter());
+    m.spin_ups += b->spin_ups();
+    m.spin_downs += b->spin_downs();
+  }
+  m.disk_joules =
+      m.data_disk_meter.total_joules() + m.buffer_disk_meter.total_joules();
+  m.base_joules = energy(params_.base_watts, sim_.now());
+  m.buffer_hits = buffer_hits_;
+  m.data_disk_reads = data_disk_reads_;
+  m.writes_buffered = writes_buffered_;
+  m.writes_direct = writes_direct_;
+  m.bytes_served = bytes_served_;
+  m.bytes_prefetched = bytes_prefetched_;
+  return m;
+}
+
+bool StorageNode::is_buffered(trace::FileId f) const {
+  const LocalFileMeta* meta = meta_.find(f);
+  return meta != nullptr && meta->buffered;
+}
+
+std::optional<std::size_t> StorageNode::data_disk_of(trace::FileId f) const {
+  const LocalFileMeta* meta = meta_.find(f);
+  if (meta == nullptr) return std::nullopt;
+  return meta->disks.front();
+}
+
+std::vector<std::size_t> StorageNode::stripe_disks_of(trace::FileId f) const {
+  const LocalFileMeta* meta = meta_.find(f);
+  if (meta == nullptr) return {};
+  return meta->disks;
+}
+
+}  // namespace eevfs::core

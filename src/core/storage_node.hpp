@@ -1,0 +1,194 @@
+// A storage node (paper §III-A): owns n data disks and m buffer disks,
+// keeps the node-local metadata (file -> disk, buffered?), executes the
+// prefetch plan, serves reads/writes, and runs the power manager over its
+// data disks.  The storage server never learns which disk inside a node
+// holds a file (§IV-D, distributed metadata management).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/buffer_manager.hpp"
+#include "core/config.hpp"
+#include "core/metadata.hpp"
+#include "core/metrics.hpp"
+#include "core/power_manager.hpp"
+#include "core/prefetcher.hpp"
+#include "disk/disk_model.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace eevfs::core {
+
+struct NodeParams {
+  NodeId id = 0;
+  std::size_t data_disks = 2;
+  std::size_t buffer_disks = 1;
+  disk::DiskProfile disk_profile;
+  Watts base_watts = 50.0;
+  PowerManager::Params power;
+  CachePolicy cache_policy = CachePolicy::kPrefetch;
+  bool write_buffering = true;
+  /// 0 = use the full buffer-disk capacity.
+  Bytes buffer_capacity = 0;
+  bool prebud_gate = true;
+  DiskPlacement disk_placement = DiskPlacement::kRoundRobin;
+  /// Intra-node striping width (clamped to the data-disk count).
+  std::size_t stripe_width = 1;
+};
+
+class StorageNode {
+ public:
+  StorageNode(sim::Simulator& sim, net::NetworkFabric& net,
+              net::EndpointId self, NodeParams params);
+
+  NodeId id() const { return params_.id; }
+  net::EndpointId endpoint() const { return self_; }
+
+  // --- setup phase (process-flow steps 1-4) ------------------------------
+
+  /// Announces how many create_file calls will follow; required before
+  /// creating files under DiskPlacement::kConcentrate (PDC) so the node
+  /// can split the popularity-ordered stream into per-disk bands.
+  void expect_files(std::size_t count) { expected_files_ = count; }
+
+  /// Creates a file; placement over the local data disks is round-robin
+  /// in creation order (§III-B), or popularity-banded for PDC.
+  void create_file(trace::FileId f, Bytes size);
+
+  /// Receives this node's slice of the access pattern: per-file sorted
+  /// access offsets (relative to replay start) and the trace horizon.
+  void receive_access_pattern(
+      std::map<trace::FileId, std::vector<Tick>> offsets, Tick horizon);
+
+  /// Plans (PRE-BUD gate) and executes the prefetch of `candidates`
+  /// (this node's slice of the global top-K, rank order).  `done` fires
+  /// when all copies hit the buffer disk.  Also derives the residual
+  /// per-disk pattern the power manager should expect.  Call with an
+  /// empty list for NPF runs — the pattern derivation still happens.
+  void start_prefetch(const std::vector<trace::FileId>& candidates,
+                      std::function<void()> done);
+
+  /// Marks the start of trace replay (absolute sim time): finalises the
+  /// hint timeline and arms the power manager.
+  void begin_replay(Tick replay_start);
+
+  /// Online mode: reconciles the buffered set against `wanted` (this
+  /// node's slice of the current top-K, rank order).  Dropped files are
+  /// evicted (metadata-only); new ones are copied in the background.
+  void update_prefetch(const std::vector<trace::FileId>& wanted);
+
+  // --- request path (steps 5-6) ---------------------------------------
+
+  /// Serves a read and ships the data to `client`; `on_delivered` fires
+  /// when the last byte reaches the client.
+  void serve_read(trace::FileId f, net::EndpointId client,
+                  std::function<void(Tick delivered)> on_delivered);
+
+  /// Serves a write (buffer-disk log when possible, §III-C) and sends a
+  /// small ack to `client`.
+  void serve_write(trace::FileId f, Bytes bytes, net::EndpointId client,
+                   std::function<void(Tick acked)> on_acked);
+
+  // --- teardown ----------------------------------------------------------
+
+  bool has_pending_writes() const;
+  /// Destages everything still in the write buffer to the data disks;
+  /// `done` fires when the last destage completes.
+  void flush_pending_writes(std::function<void()> done);
+
+  /// Ends the measured phase: stops the power manager (cancelling its
+  /// pending sleep/wake marks so the simulation can drain).
+  void shutdown() { power_->stop(); }
+
+  /// Snapshot of the node's counters and meters as of sim.now().
+  NodeMetrics collect_metrics();
+
+  // --- introspection (tests, benches) ----------------------------------
+  bool is_buffered(trace::FileId f) const;
+  /// Primary data disk of a file (first stripe member).
+  std::optional<std::size_t> data_disk_of(trace::FileId f) const;
+  /// All data disks holding the file's stripes.
+  std::vector<std::size_t> stripe_disks_of(trace::FileId f) const;
+  const disk::DiskModel& data_disk(std::size_t i) const {
+    return *data_disks_.at(i);
+  }
+  const disk::DiskModel& buffer_disk(std::size_t i) const {
+    return *buffer_disks_.at(i);
+  }
+  std::size_t num_data_disks() const { return data_disks_.size(); }
+  std::size_t num_buffer_disks() const { return buffer_disks_.size(); }
+  const PowerManager& power_manager() const { return *power_; }
+  const NodeMetadata& metadata() const { return meta_; }
+  const PrefetchPlan& prefetch_plan() const { return plan_; }
+  std::uint64_t wakeups_on_demand() const { return wakeups_on_demand_; }
+
+ private:
+  struct PendingWrite {
+    trace::FileId file = 0;
+    Bytes bytes = 0;
+    std::size_t buffer_disk = 0;
+  };
+
+  /// Submits a request to a data disk, with power-manager notification
+  /// and on-demand-wake accounting.
+  void submit_to_data_disk(std::size_t disk, disk::DiskRequest request);
+
+  /// Issues one I/O of `bytes` split over the file's stripe set (random
+  /// access); `done` fires when the last stripe completes.
+  void stripe_io(const LocalFileMeta& file, Bytes bytes, bool is_write,
+                 bool notify_power_manager, std::function<void(Tick)> done);
+
+  /// Copies one file into the buffer disk area (used by prefetch and the
+  /// MAID-style copy-on-access policy).
+  void copy_into_buffer(trace::FileId f, std::function<void()> done);
+
+  /// Destages queued writes for data disk `d` while it is spinning.
+  void maybe_flush(std::size_t d);
+  void flush_one(std::size_t d, PendingWrite w, std::function<void()> done);
+  /// Fires flush waiters once nothing is queued or in flight.
+  void notify_flush_waiters();
+
+  sim::Simulator& sim_;
+  net::NetworkFabric& net_;
+  net::EndpointId self_;
+  NodeParams params_;
+
+  std::vector<std::unique_ptr<disk::DiskModel>> data_disks_;
+  std::vector<std::unique_ptr<disk::DiskModel>> buffer_disks_;
+  std::unique_ptr<BufferManager> buffer_;
+  std::unique_ptr<PowerManager> power_;
+
+  NodeMetadata meta_;
+  std::size_t files_created_ = 0;
+  std::size_t expected_files_ = 0;
+  std::size_t buffered_count_ = 0;  // round-robins files over buffer disks
+
+  std::map<trace::FileId, std::vector<Tick>> pattern_;
+  std::set<trace::FileId> copies_in_flight_;
+  Tick horizon_ = 0;
+  PrefetchPlan plan_;
+  bool plan_ready_ = false;
+  Tick replay_start_ = 0;
+
+  std::vector<std::vector<PendingWrite>> pending_writes_;  // per data disk
+  std::vector<bool> flush_in_progress_;
+  std::size_t destages_in_flight_ = 0;
+  std::vector<std::function<void()>> flush_waiters_;
+
+  // counters
+  std::uint64_t buffer_hits_ = 0;
+  std::uint64_t data_disk_reads_ = 0;
+  std::uint64_t wakeups_on_demand_ = 0;
+  std::uint64_t writes_buffered_ = 0;
+  std::uint64_t writes_direct_ = 0;
+  Bytes bytes_served_ = 0;
+  Bytes bytes_prefetched_ = 0;
+};
+
+}  // namespace eevfs::core

@@ -1,0 +1,129 @@
+#include "core/storage_server.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace eevfs::core {
+
+StorageServer::StorageServer(sim::Simulator& sim, net::NetworkFabric& net,
+                             net::EndpointId self, PlacementPolicy placement,
+                             std::uint64_t seed)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      placement_policy_(placement),
+      rng_(Rng(seed).fork(0xC0FFEE)) {}
+
+void StorageServer::register_nodes(std::vector<StorageNode*> nodes) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("StorageServer: no storage nodes");
+  }
+  nodes_ = std::move(nodes);
+}
+
+void StorageServer::ingest_history(const workload::Workload& history) {
+  analyzer_.emplace(history.requests);
+}
+
+void StorageServer::place_and_create(const workload::Workload& workload) {
+  if (nodes_.empty()) {
+    throw std::logic_error("StorageServer: register_nodes first");
+  }
+  if (!analyzer_) {
+    throw std::logic_error("StorageServer: ingest_history first");
+  }
+  placement_ = place_files(placement_policy_, nodes_.size(),
+                           workload.num_files(), *analyzer_,
+                           workload.file_sizes, rng_);
+  // Create-file calls happen in popularity order per node, which is what
+  // makes the node-local disk round-robin load balance (§III-B).
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    nodes_[n]->expect_files(placement_.files_on_node[n].size());
+    for (const trace::FileId f : placement_.files_on_node[n]) {
+      metadata_.insert(f, n, workload.file_size(f));
+      nodes_[n]->create_file(f, workload.file_size(f));
+    }
+  }
+}
+
+void StorageServer::distribute_patterns(const workload::Workload& workload) {
+  if (placement_.node_of.empty()) {
+    throw std::logic_error("StorageServer: place_and_create first");
+  }
+  std::vector<std::map<trace::FileId, std::vector<Tick>>> per_node(
+      nodes_.size());
+  for (const trace::TraceRecord& r : workload.requests.records()) {
+    per_node[placement_.node(r.file)][r.file].push_back(r.arrival);
+  }
+  const Tick horizon = workload.requests.duration();
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    nodes_[n]->receive_access_pattern(std::move(per_node[n]), horizon);
+  }
+}
+
+std::vector<std::vector<trace::FileId>> StorageServer::prefetch_candidates(
+    std::size_t k) const {
+  if (!analyzer_) {
+    throw std::logic_error("StorageServer: ingest_history first");
+  }
+  std::vector<std::vector<trace::FileId>> per_node(nodes_.size());
+  for (const trace::FileId f : analyzer_->top(k)) {
+    per_node[placement_.node(f)].push_back(f);
+  }
+  return per_node;
+}
+
+void StorageServer::begin_online_refresh(std::size_t k, Tick interval) {
+  if (interval <= 0) {
+    throw std::invalid_argument("StorageServer: refresh interval <= 0");
+  }
+  refresh_timer_.cancel();
+  refresh_timer_ = sim_.schedule_after(interval, [this, k, interval] {
+    ++refreshes_;
+    // Rank everything seen so far and deal the top-k to the owning nodes
+    // in rank order (same slicing as the offline prefetch instruction).
+    std::vector<std::vector<trace::FileId>> per_node(nodes_.size());
+    std::size_t taken = 0;
+    for (const trace::FileId f : log_.ranked()) {
+      if (taken++ >= k) break;
+      per_node[placement_.node(f)].push_back(f);
+    }
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      nodes_[n]->update_prefetch(per_node[n]);
+    }
+    begin_online_refresh(k, interval);
+  });
+}
+
+void StorageServer::stop_online_refresh() { refresh_timer_.cancel(); }
+
+void StorageServer::route(const trace::TraceRecord& r,
+                          net::EndpointId client,
+                          std::function<void(Tick)> on_done) {
+  const auto entry = metadata_.lookup(r.file);
+  if (!entry) {
+    throw std::logic_error("StorageServer: request for unknown file " +
+                           std::to_string(r.file));
+  }
+  StorageNode* node = nodes_.at(entry->node);
+  log_.append(r.file, sim_.now(), r.bytes);
+  ++requests_routed_;
+  // Pay the metadata probe, then forward a control message to the owning
+  // node; the node then talks to the client directly (step 6) — data
+  // never flows through the server.
+  sim_.schedule_after(
+      ServerMetadata::lookup_cost(),
+      [this, node, r, client, on_done = std::move(on_done)] {
+        net_.send(self_, node->endpoint(), net::kControlMessageBytes,
+                  [node, r, client, on_done](Tick) {
+                    if (r.op == trace::Op::kRead) {
+                      node->serve_read(r.file, client, on_done);
+                    } else {
+                      node->serve_write(r.file, r.bytes, client, on_done);
+                    }
+                  });
+      });
+}
+
+}  // namespace eevfs::core

@@ -1,0 +1,89 @@
+// The storage server (paper §III-A): the metadata/routing front end.  It
+// knows only which *node* holds each file — never which disk (§IV-D) —
+// derives popularity from its append-only request log, performs the
+// popularity round-robin placement, splits the access pattern per node,
+// and forwards client requests to the owning node.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/metadata.hpp"
+#include "core/placement.hpp"
+#include "core/storage_node.hpp"
+#include "net/network.hpp"
+#include "trace/access_log.hpp"
+#include "workload/synthetic.hpp"
+
+namespace eevfs::core {
+
+class StorageServer {
+ public:
+  StorageServer(sim::Simulator& sim, net::NetworkFabric& net,
+                net::EndpointId self, PlacementPolicy placement,
+                std::uint64_t seed);
+
+  net::EndpointId endpoint() const { return self_; }
+
+  /// Step 1: the server connects to its storage nodes.
+  void register_nodes(std::vector<StorageNode*> nodes);
+
+  /// Step 2: derive popularity.  The prototype learns the pattern from a
+  /// history trace (paper §IV-A: "uses a trace to replay file access
+  /// patterns and bases the file popularity on information gathered from
+  /// traces").
+  void ingest_history(const workload::Workload& history);
+
+  /// Step 3: place every file and issue create-file calls to the nodes
+  /// in popularity order (drives their local disk round-robin).
+  void place_and_create(const workload::Workload& workload);
+
+  /// Step 4: split the access pattern per node and forward it
+  /// (application hints, §IV-C).
+  void distribute_patterns(const workload::Workload& workload);
+
+  /// This node-indexed slice of the globally top-`k` files, each slice in
+  /// global rank order — the prefetch instruction of step 3.
+  std::vector<std::vector<trace::FileId>> prefetch_candidates(
+      std::size_t k) const;
+
+  /// Online mode (extension): every `interval`, re-rank the append-only
+  /// request log, take the global top-`k`, and tell each node to update
+  /// its buffered set.  Runs until stop_online_refresh().
+  void begin_online_refresh(std::size_t k, Tick interval);
+  void stop_online_refresh();
+  std::uint64_t refreshes_performed() const { return refreshes_; }
+
+  /// Steps 5-6: route one request.  Called when the client's control
+  /// message reaches the server; forwards a control message to the node,
+  /// which then serves the client directly.
+  void route(const trace::TraceRecord& r, net::EndpointId client,
+             std::function<void(Tick completed)> on_done);
+
+  const PlacementMap& placement() const { return placement_; }
+  const ServerMetadata& metadata() const { return metadata_; }
+  const trace::AccessLog& request_log() const { return log_; }
+  const trace::PopularityAnalyzer* popularity() const {
+    return analyzer_ ? &*analyzer_ : nullptr;
+  }
+  std::uint64_t requests_routed() const { return requests_routed_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::NetworkFabric& net_;
+  net::EndpointId self_;
+  PlacementPolicy placement_policy_;
+  Rng rng_;
+
+  std::vector<StorageNode*> nodes_;
+  std::optional<trace::PopularityAnalyzer> analyzer_;
+  PlacementMap placement_;
+  ServerMetadata metadata_;
+  trace::AccessLog log_;
+  std::uint64_t requests_routed_ = 0;
+  sim::EventHandle refresh_timer_;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace eevfs::core

@@ -1,0 +1,130 @@
+#include "disk/disk_model.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace eevfs::disk {
+
+DiskModel::DiskModel(sim::Simulator& sim, DiskProfile profile,
+                     std::string label)
+    : sim_(sim), profile_(std::move(profile)), label_(std::move(label)) {
+  // Seed the retry stream from the label so failure injection is
+  // deterministic per disk and independent across disks.
+  for (const char c : label_) {
+    flake_state_ = flake_state_ * 1099511628211ULL ^
+                   static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+  }
+}
+
+void DiskModel::advance_meter() {
+  const Tick now = sim_.now();
+  assert(now >= state_entry_);
+  meter_.add(state_, now - state_entry_, profile_.watts(state_));
+  state_entry_ = now;
+}
+
+void DiskModel::enter_state(PowerState next) {
+  advance_meter();
+  const PowerState prev = state_;
+  state_ = next;
+  if (on_state_change_ && prev != next) on_state_change_(prev, next);
+}
+
+void DiskModel::submit(DiskRequest request) {
+  queue_.push_back(std::move(request));
+  switch (state_) {
+    case PowerState::kIdle:
+      start_next_request();
+      break;
+    case PowerState::kActive:
+    case PowerState::kSpinningUp:
+      break;  // will be drained when the disk frees up / finishes waking
+    case PowerState::kStandby:
+      begin_spin_up();
+      break;
+    case PowerState::kSpinningDown:
+      wake_when_down_ = true;  // finish the transition, then wake
+      break;
+  }
+}
+
+bool DiskModel::request_spin_down() {
+  if (state_ != PowerState::kIdle || !queue_.empty()) return false;
+  enter_state(PowerState::kSpinningDown);
+  ++spin_downs_;
+  EEVFS_TRACE() << label_ << ": spinning down at t="
+                << ticks_to_seconds(sim_.now());
+  sim_.schedule_after(profile_.spin_down_time, [this] {
+    enter_state(PowerState::kStandby);
+    if (wake_when_down_ || !queue_.empty()) {
+      wake_when_down_ = false;
+      begin_spin_up();
+    }
+  });
+  return true;
+}
+
+void DiskModel::request_spin_up() {
+  if (state_ != PowerState::kStandby) return;
+  begin_spin_up();
+}
+
+void DiskModel::begin_spin_up() {
+  assert(state_ == PowerState::kStandby);
+  enter_state(PowerState::kSpinningUp);
+  ++spin_ups_;
+  Tick ramp = profile_.spin_up_time;
+  if (profile_.spin_up_retry_prob > 0.0) {
+    const double draw =
+        static_cast<double>(splitmix64(flake_state_) >> 11) * 0x1.0p-53;
+    if (draw < profile_.spin_up_retry_prob) {
+      ++spin_up_retries_;
+      ramp *= 2;  // retry: spin down the attempt and try again
+      EEVFS_DEBUG() << label_ << ": spin-up retry at t="
+                    << ticks_to_seconds(sim_.now());
+    }
+  }
+  EEVFS_TRACE() << label_ << ": spinning up at t="
+                << ticks_to_seconds(sim_.now());
+  sim_.schedule_after(ramp, [this] {
+    enter_state(PowerState::kIdle);
+    if (!queue_.empty()) {
+      start_next_request();
+    } else if (on_idle_) {
+      on_idle_();
+    }
+  });
+}
+
+void DiskModel::start_next_request() {
+  assert(state_ == PowerState::kIdle && !queue_.empty());
+  enter_state(PowerState::kActive);
+  const DiskRequest& req = queue_.front();
+  const Tick service = profile_.service_time(req.bytes, req.sequential);
+  sim_.schedule_after(service, [this] { complete_current(); });
+}
+
+void DiskModel::complete_current() {
+  assert(state_ == PowerState::kActive && !queue_.empty());
+  DiskRequest req = std::move(queue_.front());
+  queue_.pop_front();
+  ++requests_completed_;
+  bytes_transferred_ += req.bytes;
+
+  if (!queue_.empty()) {
+    // Account the Active interval just served, then start the next one.
+    enter_state(PowerState::kIdle);
+    start_next_request();
+  } else {
+    enter_state(PowerState::kIdle);
+    if (on_idle_) on_idle_();
+  }
+  if (req.on_complete) req.on_complete(sim_.now());
+}
+
+void DiskModel::finalize() { advance_meter(); }
+
+}  // namespace eevfs::disk

@@ -1,0 +1,107 @@
+// Event-driven model of one disk drive: FIFO service queue, five-state
+// power machine, and energy metering.
+//
+// The model is deliberately policy-free: it never decides *when* to spin
+// down — that is the PowerManager's job (core/power_manager) — but it does
+// auto-wake when a request lands on a sleeping disk, which is what a
+// Linux 2.4 ATA driver does and what gives the paper its response-time
+// penalties.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "disk/disk_profile.hpp"
+#include "disk/energy_meter.hpp"
+#include "disk/power_state.hpp"
+#include "sim/engine.hpp"
+
+namespace eevfs::disk {
+
+struct DiskRequest {
+  Bytes bytes = 0;
+  bool sequential = false;
+  bool is_write = false;
+  /// Invoked when the transfer completes; `completion` == sim.now().
+  std::function<void(Tick completion)> on_complete;
+};
+
+class DiskModel {
+ public:
+  DiskModel(sim::Simulator& sim, DiskProfile profile, std::string label);
+
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  /// Enqueues a request.  If the disk is in standby (or spinning down) it
+  /// wakes automatically; the request waits out the spin-up.
+  void submit(DiskRequest request);
+
+  /// Asks the disk to spin down.  Honoured only from Idle with an empty
+  /// queue; returns whether the transition started.
+  bool request_spin_down();
+
+  /// Wakes a standby disk (proactive wake for hint-driven power
+  /// management).  No-op unless the disk is in Standby.
+  void request_spin_up();
+
+  PowerState state() const { return state_; }
+  bool busy() const { return state_ == PowerState::kActive; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  const DiskProfile& profile() const { return profile_; }
+  const std::string& label() const { return label_; }
+
+  /// Integrates energy up to sim.now(); call once when the run ends.
+  /// Idempotent (subsequent calls integrate zero-length intervals).
+  void finalize();
+
+  const EnergyMeter& meter() const { return meter_; }
+  std::uint64_t spin_ups() const { return spin_ups_; }
+  std::uint64_t spin_downs() const { return spin_downs_; }
+  /// Spin-ups that needed a retry (profile.spin_up_retry_prob > 0).
+  std::uint64_t spin_up_retries() const { return spin_up_retries_; }
+  /// Paper's "power state transitions" metric counts both directions.
+  std::uint64_t power_transitions() const { return spin_ups_ + spin_downs_; }
+  std::uint64_t requests_completed() const { return requests_completed_; }
+  Bytes bytes_transferred() const { return bytes_transferred_; }
+
+  /// Fired whenever the disk becomes idle (queue drained or spun up with
+  /// nothing to do) — the power manager arms its idle timer here.
+  void set_idle_callback(std::function<void()> cb) { on_idle_ = std::move(cb); }
+  /// Fired on every state change (old, new).
+  void set_state_callback(std::function<void(PowerState, PowerState)> cb) {
+    on_state_change_ = std::move(cb);
+  }
+
+ private:
+  void advance_meter();
+  void enter_state(PowerState next);
+  void start_next_request();
+  void complete_current();
+  void begin_spin_up();
+
+  sim::Simulator& sim_;
+  DiskProfile profile_;
+  std::string label_;
+
+  PowerState state_ = PowerState::kIdle;
+  Tick state_entry_ = 0;
+  EnergyMeter meter_;
+
+  std::deque<DiskRequest> queue_;
+  bool wake_when_down_ = false;  // request arrived mid-spin-down
+
+  std::uint64_t spin_ups_ = 0;
+  std::uint64_t spin_downs_ = 0;
+  std::uint64_t spin_up_retries_ = 0;
+  std::uint64_t flake_state_ = 0;  // deterministic retry stream
+  std::uint64_t requests_completed_ = 0;
+  Bytes bytes_transferred_ = 0;
+
+  std::function<void()> on_idle_;
+  std::function<void(PowerState, PowerState)> on_state_change_;
+};
+
+}  // namespace eevfs::disk

@@ -1,0 +1,78 @@
+#include "disk/disk_profile.hpp"
+
+#include <cassert>
+
+namespace eevfs::disk {
+
+Watts DiskProfile::watts(PowerState s) const {
+  switch (s) {
+    case PowerState::kActive: return active_watts;
+    case PowerState::kIdle: return idle_watts;
+    case PowerState::kStandby: return standby_watts;
+    case PowerState::kSpinningUp: return spin_up_watts;
+    case PowerState::kSpinningDown: return spin_down_watts;
+  }
+  return 0.0;
+}
+
+Tick DiskProfile::service_time(Bytes bytes, bool sequential) const {
+  const Tick position = sequential ? sequential_seek
+                                   : avg_seek + rotational_latency;
+  return controller_overhead + position +
+         transfer_ticks(bytes, bandwidth_bytes_per_sec);
+}
+
+Joules DiskProfile::transition_energy() const {
+  return energy(spin_up_watts, spin_up_time) +
+         energy(spin_down_watts, spin_down_time);
+}
+
+double DiskProfile::break_even_seconds() const {
+  assert(idle_watts > standby_watts);
+  const double t_trans =
+      ticks_to_seconds(spin_up_time) + ticks_to_seconds(spin_down_time);
+  // Idle through a window of length T:            E_idle = idle * T
+  // Sleep through it:  E_sleep = E_transitions + standby * (T - t_trans)
+  // Break-even at E_idle == E_sleep.
+  return (transition_energy() - standby_watts * t_trans) /
+         (idle_watts - standby_watts);
+}
+
+DiskProfile DiskProfile::ata133_fast() {
+  DiskProfile p;
+  p.name = "ATA/133 80GB (type 1)";
+  p.capacity = 80 * kGB;
+  p.bandwidth_bytes_per_sec = 58.0 * static_cast<double>(kMB);
+  return p;
+}
+
+DiskProfile DiskProfile::ata133_slow() {
+  DiskProfile p;
+  p.name = "ATA/133 80GB (type 2)";
+  p.capacity = 80 * kGB;
+  p.bandwidth_bytes_per_sec = 34.0 * static_cast<double>(kMB);
+  return p;
+}
+
+DiskProfile DiskProfile::drpm() {
+  DiskProfile p = ata133_fast();
+  p.name = "DRPM multi-speed (baseline)";
+  p.standby_watts = 4.5;                    // low-RPM idle, not stopped
+  p.spin_up_watts = 16.0;                   // speed ramp
+  p.spin_down_watts = 8.0;
+  p.spin_up_time = seconds_to_ticks(0.4);
+  p.spin_down_time = seconds_to_ticks(0.3);
+  p.duty_cycle_rating = 500'000;            // ramps wear far less than CSS
+  return p;
+}
+
+DiskProfile DiskProfile::sata_server() {
+  DiskProfile p;
+  p.name = "SATA 120GB (server)";
+  p.capacity = 120 * kGB;
+  p.bandwidth_bytes_per_sec = 100.0 * static_cast<double>(kMB);
+  p.avg_seek = milliseconds_to_ticks(8.0);
+  return p;
+}
+
+}  // namespace eevfs::disk

@@ -1,0 +1,30 @@
+#include "disk/energy_meter.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace eevfs::disk {
+
+void EnergyMeter::add(PowerState s, Tick duration, Watts watts) {
+  assert(duration >= 0);
+  const auto i = static_cast<std::size_t>(s);
+  ticks_[i] += duration;
+  joules_[i] += energy(watts, duration);
+}
+
+Joules EnergyMeter::total_joules() const {
+  return std::accumulate(joules_.begin(), joules_.end(), 0.0);
+}
+
+Tick EnergyMeter::total_ticks() const {
+  return std::accumulate(ticks_.begin(), ticks_.end(), Tick{0});
+}
+
+void EnergyMeter::merge(const EnergyMeter& other) {
+  for (std::size_t i = 0; i < kNumPowerStates; ++i) {
+    joules_[i] += other.joules_[i];
+    ticks_[i] += other.ticks_[i];
+  }
+}
+
+}  // namespace eevfs::disk

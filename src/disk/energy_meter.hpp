@@ -1,0 +1,34 @@
+// Per-state time/energy integration.  This is the simulated stand-in for
+// the wall-power meter the paper attached to its storage nodes.
+#pragma once
+
+#include <array>
+
+#include "disk/power_state.hpp"
+#include "util/units.hpp"
+
+namespace eevfs::disk {
+
+class EnergyMeter {
+ public:
+  /// Accounts `duration` ticks spent in state `s` drawing `watts`.
+  void add(PowerState s, Tick duration, Watts watts);
+
+  Joules total_joules() const;
+  Joules joules(PowerState s) const {
+    return joules_[static_cast<std::size_t>(s)];
+  }
+  Tick ticks(PowerState s) const {
+    return ticks_[static_cast<std::size_t>(s)];
+  }
+  /// Sum of per-state times; equals total metered wall-clock time.
+  Tick total_ticks() const;
+
+  void merge(const EnergyMeter& other);
+
+ private:
+  std::array<Joules, kNumPowerStates> joules_{};
+  std::array<Tick, kNumPowerStates> ticks_{};
+};
+
+}  // namespace eevfs::disk

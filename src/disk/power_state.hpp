@@ -1,0 +1,39 @@
+// Disk power states.  Matches the DPM model the paper assumes (§II-A):
+// a disk is either spinning (Active when serving, Idle otherwise), spun
+// down (Standby), or mid-transition.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace eevfs::disk {
+
+enum class PowerState : std::size_t {
+  kActive = 0,      // platters spinning, head servicing a request
+  kIdle,            // platters spinning, no request in service
+  kStandby,         // spun down
+  kSpinningUp,      // standby -> idle transition
+  kSpinningDown,    // idle -> standby transition
+};
+
+inline constexpr std::size_t kNumPowerStates = 5;
+
+constexpr std::string_view to_string(PowerState s) {
+  switch (s) {
+    case PowerState::kActive: return "active";
+    case PowerState::kIdle: return "idle";
+    case PowerState::kStandby: return "standby";
+    case PowerState::kSpinningUp: return "spinning_up";
+    case PowerState::kSpinningDown: return "spinning_down";
+  }
+  return "?";
+}
+
+/// True if the platters are spinning and the disk can accept a request
+/// without a spin-up.
+constexpr bool is_spun_up(PowerState s) {
+  return s == PowerState::kActive || s == PowerState::kIdle;
+}
+
+}  // namespace eevfs::disk

@@ -1,0 +1,68 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace eevfs::net {
+
+EndpointId NetworkFabric::add_endpoint(std::string label,
+                                       double nic_bytes_per_sec) {
+  if (nic_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("NetworkFabric: NIC rate must be positive");
+  }
+  endpoints_.push_back(Endpoint{std::move(label), nic_bytes_per_sec, 0, {}});
+  return endpoints_.size() - 1;
+}
+
+void NetworkFabric::send(EndpointId src, EndpointId dst, Bytes bytes,
+                         std::function<void(Tick)> on_delivered) {
+  if (src >= endpoints_.size() || dst >= endpoints_.size()) {
+    throw std::out_of_range("NetworkFabric::send: unknown endpoint");
+  }
+  if (src == dst) {
+    // Loopback: deliver "immediately" (next tick keeps causality strict).
+    sim_.schedule_after(1, [cb = std::move(on_delivered), this] {
+      if (cb) cb(sim_.now());
+    });
+    return;
+  }
+  Endpoint& s = endpoints_[src];
+  Endpoint& d = endpoints_[dst];
+  const double path_rate =
+      std::min(s.nic_bytes_per_sec, d.nic_bytes_per_sec);
+  const Tick transfer = transfer_ticks(bytes, path_rate);
+
+  const Tick start = std::max(sim_.now(), s.busy_until);
+  const Tick tx_done = start + transfer;
+  s.busy_until = tx_done;
+  s.stats.busy_ticks += transfer;
+  ++s.stats.messages_sent;
+  s.stats.bytes_sent += bytes;
+
+  const Tick delivered = tx_done + latency_;
+  sim_.schedule_at(delivered, [this, dst, cb = std::move(on_delivered)] {
+    ++endpoints_[dst].stats.messages_received;
+    if (cb) cb(sim_.now());
+  });
+}
+
+Tick NetworkFabric::nic_free_at(EndpointId src) const {
+  assert(src < endpoints_.size());
+  return std::max(sim_.now(), endpoints_[src].busy_until);
+}
+
+const EndpointStats& NetworkFabric::stats(EndpointId id) const {
+  return endpoints_.at(id).stats;
+}
+
+const std::string& NetworkFabric::label(EndpointId id) const {
+  return endpoints_.at(id).label;
+}
+
+double NetworkFabric::nic_rate(EndpointId id) const {
+  return endpoints_.at(id).nic_bytes_per_sec;
+}
+
+}  // namespace eevfs::net

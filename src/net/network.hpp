@@ -1,0 +1,76 @@
+// Switched-fabric network model.
+//
+// The paper's cluster uses a switch with 1 Gb/s NICs on type-1 storage
+// nodes and 100 Mb/s NICs on type-2 nodes (Table I); response times are
+// dominated by disk service plus the slower of the two NICs on a path.
+// We model each endpoint as a serialised NIC: a transfer occupies the
+// *sender's* NIC for bytes / min(src_bw, dst_bw) and is delivered after
+// an additional propagation latency.  The switch itself is assumed
+// non-blocking, which matches a small Fast-Ethernet/GigE switch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace eevfs::net {
+
+using EndpointId = std::size_t;
+
+/// Size used for metadata/control messages (request, redirect, ack).
+inline constexpr Bytes kControlMessageBytes = 512;
+
+struct EndpointStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  Bytes bytes_sent = 0;
+  Tick busy_ticks = 0;  // time the NIC spent transmitting
+};
+
+class NetworkFabric {
+ public:
+  explicit NetworkFabric(sim::Simulator& sim,
+                         Tick propagation_latency = milliseconds_to_ticks(0.1))
+      : sim_(sim), latency_(propagation_latency) {}
+
+  /// Registers an endpoint with the given NIC line rate (bits/s as in
+  /// Table I are converted by the caller; this takes bytes/s).
+  EndpointId add_endpoint(std::string label, double nic_bytes_per_sec);
+
+  /// Sends `bytes` from `src` to `dst`; `on_delivered` fires at the
+  /// delivery time.  FIFO per source NIC.
+  void send(EndpointId src, EndpointId dst, Bytes bytes,
+            std::function<void(Tick delivered)> on_delivered);
+
+  /// Time `src`'s NIC frees up (>= now when it is transmitting).
+  Tick nic_free_at(EndpointId src) const;
+
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+  const EndpointStats& stats(EndpointId id) const;
+  const std::string& label(EndpointId id) const;
+  double nic_rate(EndpointId id) const;
+  Tick propagation_latency() const { return latency_; }
+
+ private:
+  struct Endpoint {
+    std::string label;
+    double nic_bytes_per_sec;
+    Tick busy_until = 0;
+    EndpointStats stats;
+  };
+
+  sim::Simulator& sim_;
+  Tick latency_;
+  std::vector<Endpoint> endpoints_;
+};
+
+/// Convenience: converts the paper's megabit-per-second NIC ratings.
+constexpr double mbps_to_bytes_per_sec(double mbps) {
+  return mbps * 1e6 / 8.0;
+}
+
+}  // namespace eevfs::net

@@ -1,0 +1,202 @@
+#include "prebud/bud_simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace eevfs::prebud {
+
+std::vector<BlockRequest> generate_block_workload(
+    const BlockWorkloadConfig& config) {
+  if (config.num_blocks == 0 || config.num_requests == 0) {
+    throw std::invalid_argument("generate_block_workload: empty config");
+  }
+  Rng root(config.seed);
+  Rng pick = root.fork(1);
+  Rng arrivals = root.fork(2);
+  const ZipfDistribution zipf(config.num_blocks, config.zipf_alpha);
+
+  std::vector<BlockRequest> out;
+  out.reserve(config.num_requests);
+  Tick at = 0;
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    out.push_back(
+        BlockRequest{at, static_cast<BlockId>(zipf(pick))});
+    at += milliseconds_to_ticks(
+        arrivals.exponential(config.mean_inter_arrival_ms));
+  }
+  return out;
+}
+
+std::string to_string(BudPolicy p) {
+  switch (p) {
+    case BudPolicy::kAlwaysOn: return "always_on";
+    case BudPolicy::kDpmOnly: return "dpm_only";
+    case BudPolicy::kPreBud: return "pre_bud";
+  }
+  return "?";
+}
+
+BudSimulator::BudSimulator(BudConfig config, BudPolicy policy)
+    : config_(std::move(config)),
+      policy_(policy),
+      model_(config_.profile, config_.idle_threshold, config_.sleep_margin) {
+  if (config_.data_disks == 0) {
+    throw std::invalid_argument("BudSimulator: need data disks");
+  }
+  if (policy_ == BudPolicy::kPreBud && config_.buffer_disks == 0) {
+    throw std::invalid_argument("BudSimulator: PRE-BUD needs a buffer disk");
+  }
+  for (std::size_t i = 0; i < config_.data_disks; ++i) {
+    data_disks_.push_back(std::make_unique<disk::DiskModel>(
+        sim_, config_.profile, format("bud/data%zu", i)));
+  }
+  for (std::size_t i = 0; i < config_.buffer_disks; ++i) {
+    buffer_disks_.push_back(std::make_unique<disk::DiskModel>(
+        sim_, config_.profile, format("bud/buffer%zu", i)));
+  }
+  idle_timers_.resize(config_.data_disks);
+  if (policy_ != BudPolicy::kAlwaysOn) {
+    for (std::size_t d = 0; d < config_.data_disks; ++d) {
+      data_disks_[d]->set_idle_callback([this, d] { arm_idle_timer(d); });
+    }
+  }
+}
+
+void BudSimulator::arm_idle_timer(std::size_t disk) {
+  idle_timers_[disk].cancel();
+  idle_timers_[disk] =
+      sim_.schedule_after(config_.idle_threshold, [this, disk] {
+        disk::DiskModel& d = *data_disks_[disk];
+        if (d.state() == disk::PowerState::kIdle && d.queue_depth() == 0) {
+          d.request_spin_down();
+        }
+      });
+}
+
+void BudSimulator::consider_prefetch(BlockId block, std::size_t index) {
+  if (buffered_.contains(block) || copy_in_flight_.contains(block)) return;
+  if (config_.buffer_capacity_blocks != 0 &&
+      buffered_.size() + copy_in_flight_.size() >=
+          config_.buffer_capacity_blocks) {
+    return;
+  }
+  // Scan the look-ahead window for future accesses of this block and of
+  // everything else on the same data disk (PRE-BUD's benefit input).
+  const Tick now = sim_.now();
+  const Tick horizon = now + config_.lookahead;
+  const std::size_t d = disk_of(block);
+  std::vector<Tick> disk_accesses;
+  std::vector<Tick> block_accesses;
+  for (std::size_t i = index + 1; i < requests_->size(); ++i) {
+    const BlockRequest& r = (*requests_)[i];
+    if (r.arrival > horizon) break;
+    if (disk_of(r.block) != d) continue;
+    const Tick at = std::max(r.arrival, now);
+    disk_accesses.push_back(at);
+    if (r.block == block) block_accesses.push_back(at);
+  }
+  if (block_accesses.empty()) {
+    ++stats_.prefetches_rejected;  // no reuse inside the window
+    return;
+  }
+  const Joules benefit = model_.prefetch_benefit(
+      disk_accesses, block_accesses, config_.block_bytes, now, horizon,
+      config_.profile);
+  if (benefit <= 0.0) {
+    ++stats_.prefetches_rejected;
+    return;
+  }
+
+  // Copy: read the block from its data disk (it is spinning — we just
+  // served a miss from it), append to a buffer-disk log.
+  copy_in_flight_.insert(block);
+  disk::DiskRequest read;
+  read.bytes = config_.block_bytes;
+  read.sequential = false;
+  read.on_complete = [this, block](Tick) {
+    const std::size_t bd = next_buffer_disk_++ % buffer_disks_.size();
+    disk::DiskRequest write;
+    write.bytes = config_.block_bytes;
+    write.sequential = true;
+    write.is_write = true;
+    write.on_complete = [this, block](Tick) {
+      copy_in_flight_.erase(block);
+      buffered_.insert(block);
+      ++stats_.blocks_prefetched;
+    };
+    buffer_disks_[bd]->submit(std::move(write));
+  };
+  data_disks_[d]->submit(std::move(read));
+}
+
+void BudSimulator::handle_request(std::size_t index) {
+  const BlockRequest& req = (*requests_)[index];
+  const Tick issued = sim_.now();
+  auto complete = [this, issued](Tick done) {
+    stats_.response_time_sec.add(ticks_to_seconds(done - issued));
+    stats_.makespan = std::max(stats_.makespan, done);
+    --outstanding_;
+  };
+
+  if (policy_ == BudPolicy::kPreBud && buffered_.contains(req.block)) {
+    ++stats_.buffer_hits;
+    disk::DiskRequest r;
+    r.bytes = config_.block_bytes;
+    r.sequential = true;
+    r.on_complete = complete;
+    buffer_disks_[next_buffer_disk_++ % buffer_disks_.size()]->submit(
+        std::move(r));
+    return;
+  }
+
+  ++stats_.data_disk_reads;
+  const std::size_t d = disk_of(req.block);
+  idle_timers_[d].cancel();
+  disk::DiskRequest r;
+  r.bytes = config_.block_bytes;
+  r.sequential = false;
+  r.on_complete = complete;
+  data_disks_[d]->submit(std::move(r));
+  if (policy_ == BudPolicy::kPreBud) {
+    consider_prefetch(req.block, index);
+  }
+}
+
+BudStats BudSimulator::run(const std::vector<BlockRequest>& requests) {
+  if (ran_) throw std::logic_error("BudSimulator: single use");
+  ran_ = true;
+  if (requests.empty()) {
+    throw std::invalid_argument("BudSimulator: empty request stream");
+  }
+  requests_ = &requests;
+  outstanding_ = requests.size();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i > 0 && requests[i].arrival < requests[i - 1].arrival) {
+      throw std::invalid_argument("BudSimulator: requests must be sorted");
+    }
+    sim_.schedule_at(requests[i].arrival, [this, i] { handle_request(i); });
+  }
+  sim_.run();
+  if (outstanding_ != 0) {
+    throw std::logic_error("BudSimulator: requests left unserved");
+  }
+
+  // Meter everything up to the last completion (DPM timers may have run
+  // slightly past it; energy beyond the makespan is not charged).
+  for (auto& d : data_disks_) {
+    d->finalize();
+    stats_.data_disk_joules += d->meter().total_joules();
+    stats_.power_transitions += d->power_transitions();
+  }
+  for (auto& b : buffer_disks_) {
+    b->finalize();
+    stats_.buffer_disk_joules += b->meter().total_joules();
+  }
+  stats_.total_joules = stats_.data_disk_joules + stats_.buffer_disk_joules;
+  return stats_;
+}
+
+}  // namespace eevfs::prebud

@@ -1,0 +1,73 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace eevfs::sim {
+
+EventHandle Simulator::schedule_at(Tick at, Callback cb) {
+  if (at < now_) {
+    throw std::logic_error("Simulator::schedule_at: time in the past");
+  }
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(cb), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Simulator::schedule_after(Tick delay, Callback cb) {
+  if (delay < 0) {
+    throw std::logic_error("Simulator::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is moved out via const_cast
+    // which is safe because pop() follows immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.alive) {
+      out = std::move(ev);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(Tick until) {
+  std::uint64_t count = 0;
+  Event ev;
+  while (pop_next(ev)) {
+    if (until >= 0 && ev.time > until) {
+      // Put it back untouched: schedule a fresh entry preserving order.
+      // (seq is preserved so relative ordering with equal-time events is
+      // unchanged.)
+      queue_.push(std::move(ev));
+      now_ = until;
+      return count;
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    *ev.alive = false;  // mark fired before running: handle.pending() is false inside the callback
+    ev.callback();
+    ++executed_;
+    ++count;
+  }
+  if (until >= 0 && until > now_) now_ = until;
+  return count;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  *ev.alive = false;
+  ev.callback();
+  ++executed_;
+  return true;
+}
+
+}  // namespace eevfs::sim

@@ -1,0 +1,91 @@
+// Deterministic discrete-event simulation engine.
+//
+// Design notes (why not std::priority_queue directly):
+//  * events scheduled for the same tick must pop in the order they were
+//    scheduled, otherwise runs are not reproducible across compilers —
+//    we tie-break on a monotonically increasing sequence number;
+//  * components (disks, NICs, power managers) need to *cancel* pending
+//    events (e.g. an idle-timeout that is voided by a new request), so
+//    schedule() returns a handle and cancelled events are skipped lazily.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eevfs::sim {
+
+/// Cancellable handle for a scheduled event.  Default-constructed handles
+/// are inert; cancel() on an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing.  Safe to call at any time.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.  Starts at 0.
+  Tick now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `at` (>= now).
+  EventHandle schedule_at(Tick at, Callback cb);
+
+  /// Schedules `cb` to run `delay` ticks from now (delay >= 0).
+  EventHandle schedule_after(Tick delay, Callback cb);
+
+  /// Runs until the event queue drains or `until` (if >= 0) is reached.
+  /// Returns the number of events executed.
+  std::uint64_t run(Tick until = -1);
+
+  /// Runs a single event if one is pending; returns false if the queue is
+  /// empty.  Useful for tests that step the simulation.
+  bool step();
+
+  /// Number of pending (possibly cancelled-but-unpopped) events.
+  std::size_t pending_events() const { return queue_.size(); }
+
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Tick time;
+    std::uint64_t seq;
+    Callback callback;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next live event, or returns false.
+  bool pop_next(Event& out);
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace eevfs::sim

@@ -1,0 +1,28 @@
+// One file-access record.  EEVFS replays traces of these (paper §IV-A:
+// "uses a trace to replay file access patterns").
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace eevfs::trace {
+
+using FileId = std::uint32_t;
+using ClientId = std::uint32_t;
+
+inline constexpr FileId kInvalidFile = static_cast<FileId>(-1);
+
+enum class Op : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct TraceRecord {
+  Tick arrival = 0;       // offset from trace start
+  FileId file = 0;
+  Bytes bytes = 0;        // full-file transfer size
+  Op op = Op::kRead;
+  ClientId client = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+}  // namespace eevfs::trace

@@ -1,0 +1,89 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eevfs::trace {
+
+Trace::Trace(std::vector<TraceRecord> records) {
+  records_.reserve(records.size());
+  for (auto& r : records) append(r);
+}
+
+void Trace::append(TraceRecord r) {
+  if (!records_.empty() && r.arrival < records_.back().arrival) {
+    throw std::invalid_argument("Trace::append: arrivals must be sorted");
+  }
+  ++counts_[r.file];
+  total_bytes_ += r.bytes;
+  records_.push_back(r);
+}
+
+Tick Trace::duration() const {
+  return records_.empty() ? 0 : records_.back().arrival;
+}
+
+Bytes Trace::total_bytes() const { return total_bytes_; }
+
+std::size_t Trace::unique_files() const { return counts_.size(); }
+
+PopularityAnalyzer::PopularityAnalyzer(const Trace& trace) {
+  std::map<FileId, FilePopularity> acc;
+  std::map<FileId, Tick> prev_access;
+  std::map<FileId, Tick> gap_sum;
+  for (const TraceRecord& r : trace.records()) {
+    auto [it, inserted] = acc.try_emplace(r.file);
+    FilePopularity& p = it->second;
+    if (inserted) {
+      p.file = r.file;
+      p.first_access = r.arrival;
+    } else {
+      gap_sum[r.file] += r.arrival - prev_access[r.file];
+    }
+    p.last_access = r.arrival;
+    ++p.accesses;
+    p.bytes += r.bytes;
+    prev_access[r.file] = r.arrival;
+    ++total_accesses_;
+  }
+  ranked_.reserve(acc.size());
+  for (auto& [file, p] : acc) {
+    if (p.accesses > 1) {
+      p.mean_gap = gap_sum[file] / static_cast<Tick>(p.accesses - 1);
+    }
+    ranked_.push_back(p);
+  }
+  std::stable_sort(ranked_.begin(), ranked_.end(),
+                   [](const FilePopularity& a, const FilePopularity& b) {
+                     if (a.accesses != b.accesses) return a.accesses > b.accesses;
+                     return a.file < b.file;
+                   });
+  for (std::size_t i = 0; i < ranked_.size(); ++i) {
+    rank_of_[ranked_[i].file] = i;
+  }
+}
+
+std::size_t PopularityAnalyzer::rank(FileId f) const {
+  const auto it = rank_of_.find(f);
+  return it == rank_of_.end() ? npos : it->second;
+}
+
+std::vector<FileId> PopularityAnalyzer::top(std::size_t k) const {
+  std::vector<FileId> out;
+  out.reserve(std::min(k, ranked_.size()));
+  for (std::size_t i = 0; i < ranked_.size() && i < k; ++i) {
+    out.push_back(ranked_[i].file);
+  }
+  return out;
+}
+
+double PopularityAnalyzer::coverage(std::size_t k) const {
+  if (total_accesses_ == 0) return 0.0;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < ranked_.size() && i < k; ++i) {
+    covered += ranked_[i].accesses;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_accesses_);
+}
+
+}  // namespace eevfs::trace

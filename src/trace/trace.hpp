@@ -1,0 +1,78 @@
+// A replayable access trace plus the popularity analysis the storage
+// server performs on it (paper §III-B / §IV-A step 2).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace eevfs::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceRecord> records);
+
+  /// Appends a record; arrival times must be non-decreasing.
+  void append(TraceRecord r);
+
+  std::span<const TraceRecord> records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const TraceRecord& operator[](std::size_t i) const { return records_[i]; }
+
+  /// Arrival of the last record (0 for an empty trace).
+  Tick duration() const;
+  Bytes total_bytes() const;
+  std::size_t unique_files() const;
+
+  /// Access count per file.
+  const std::map<FileId, std::size_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::map<FileId, std::size_t> counts_;
+  Bytes total_bytes_ = 0;
+};
+
+/// Per-file popularity summary derived from a trace or access log.
+struct FilePopularity {
+  FileId file = 0;
+  std::size_t accesses = 0;
+  Bytes bytes = 0;
+  Tick first_access = 0;
+  Tick last_access = 0;
+  /// Mean gap between successive accesses to this file (0 if < 2).
+  Tick mean_gap = 0;
+};
+
+/// Computes file popularity; `ranked` is sorted by access count
+/// descending, ties broken by lower file id (deterministic placement).
+class PopularityAnalyzer {
+ public:
+  explicit PopularityAnalyzer(const Trace& trace);
+
+  const std::vector<FilePopularity>& ranked() const { return ranked_; }
+
+  /// Rank of a file (0 = most popular); files never accessed in the
+  /// trace are absent — rank() returns npos for them.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t rank(FileId f) const;
+
+  /// The top-k most popular file ids.
+  std::vector<FileId> top(std::size_t k) const;
+
+  /// Fraction of all accesses that hit the top-k files — the buffer-disk
+  /// hit rate an omniscient prefetcher of size k would achieve.
+  double coverage(std::size_t k) const;
+
+ private:
+  std::vector<FilePopularity> ranked_;
+  std::map<FileId, std::size_t> rank_of_;
+  std::size_t total_accesses_ = 0;
+};
+
+}  // namespace eevfs::trace

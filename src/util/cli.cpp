@@ -1,0 +1,114 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace eevfs {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_flag("help", "show this message");
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_text) {
+  declared_[name] = Flag{help, default_text};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name, value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    if (!declared_.contains(name)) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    if (name == "help") {
+      help_requested_ = true;
+      values_[name] = "true";
+      continue;
+    }
+    if (!has_value) {
+      // `--flag value` unless the next token is another flag (then it is
+      // a boolean switch).
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+bool CliParser::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::optional<std::string> CliParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliParser::get_or(const std::string& name,
+                              const std::string& dflt) const {
+  return get(name).value_or(dflt);
+}
+
+double CliParser::get_double(const std::string& name, double dflt) const {
+  const auto v = get(name);
+  if (!v) return dflt;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return dflt;
+  }
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t dflt) const {
+  const auto v = get(name);
+  if (!v) return dflt;
+  std::int64_t out = dflt;
+  const auto [p, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || p != v->data() + v->size()) return dflt;
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name, bool dflt) const {
+  const auto v = get(name);
+  if (!v) return dflt;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::string CliParser::usage(const std::string& argv0) const {
+  std::ostringstream out;
+  out << description_ << "\n\nusage: " << argv0 << " [flags]\n\nflags:\n";
+  for (const auto& [name, flag] : declared_) {
+    out << "  --" << name;
+    if (!flag.default_text.empty()) {
+      out << " (default: " << flag.default_text << ")";
+    }
+    out << "\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace eevfs

@@ -1,0 +1,56 @@
+// Minimal command-line flag parser for the example/tool binaries.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag`; typed
+// accessors with defaults; auto-generated --help text; unknown flags are
+// an error (catches typos in benchmark scripts).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eevfs {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Declares a flag.  `help` is shown by usage(); `default_text` is
+  /// displayed next to it.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_text = "");
+
+  /// Parses argv.  Returns false (and fills error()) on unknown flags or
+  /// a missing value.  `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
+  bool get_bool(const std::string& name, bool dflt = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  std::string usage(const std::string& argv0) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_text;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> declared_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace eevfs

@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace eevfs {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), width_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string CsvWriter::cell(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::cell(std::uint64_t v) { return std::to_string(v); }
+
+std::string CsvWriter::escape(std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace eevfs

@@ -1,0 +1,37 @@
+// Minimal CSV writer used by the bench harnesses to dump series that can
+// be re-plotted against the paper's figures.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eevfs {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends a row; the number of cells must equal the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with enough precision to round-trip.
+  static std::string cell(double v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::uint64_t v);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(std::string_view s);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace eevfs

@@ -1,0 +1,48 @@
+// Tiny leveled logger.  Off by default so simulations stay silent and
+// fast; tests and examples can raise the level to trace decisions made by
+// the power manager and prefetcher.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eevfs {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log level; defaults to kOff.  Not thread-local: set it once at
+/// start-up, before spawning sweep workers.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace eevfs
+
+#define EEVFS_LOG(level)                         \
+  if (::eevfs::log_level() <= (level))           \
+  ::eevfs::detail::LogStream(level)
+
+#define EEVFS_TRACE() EEVFS_LOG(::eevfs::LogLevel::kTrace)
+#define EEVFS_DEBUG() EEVFS_LOG(::eevfs::LogLevel::kDebug)
+#define EEVFS_INFO() EEVFS_LOG(::eevfs::LogLevel::kInfo)
+#define EEVFS_WARN() EEVFS_LOG(::eevfs::LogLevel::kWarn)
+#define EEVFS_ERROR() EEVFS_LOG(::eevfs::LogLevel::kError)

@@ -1,0 +1,25 @@
+// Small string helpers shared by trace IO and the bench table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eevfs {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("10.0 MB").
+std::string human_bytes(double bytes);
+
+}  // namespace eevfs

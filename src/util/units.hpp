@@ -1,0 +1,72 @@
+// Physical units and conversions used throughout EEVFS.
+//
+// Time inside the simulator is an integral tick count (microseconds) so
+// that event ordering is exact and runs are reproducible; energies and
+// powers are doubles.  This header centralises the conversions so the
+// rest of the code never multiplies by bare 1e6 constants.
+#pragma once
+
+#include <cstdint>
+
+namespace eevfs {
+
+/// Simulated time in microseconds since the start of the run.
+using Tick = std::int64_t;
+
+inline constexpr Tick kTicksPerSecond = 1'000'000;
+inline constexpr Tick kTicksPerMillisecond = 1'000;
+
+/// Converts seconds (possibly fractional) to ticks, rounding to nearest.
+constexpr Tick seconds_to_ticks(double seconds) {
+  return static_cast<Tick>(seconds * static_cast<double>(kTicksPerSecond) +
+                           (seconds >= 0 ? 0.5 : -0.5));
+}
+
+constexpr Tick milliseconds_to_ticks(double ms) {
+  return seconds_to_ticks(ms / 1e3);
+}
+
+constexpr double ticks_to_seconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+constexpr double ticks_to_milliseconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerMillisecond);
+}
+
+/// Bytes are unsigned 64-bit everywhere.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// The paper quotes disk bandwidth in decimal MB/s (e.g. 58 MB/s); keep
+/// both decimal and binary helpers to avoid silent unit drift.
+inline constexpr Bytes kMB = 1'000'000;
+inline constexpr Bytes kGB = 1'000 * kMB;
+
+constexpr double bytes_to_mib(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kMiB);
+}
+
+/// Energy in Joules and power in Watts are plain doubles; these aliases
+/// document intent in signatures.
+using Joules = double;
+using Watts = double;
+
+/// Energy accumulated by drawing `watts` for `duration` ticks.
+constexpr Joules energy(Watts watts, Tick duration) {
+  return watts * ticks_to_seconds(duration);
+}
+
+/// Time (ticks) to move `bytes` at `bytes_per_second`, rounded up so a
+/// transfer never completes instantaneously.
+constexpr Tick transfer_ticks(Bytes bytes, double bytes_per_second) {
+  if (bytes == 0 || bytes_per_second <= 0.0) return 0;
+  const double secs = static_cast<double>(bytes) / bytes_per_second;
+  const Tick t = seconds_to_ticks(secs);
+  return t > 0 ? t : 1;
+}
+
+}  // namespace eevfs

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eevfs {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("test tool");
+  cli.add_flag("alpha", "a double", "1.0");
+  cli.add_flag("count", "an int", "10");
+  cli.add_flag("name", "a string");
+  cli.add_flag("verbose", "a bool switch");
+  return cli;
+}
+
+bool parse(CliParser& cli, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return cli.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--alpha", "2.5", "--name", "web"}));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 2.5);
+  EXPECT_EQ(cli.get_or("name", ""), "web");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--count=42", "--name=x"}));
+  EXPECT_EQ(cli.get_int("count", 0), 42);
+  EXPECT_EQ(cli.get_or("name", ""), "x");
+}
+
+TEST(Cli, BooleanSwitches) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose", "--count", "3"}));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("count", 0), 3);
+  EXPECT_FALSE(cli.get_bool("missing-switch", false));
+}
+
+TEST(Cli, BoolAcceptsCommonSpellings) {
+  for (const char* v : {"true", "1", "yes", "on"}) {
+    CliParser cli = make_parser();
+    ASSERT_TRUE(parse(cli, {"--verbose", v}));
+    EXPECT_TRUE(cli.get_bool("verbose")) << v;
+  }
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose", "false"}));
+  EXPECT_FALSE(cli.get_bool("verbose", true));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 1.5), 1.5);
+  EXPECT_EQ(cli.get_int("count", 7), 7);
+  EXPECT_EQ(cli.get_or("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("alpha"));
+  EXPECT_FALSE(cli.get("name").has_value());
+}
+
+TEST(Cli, UnknownFlagIsAnError) {
+  CliParser cli = make_parser();
+  EXPECT_FALSE(parse(cli, {"--nope", "1"}));
+  EXPECT_NE(cli.error().find("nope"), std::string::npos);
+}
+
+TEST(Cli, MalformedNumbersFallBackToDefault) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--count", "abc", "--alpha", "xyz"}));
+  EXPECT_EQ(cli.get_int("count", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 3.5), 3.5);
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"input.trace", "--count", "1", "more"}));
+  EXPECT_EQ(cli.positional(),
+            (std::vector<std::string>{"input.trace", "more"}));
+}
+
+TEST(Cli, HelpRequested) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--help"}));
+  EXPECT_TRUE(cli.help_requested());
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("test tool"), std::string::npos);
+  EXPECT_NE(usage.find("default: 1.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eevfs

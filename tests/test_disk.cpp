@@ -1,0 +1,283 @@
+// DiskProfile, EnergyMeter and the DiskModel state machine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/disk_model.hpp"
+#include "disk/disk_profile.hpp"
+#include "disk/energy_meter.hpp"
+#include "sim/engine.hpp"
+
+namespace eevfs::disk {
+namespace {
+
+TEST(DiskProfile, TableOneBandwidths) {
+  EXPECT_DOUBLE_EQ(DiskProfile::ata133_fast().bandwidth_bytes_per_sec, 58e6);
+  EXPECT_DOUBLE_EQ(DiskProfile::ata133_slow().bandwidth_bytes_per_sec, 34e6);
+  EXPECT_DOUBLE_EQ(DiskProfile::sata_server().bandwidth_bytes_per_sec, 100e6);
+  EXPECT_EQ(DiskProfile::ata133_fast().capacity, 80 * kGB);
+  EXPECT_EQ(DiskProfile::sata_server().capacity, 120 * kGB);
+}
+
+TEST(DiskProfile, WattsPerState) {
+  const DiskProfile p = DiskProfile::ata133_fast();
+  EXPECT_GT(p.watts(PowerState::kActive), p.watts(PowerState::kIdle));
+  EXPECT_GT(p.watts(PowerState::kIdle), p.watts(PowerState::kStandby));
+  EXPECT_GT(p.watts(PowerState::kSpinningUp), p.watts(PowerState::kActive));
+}
+
+TEST(DiskProfile, ServiceTimeComponents) {
+  const DiskProfile p = DiskProfile::ata133_fast();
+  const Tick random_10mb = p.service_time(10 * kMB, false);
+  const Tick seq_10mb = p.service_time(10 * kMB, true);
+  // Sequential access skips the full seek + rotational latency.
+  EXPECT_EQ(random_10mb - seq_10mb,
+            p.avg_seek + p.rotational_latency - p.sequential_seek);
+  // Transfer dominates: 10 MB at 58 MB/s is ~172 ms.
+  EXPECT_NEAR(ticks_to_seconds(random_10mb), 0.1724 + 0.0132, 0.002);
+}
+
+TEST(DiskProfile, ServiceTimeMonotonicInBytes) {
+  const DiskProfile p = DiskProfile::ata133_slow();
+  Tick prev = 0;
+  for (Bytes b : {Bytes{0}, 1 * kMB, 10 * kMB, 50 * kMB}) {
+    const Tick t = p.service_time(b, false);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(DiskProfile, BreakEvenMatchesHandComputation) {
+  const DiskProfile p = DiskProfile::ata133_fast();
+  // E_transition + standby*(T - t_trans) == idle*T  at the break-even T.
+  const double T = p.break_even_seconds();
+  const double t_trans =
+      ticks_to_seconds(p.spin_up_time) + ticks_to_seconds(p.spin_down_time);
+  const double sleep_side =
+      p.transition_energy() + p.standby_watts * (T - t_trans);
+  EXPECT_NEAR(sleep_side, p.idle_watts * T, 1e-9);
+  // The paper calls disk break-even times "usually very high": seconds.
+  EXPECT_GT(T, 3.0);
+  EXPECT_LT(T, 30.0);
+}
+
+TEST(EnergyMeter, AccumulatesPerState) {
+  EnergyMeter m;
+  m.add(PowerState::kIdle, seconds_to_ticks(10), 9.5);
+  m.add(PowerState::kActive, seconds_to_ticks(2), 13.5);
+  m.add(PowerState::kIdle, seconds_to_ticks(5), 9.5);
+  EXPECT_DOUBLE_EQ(m.joules(PowerState::kIdle), 9.5 * 15);
+  EXPECT_DOUBLE_EQ(m.joules(PowerState::kActive), 13.5 * 2);
+  EXPECT_DOUBLE_EQ(m.total_joules(), 9.5 * 15 + 13.5 * 2);
+  EXPECT_EQ(m.total_ticks(), seconds_to_ticks(17));
+}
+
+TEST(EnergyMeter, MergeAdds) {
+  EnergyMeter a, b;
+  a.add(PowerState::kStandby, seconds_to_ticks(4), 2.5);
+  b.add(PowerState::kStandby, seconds_to_ticks(6), 2.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.joules(PowerState::kStandby), 2.5 * 10);
+  EXPECT_EQ(a.ticks(PowerState::kStandby), seconds_to_ticks(10));
+}
+
+class DiskModelTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  DiskProfile profile = DiskProfile::ata133_fast();
+};
+
+TEST_F(DiskModelTest, StartsIdle) {
+  DiskModel disk(sim, profile, "d");
+  EXPECT_EQ(disk.state(), PowerState::kIdle);
+  EXPECT_FALSE(disk.busy());
+  EXPECT_EQ(disk.queue_depth(), 0u);
+}
+
+TEST_F(DiskModelTest, ServesRequestWithExactServiceTime) {
+  DiskModel disk(sim, profile, "d");
+  Tick completed = -1;
+  DiskRequest req;
+  req.bytes = 10 * kMB;
+  req.on_complete = [&](Tick t) { completed = t; };
+  disk.submit(std::move(req));
+  EXPECT_EQ(disk.state(), PowerState::kActive);
+  sim.run();
+  EXPECT_EQ(completed, profile.service_time(10 * kMB, false));
+  EXPECT_EQ(disk.state(), PowerState::kIdle);
+  EXPECT_EQ(disk.requests_completed(), 1u);
+  EXPECT_EQ(disk.bytes_transferred(), 10 * kMB);
+}
+
+TEST_F(DiskModelTest, QueueIsFifo) {
+  DiskModel disk(sim, profile, "d");
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    DiskRequest req;
+    req.bytes = kMB;
+    req.on_complete = [&order, i](Tick) { order.push_back(i); };
+    disk.submit(std::move(req));
+  }
+  EXPECT_EQ(disk.queue_depth(), 3u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(DiskModelTest, BackToBackRequestsSerialize) {
+  DiskModel disk(sim, profile, "d");
+  Tick first = 0, second = 0;
+  DiskRequest a, b;
+  a.bytes = b.bytes = kMB;
+  a.on_complete = [&](Tick t) { first = t; };
+  b.on_complete = [&](Tick t) { second = t; };
+  disk.submit(std::move(a));
+  disk.submit(std::move(b));
+  sim.run();
+  EXPECT_EQ(second - first, profile.service_time(kMB, false));
+}
+
+TEST_F(DiskModelTest, SpinDownOnlyWhenIdleAndEmpty) {
+  DiskModel disk(sim, profile, "d");
+  DiskRequest req;
+  req.bytes = kMB;
+  disk.submit(std::move(req));
+  EXPECT_FALSE(disk.request_spin_down());  // busy
+  sim.run();
+  EXPECT_TRUE(disk.request_spin_down());
+  EXPECT_EQ(disk.state(), PowerState::kSpinningDown);
+  EXPECT_FALSE(disk.request_spin_down());  // already transitioning
+  sim.run();
+  EXPECT_EQ(disk.state(), PowerState::kStandby);
+  EXPECT_EQ(disk.spin_downs(), 1u);
+  EXPECT_EQ(disk.spin_ups(), 0u);
+}
+
+TEST_F(DiskModelTest, RequestWakesStandbyDiskAndPaysSpinUp) {
+  DiskModel disk(sim, profile, "d");
+  ASSERT_TRUE(disk.request_spin_down());
+  sim.run();
+  ASSERT_EQ(disk.state(), PowerState::kStandby);
+  const Tick t0 = sim.now();
+  Tick completed = -1;
+  DiskRequest req;
+  req.bytes = kMB;
+  req.on_complete = [&](Tick t) { completed = t; };
+  disk.submit(std::move(req));
+  EXPECT_EQ(disk.state(), PowerState::kSpinningUp);
+  sim.run();
+  EXPECT_EQ(completed,
+            t0 + profile.spin_up_time + profile.service_time(kMB, false));
+  EXPECT_EQ(disk.power_transitions(), 2u);
+}
+
+TEST_F(DiskModelTest, RequestDuringSpinDownWaitsFullCycle) {
+  DiskModel disk(sim, profile, "d");
+  ASSERT_TRUE(disk.request_spin_down());
+  Tick completed = -1;
+  DiskRequest req;
+  req.bytes = kMB;
+  req.on_complete = [&](Tick t) { completed = t; };
+  disk.submit(std::move(req));  // arrives mid-spin-down
+  sim.run();
+  EXPECT_EQ(completed, profile.spin_down_time + profile.spin_up_time +
+                           profile.service_time(kMB, false));
+  EXPECT_EQ(disk.spin_ups(), 1u);
+}
+
+TEST_F(DiskModelTest, ProactiveSpinUpFromStandby) {
+  DiskModel disk(sim, profile, "d");
+  ASSERT_TRUE(disk.request_spin_down());
+  sim.run();
+  disk.request_spin_up();
+  EXPECT_EQ(disk.state(), PowerState::kSpinningUp);
+  sim.run();
+  EXPECT_EQ(disk.state(), PowerState::kIdle);
+  disk.request_spin_up();  // no-op when already up
+  EXPECT_EQ(disk.state(), PowerState::kIdle);
+  EXPECT_EQ(disk.spin_ups(), 1u);
+}
+
+TEST_F(DiskModelTest, EnergyAccountingCoversWholeTimeline) {
+  DiskModel disk(sim, profile, "d");
+  DiskRequest req;
+  req.bytes = 10 * kMB;
+  disk.submit(std::move(req));
+  sim.run();
+  ASSERT_TRUE(disk.request_spin_down());
+  sim.run();
+  // Idle for a while in standby, then finalize.
+  sim.schedule_after(seconds_to_ticks(20), [] {});
+  sim.run();
+  disk.finalize();
+  EXPECT_EQ(disk.meter().total_ticks(), sim.now());
+  // Energy must equal the per-state hand computation.
+  const Tick active = profile.service_time(10 * kMB, false);
+  const Tick down = profile.spin_down_time;
+  const Tick standby = sim.now() - active - down;
+  const Joules expected = energy(profile.active_watts, active) +
+                          energy(profile.spin_down_watts, down) +
+                          energy(profile.standby_watts, standby);
+  EXPECT_NEAR(disk.meter().total_joules(), expected, 1e-9);
+}
+
+TEST_F(DiskModelTest, FinalizeIsIdempotent) {
+  DiskModel disk(sim, profile, "d");
+  sim.schedule_after(seconds_to_ticks(5), [] {});
+  sim.run();
+  disk.finalize();
+  const Joules once = disk.meter().total_joules();
+  disk.finalize();
+  EXPECT_DOUBLE_EQ(disk.meter().total_joules(), once);
+}
+
+TEST_F(DiskModelTest, IdleCallbackFiresOnQueueDrain) {
+  DiskModel disk(sim, profile, "d");
+  int idle_calls = 0;
+  disk.set_idle_callback([&] { ++idle_calls; });
+  DiskRequest a, b;
+  a.bytes = b.bytes = kMB;
+  disk.submit(std::move(a));
+  disk.submit(std::move(b));
+  sim.run();
+  EXPECT_EQ(idle_calls, 1);  // only when the queue fully drains
+}
+
+TEST_F(DiskModelTest, IdleCallbackFiresAfterWakeWithEmptyQueue) {
+  DiskModel disk(sim, profile, "d");
+  int idle_calls = 0;
+  disk.set_idle_callback([&] { ++idle_calls; });
+  ASSERT_TRUE(disk.request_spin_down());
+  sim.run();
+  disk.request_spin_up();
+  sim.run();
+  EXPECT_EQ(idle_calls, 1);
+}
+
+TEST_F(DiskModelTest, StateCallbackSeesTransitions) {
+  DiskModel disk(sim, profile, "d");
+  std::vector<std::pair<PowerState, PowerState>> seen;
+  disk.set_state_callback(
+      [&](PowerState from, PowerState to) { seen.emplace_back(from, to); });
+  ASSERT_TRUE(disk.request_spin_down());
+  sim.run();
+  ASSERT_GE(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, PowerState::kIdle);
+  EXPECT_EQ(seen[0].second, PowerState::kSpinningDown);
+  EXPECT_EQ(seen[1].second, PowerState::kStandby);
+}
+
+TEST_F(DiskModelTest, SequentialRequestsAreFaster) {
+  DiskModel disk(sim, profile, "d");
+  Tick seq_done = 0;
+  DiskRequest req;
+  req.bytes = 10 * kMB;
+  req.sequential = true;
+  req.on_complete = [&](Tick t) { seq_done = t; };
+  disk.submit(std::move(req));
+  sim.run();
+  EXPECT_EQ(seq_done, profile.service_time(10 * kMB, true));
+  EXPECT_LT(seq_done, profile.service_time(10 * kMB, false));
+}
+
+}  // namespace
+}  // namespace eevfs::disk

@@ -1,0 +1,145 @@
+#include "core/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eevfs::core {
+namespace {
+
+class EnergyModelTest : public ::testing::Test {
+ protected:
+  disk::DiskProfile profile = disk::DiskProfile::ata133_fast();
+  EnergyPredictionModel model{profile, seconds_to_ticks(5.0), 1.8};
+};
+
+TEST_F(EnergyModelTest, MinProfitableGapIsMaxOfThresholdAndMargin) {
+  const Tick margin =
+      seconds_to_ticks(1.8 * profile.break_even_seconds());
+  EXPECT_EQ(model.min_profitable_gap(),
+            std::max(seconds_to_ticks(5.0), margin));
+
+  // With a huge threshold the threshold dominates.
+  const EnergyPredictionModel strict(profile, seconds_to_ticks(100.0), 1.8);
+  EXPECT_EQ(strict.min_profitable_gap(), seconds_to_ticks(100.0));
+}
+
+TEST_F(EnergyModelTest, IdleAndSleepEnergies) {
+  const Tick gap = seconds_to_ticks(60.0);
+  EXPECT_DOUBLE_EQ(model.idle_energy(gap), profile.idle_watts * 60.0);
+  const double transition_s = ticks_to_seconds(profile.spin_down_time) +
+                              ticks_to_seconds(profile.spin_up_time);
+  EXPECT_NEAR(model.sleep_energy(gap),
+              profile.transition_energy() +
+                  profile.standby_watts * (60.0 - transition_s),
+              1e-9);
+}
+
+TEST_F(EnergyModelTest, SleepingThroughTinyGapIsNotCheaper) {
+  const Tick tiny = seconds_to_ticks(1.0);
+  EXPECT_DOUBLE_EQ(model.sleep_energy(tiny), model.idle_energy(tiny));
+  EXPECT_DOUBLE_EQ(model.savings(tiny), 0.0);
+}
+
+TEST_F(EnergyModelTest, SavingsCrossZeroAtBreakEven) {
+  const double be = profile.break_even_seconds();
+  EXPECT_DOUBLE_EQ(model.savings(seconds_to_ticks(be * 0.9)), 0.0);
+  EXPECT_GT(model.savings(seconds_to_ticks(be * 1.5)), 0.0);
+  // Savings grow linearly past break-even.
+  const Joules s2 = model.savings(seconds_to_ticks(be * 2.0));
+  const Joules s3 = model.savings(seconds_to_ticks(be * 3.0));
+  EXPECT_NEAR(s3 - s2,
+              (profile.idle_watts - profile.standby_watts) * be, 1e-4);
+}
+
+TEST_F(EnergyModelTest, PlanWindowsFindsOnlyProfitableGaps) {
+  const Tick big = model.min_profitable_gap() + seconds_to_ticks(10);
+  // Accesses at 0, then a big gap, then a cluster of short gaps.
+  std::vector<Tick> accesses = {0, big, big + seconds_to_ticks(1),
+                                big + seconds_to_ticks(2)};
+  const Tick horizon = big + seconds_to_ticks(3);
+  const auto plan = model.plan_windows(accesses, 0, horizon);
+  ASSERT_EQ(plan.windows.size(), 1u);
+  EXPECT_EQ(plan.windows[0].first, 0);
+  EXPECT_EQ(plan.windows[0].second, big);
+  EXPECT_GT(plan.predicted_savings, 0.0);
+}
+
+TEST_F(EnergyModelTest, PlanWindowsIncludesTrailingWindow) {
+  const std::vector<Tick> accesses = {seconds_to_ticks(1)};
+  const Tick horizon = seconds_to_ticks(1000);
+  const auto plan = model.plan_windows(accesses, 0, horizon);
+  ASSERT_EQ(plan.windows.size(), 1u);
+  EXPECT_EQ(plan.windows[0].first, seconds_to_ticks(1));
+  EXPECT_EQ(plan.windows[0].second, horizon);
+}
+
+TEST_F(EnergyModelTest, EmptyAccessesSleepWholeHorizon) {
+  const auto plan = model.plan_windows({}, 0, seconds_to_ticks(500));
+  ASSERT_EQ(plan.windows.size(), 1u);
+  EXPECT_EQ(plan.windows[0],
+            (std::pair<Tick, Tick>{0, seconds_to_ticks(500)}));
+}
+
+TEST_F(EnergyModelTest, DenseAccessesYieldNoWindows) {
+  std::vector<Tick> accesses;
+  for (int i = 0; i < 100; ++i) accesses.push_back(seconds_to_ticks(i));
+  const auto plan = model.plan_windows(accesses, 0, seconds_to_ticks(100));
+  EXPECT_TRUE(plan.windows.empty());
+  EXPECT_DOUBLE_EQ(plan.predicted_savings, 0.0);
+}
+
+TEST_F(EnergyModelTest, PlanRespectsStartOffset) {
+  const auto plan =
+      model.plan_windows({}, seconds_to_ticks(100), seconds_to_ticks(400));
+  ASSERT_EQ(plan.windows.size(), 1u);
+  EXPECT_EQ(plan.windows[0].first, seconds_to_ticks(100));
+}
+
+TEST_F(EnergyModelTest, PrefetchBenefitPositiveForHotLonelyFile) {
+  // One file generates all traffic on the disk, evenly every 10 s; the
+  // gaps are below the profit gate, so without prefetching there are no
+  // windows.  Removing the file opens the whole horizon.
+  std::vector<Tick> accesses;
+  for (int i = 0; i < 100; ++i) {
+    accesses.push_back(seconds_to_ticks(10.0 * i));
+  }
+  const Joules benefit = model.prefetch_benefit(
+      accesses, accesses, 10 * kMB, 0, seconds_to_ticks(1000), profile);
+  EXPECT_GT(benefit, 0.0);
+}
+
+TEST_F(EnergyModelTest, PrefetchBenefitNegativeForColdFileInDenseTraffic) {
+  // The disk's other traffic arrives every 5 s (no sleepable window);
+  // removing a single access at 500 s opens only a ~10 s gap — still
+  // below the profit gate — so buffering the file is pure cost.
+  std::vector<Tick> disk_accesses;
+  for (int i = 0; i <= 200; ++i) {
+    disk_accesses.push_back(seconds_to_ticks(5.0 * i));
+  }
+  const std::vector<Tick> file_accesses = {seconds_to_ticks(500)};
+  const Joules benefit =
+      model.prefetch_benefit(disk_accesses, file_accesses, 10 * kMB, 0,
+                             seconds_to_ticks(1000), profile);
+  EXPECT_LT(benefit, 0.0);
+}
+
+TEST_F(EnergyModelTest, PrefetchBenefitPositiveWhenItMergesTwoWindows) {
+  // A single access in the middle of an otherwise quiet horizon: removing
+  // it merges two sleep windows into one and saves a transition cycle.
+  const std::vector<Tick> accesses = {seconds_to_ticks(500)};
+  const Joules benefit = model.prefetch_benefit(
+      accesses, accesses, 10 * kMB, 0, seconds_to_ticks(1000), profile);
+  EXPECT_GT(benefit, 0.0);
+  EXPECT_LT(benefit, profile.transition_energy());
+}
+
+TEST_F(EnergyModelTest, PrefetchBenefitOfNoAccessFileIsJustCopyCost) {
+  const std::vector<Tick> disk_accesses = {};
+  const Joules benefit = model.prefetch_benefit(
+      disk_accesses, {}, 10 * kMB, 0, seconds_to_ticks(1000), profile);
+  EXPECT_LT(benefit, 0.0);
+}
+
+}  // namespace
+}  // namespace eevfs::core

@@ -1,0 +1,63 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eevfs {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsOff) {
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedLinesAreCheap) {
+  set_log_level(LogLevel::kError);
+  // The macro must not evaluate the stream when disabled — use a side
+  // effect to prove it.
+  int evaluations = 0;
+  const auto probe = [&] {
+    ++evaluations;
+    return "x";
+  };
+  EEVFS_TRACE() << probe();
+  EEVFS_DEBUG() << probe();
+  EXPECT_EQ(evaluations, 0);
+  EEVFS_ERROR() << probe();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, LogLineRespectsLevel) {
+  // log_line itself must be callable at any level without crashing.
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kInfo, "should be dropped");
+  set_log_level(LogLevel::kInfo);
+  log_line(LogLevel::kTrace, "still dropped");
+  log_line(LogLevel::kWarn, "emitted to stderr");
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kTrace),
+            static_cast<int>(LogLevel::kDebug));
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kOff));
+}
+
+}  // namespace
+}  // namespace eevfs

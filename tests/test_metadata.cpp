@@ -1,0 +1,113 @@
+#include "core/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/presets.hpp"
+#include "core/cluster.hpp"
+#include "workload/synthetic.hpp"
+
+namespace eevfs::core {
+namespace {
+
+TEST(ServerMetadata, InsertAndLookup) {
+  ServerMetadata m;
+  m.insert(7, 3, 10 * kMB);
+  const auto e = m.lookup(7);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->node, 3u);
+  EXPECT_EQ(e->size, 10 * kMB);
+  EXPECT_EQ(m.files(), 1u);
+  EXPECT_EQ(m.lookups(), 1u);
+  EXPECT_EQ(m.misses(), 0u);
+}
+
+TEST(ServerMetadata, MissIsCountedNotFatal) {
+  ServerMetadata m;
+  EXPECT_FALSE(m.lookup(42).has_value());
+  EXPECT_EQ(m.misses(), 1u);
+}
+
+TEST(ServerMetadata, DuplicateInsertThrows) {
+  ServerMetadata m;
+  m.insert(1, 0, 1);
+  EXPECT_THROW(m.insert(1, 1, 2), std::invalid_argument);
+}
+
+TEST(ServerMetadata, FootprintGrowsLinearly) {
+  ServerMetadata m;
+  for (trace::FileId f = 0; f < 100; ++f) m.insert(f, 0, 1);
+  const Bytes small = m.memory_footprint();
+  for (trace::FileId f = 100; f < 200; ++f) m.insert(f, 0, 1);
+  EXPECT_EQ(m.memory_footprint(), 2 * small);
+  // The paper's scalability point: coarse entries only — well under 100
+  // bytes per file.
+  EXPECT_LT(small / 100, 100u);
+}
+
+TEST(NodeMetadata, InsertFindUpdate) {
+  NodeMetadata m;
+  m.insert(5, LocalFileMeta{{1, 2}, 4 * kMB, false, 0});
+  ASSERT_TRUE(m.contains(5));
+  EXPECT_EQ(m.at(5).disks, (std::vector<std::size_t>{1, 2}));
+  m.at(5).buffered = true;
+  EXPECT_TRUE(m.at(5).buffered);
+  EXPECT_EQ(m.find(99), nullptr);
+  EXPECT_GE(m.lookups(), 3u);
+}
+
+TEST(NodeMetadata, DuplicateInsertThrows) {
+  NodeMetadata m;
+  m.insert(1, {});
+  EXPECT_THROW(m.insert(1, {}), std::invalid_argument);
+}
+
+TEST(NodeMetadata, AtUnknownThrows) {
+  NodeMetadata m;
+  EXPECT_THROW(m.at(3), std::out_of_range);
+}
+
+TEST(NodeMetadata, IterationCoversAllFiles) {
+  NodeMetadata m;
+  for (trace::FileId f = 0; f < 10; ++f) {
+    m.insert(f, LocalFileMeta{{f % 2}, kMB, false, 0});
+  }
+  std::size_t seen = 0;
+  for (const auto& [f, meta] : m) {
+    ++seen;
+    EXPECT_EQ(meta.disks.front(), f % 2);
+  }
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(MetadataIntegration, ServerKnowsNodesButNotDisks) {
+  // §IV-D: the server's view stops at the node granularity; only the
+  // node-local metadata knows disks.
+  workload::SyntheticConfig wcfg;
+  wcfg.num_requests = 300;
+  const auto w = workload::generate_synthetic(wcfg);
+  Cluster c(baseline::eevfs_pf());
+  const RunMetrics m = c.run(w);
+  (void)m;
+  const ServerMetadata& server_meta = c.server().metadata();
+  EXPECT_EQ(server_meta.files(), wcfg.num_files);
+  EXPECT_GE(server_meta.lookups(), 300u);  // one per routed request
+  EXPECT_EQ(server_meta.misses(), 0u);
+  // Node metadata holds each node's share.
+  std::size_t local_total = 0;
+  for (std::size_t n = 0; n < c.num_nodes(); ++n) {
+    local_total += c.node(n).metadata().files();
+  }
+  EXPECT_EQ(local_total, wcfg.num_files);
+  // Distributed: no single node holds everything.
+  EXPECT_LT(c.node(0).metadata().files(), wcfg.num_files);
+}
+
+TEST(MetadataIntegration, LookupCostIsPaidOnEveryRequest) {
+  // Metadata lookups add server CPU time; a run's mean response includes
+  // at least that much over the pure network+disk floor.
+  EXPECT_GT(ServerMetadata::lookup_cost(), 0);
+  EXPECT_LT(ServerMetadata::lookup_cost(), milliseconds_to_ticks(1.0));
+}
+
+}  // namespace
+}  // namespace eevfs::core

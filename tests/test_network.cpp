@@ -1,0 +1,121 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace eevfs::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  NetworkFabric net{sim, milliseconds_to_ticks(0.1)};
+};
+
+TEST_F(NetworkTest, MbpsConversion) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(1000.0), 125e6);
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(100.0), 12.5e6);
+}
+
+TEST_F(NetworkTest, TransferTimeUsesSlowerNic) {
+  const auto fast = net.add_endpoint("fast", mbps_to_bytes_per_sec(1000));
+  const auto slow = net.add_endpoint("slow", mbps_to_bytes_per_sec(100));
+  Tick delivered = -1;
+  // 12.5 MB from fast to slow: limited by the 12.5 MB/s receiver => 1 s.
+  net.send(fast, slow, Bytes{12'500'000}, [&](Tick t) { delivered = t; });
+  sim.run();
+  EXPECT_EQ(delivered, kTicksPerSecond + milliseconds_to_ticks(0.1));
+}
+
+TEST_F(NetworkTest, SourceNicSerializesTransfers) {
+  const auto a = net.add_endpoint("a", mbps_to_bytes_per_sec(1000));
+  const auto b = net.add_endpoint("b", mbps_to_bytes_per_sec(1000));
+  std::vector<Tick> deliveries;
+  // Two 125 MB transfers at 125 MB/s: 1 s each, serialized on a's NIC.
+  for (int i = 0; i < 2; ++i) {
+    net.send(a, b, Bytes{125'000'000},
+             [&](Tick t) { deliveries.push_back(t); });
+  }
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[1] - deliveries[0], kTicksPerSecond);
+}
+
+TEST_F(NetworkTest, DistinctSourcesDoNotSerialize) {
+  const auto a = net.add_endpoint("a", mbps_to_bytes_per_sec(1000));
+  const auto b = net.add_endpoint("b", mbps_to_bytes_per_sec(1000));
+  const auto c = net.add_endpoint("c", mbps_to_bytes_per_sec(1000));
+  std::vector<Tick> deliveries;
+  net.send(a, c, Bytes{125'000'000}, [&](Tick t) { deliveries.push_back(t); });
+  net.send(b, c, Bytes{125'000'000}, [&](Tick t) { deliveries.push_back(t); });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // The non-blocking switch delivers both after ~1 s.
+  EXPECT_EQ(deliveries[0], deliveries[1]);
+}
+
+TEST_F(NetworkTest, LoopbackDeliversAlmostInstantly) {
+  const auto a = net.add_endpoint("a", mbps_to_bytes_per_sec(100));
+  Tick delivered = -1;
+  net.send(a, a, Bytes{100 * kMB}, [&](Tick t) { delivered = t; });
+  sim.run();
+  EXPECT_EQ(delivered, 1);  // next tick, no NIC time
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  const auto a = net.add_endpoint("a", mbps_to_bytes_per_sec(1000));
+  const auto b = net.add_endpoint("b", mbps_to_bytes_per_sec(1000));
+  net.send(a, b, Bytes{kMB}, nullptr);
+  net.send(a, b, Bytes{2 * kMB}, nullptr);
+  sim.run();
+  EXPECT_EQ(net.stats(a).messages_sent, 2u);
+  EXPECT_EQ(net.stats(a).bytes_sent, 3 * kMB);
+  EXPECT_EQ(net.stats(b).messages_received, 2u);
+  EXPECT_GT(net.stats(a).busy_ticks, 0);
+  EXPECT_EQ(net.stats(b).bytes_sent, 0u);
+}
+
+TEST_F(NetworkTest, NicFreeAtTracksBusyness) {
+  const auto a = net.add_endpoint("a", mbps_to_bytes_per_sec(1000));
+  const auto b = net.add_endpoint("b", mbps_to_bytes_per_sec(1000));
+  EXPECT_EQ(net.nic_free_at(a), 0);
+  net.send(a, b, Bytes{125'000'000}, nullptr);
+  EXPECT_EQ(net.nic_free_at(a), kTicksPerSecond);
+  sim.run();
+  EXPECT_EQ(net.nic_free_at(a), sim.now());
+}
+
+TEST_F(NetworkTest, RejectsUnknownEndpoints) {
+  const auto a = net.add_endpoint("a", mbps_to_bytes_per_sec(1000));
+  EXPECT_THROW(net.send(a, 99, Bytes{1}, nullptr), std::out_of_range);
+  EXPECT_THROW(net.send(99, a, Bytes{1}, nullptr), std::out_of_range);
+}
+
+TEST_F(NetworkTest, RejectsNonPositiveNicRate) {
+  EXPECT_THROW(net.add_endpoint("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_endpoint("x", -1.0), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, LabelsAndRates) {
+  const auto a = net.add_endpoint("alpha", mbps_to_bytes_per_sec(100));
+  EXPECT_EQ(net.label(a), "alpha");
+  EXPECT_DOUBLE_EQ(net.nic_rate(a), 12.5e6);
+  EXPECT_EQ(net.endpoint_count(), 1u);
+}
+
+TEST_F(NetworkTest, ControlMessagesAreCheap) {
+  const auto a = net.add_endpoint("a", mbps_to_bytes_per_sec(100));
+  const auto b = net.add_endpoint("b", mbps_to_bytes_per_sec(100));
+  Tick delivered = -1;
+  net.send(a, b, kControlMessageBytes, [&](Tick t) { delivered = t; });
+  sim.run();
+  // 512 B at 12.5 MB/s ~ 41 us plus 100 us propagation.
+  EXPECT_LT(delivered, milliseconds_to_ticks(1.0));
+}
+
+}  // namespace
+}  // namespace eevfs::net

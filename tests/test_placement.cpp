@@ -1,0 +1,157 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/synthetic.hpp"
+
+namespace eevfs::core {
+namespace {
+
+trace::Trace skewed_trace() {
+  // File 9 gets 4 accesses, file 4 gets 3, file 1 gets 2, file 6 gets 1.
+  trace::Trace t;
+  Tick at = 0;
+  const auto add = [&](trace::FileId f, int n) {
+    for (int i = 0; i < n; ++i) {
+      t.append({at, f, kMB, trace::Op::kRead, 0});
+      at += 1000;
+    }
+  };
+  add(9, 4);
+  add(4, 3);
+  add(1, 2);
+  add(6, 1);
+  return t;
+}
+
+TEST(Placement, PopularityRoundRobinFollowsRank) {
+  const trace::Trace t = skewed_trace();
+  const trace::PopularityAnalyzer pop(t);
+  const std::vector<Bytes> sizes(10, kMB);
+  Rng rng(1);
+  const PlacementMap map = place_files(
+      PlacementPolicy::kPopularityRoundRobin, 3, 10, pop, sizes, rng);
+
+  // Rank order: 9, 4, 1, 6, then unaccessed 0,2,3,5,7,8.
+  EXPECT_EQ(map.node(9), 0u);
+  EXPECT_EQ(map.node(4), 1u);
+  EXPECT_EQ(map.node(1), 2u);
+  EXPECT_EQ(map.node(6), 0u);
+  EXPECT_EQ(map.node(0), 1u);
+  EXPECT_EQ(map.node(2), 2u);
+
+  // Creation order on node 0 starts with its most popular file.
+  ASSERT_FALSE(map.files_on_node[0].empty());
+  EXPECT_EQ(map.files_on_node[0][0], 9u);
+  EXPECT_EQ(map.files_on_node[0][1], 6u);
+}
+
+TEST(Placement, EveryFileIsPlacedExactlyOnce) {
+  const trace::Trace t = skewed_trace();
+  const trace::PopularityAnalyzer pop(t);
+  const std::vector<Bytes> sizes(10, kMB);
+  Rng rng(1);
+  for (const auto policy :
+       {PlacementPolicy::kPopularityRoundRobin, PlacementPolicy::kRandom,
+        PlacementPolicy::kSizeBalanced}) {
+    const PlacementMap map = place_files(policy, 4, 10, pop, sizes, rng);
+    std::size_t total = 0;
+    for (const auto& files : map.files_on_node) total += files.size();
+    EXPECT_EQ(total, 10u);
+    EXPECT_EQ(map.node_of.size(), 10u);
+    for (trace::FileId f = 0; f < 10; ++f) {
+      const NodeId n = map.node(f);
+      EXPECT_LT(n, 4u);
+      const auto& files = map.files_on_node[n];
+      EXPECT_NE(std::find(files.begin(), files.end(), f), files.end());
+    }
+  }
+}
+
+TEST(Placement, RoundRobinBalancesFileCounts) {
+  workload::SyntheticConfig cfg;
+  cfg.num_requests = 500;
+  const auto w = workload::generate_synthetic(cfg);
+  const trace::PopularityAnalyzer pop(w.requests);
+  Rng rng(1);
+  const PlacementMap map =
+      place_files(PlacementPolicy::kPopularityRoundRobin, 8,
+                  cfg.num_files, pop, w.file_sizes, rng);
+  for (const auto& files : map.files_on_node) {
+    EXPECT_EQ(files.size(), cfg.num_files / 8);
+  }
+}
+
+TEST(Placement, RoundRobinBalancesHotLoad) {
+  // The point of popularity round-robin (§III-B): every node gets an
+  // equal share of the accesses.
+  workload::SyntheticConfig cfg;
+  cfg.num_requests = 2000;
+  cfg.mu = 1000.0;
+  const auto w = workload::generate_synthetic(cfg);
+  const trace::PopularityAnalyzer pop(w.requests);
+  Rng rng(1);
+  const PlacementMap map =
+      place_files(PlacementPolicy::kPopularityRoundRobin, 8,
+                  cfg.num_files, pop, w.file_sizes, rng);
+  std::vector<std::size_t> accesses(8, 0);
+  for (const auto& r : w.requests.records()) {
+    accesses[map.node(r.file)] += 1;
+  }
+  const auto [lo, hi] = std::minmax_element(accesses.begin(), accesses.end());
+  // Within 30% of each other (popularity-ordered dealing is near-optimal).
+  EXPECT_LT(static_cast<double>(*hi - *lo),
+            0.3 * static_cast<double>(*hi));
+}
+
+TEST(Placement, SizeBalancedEqualizesBytes) {
+  trace::Trace empty;
+  const trace::PopularityAnalyzer pop(empty);
+  std::vector<Bytes> sizes = {100, 1, 1, 1, 97, 1, 1, 1};
+  Rng rng(1);
+  const PlacementMap map =
+      place_files(PlacementPolicy::kSizeBalanced, 2, 8, pop, sizes, rng);
+  Bytes load[2] = {0, 0};
+  for (trace::FileId f = 0; f < 8; ++f) load[map.node(f)] += sizes[f];
+  const auto diff = load[0] > load[1] ? load[0] - load[1] : load[1] - load[0];
+  EXPECT_LE(diff, 100u);
+}
+
+TEST(Placement, RandomIsDeterministicGivenRngState) {
+  const trace::Trace t = skewed_trace();
+  const trace::PopularityAnalyzer pop(t);
+  const std::vector<Bytes> sizes(10, kMB);
+  Rng rng1(7), rng2(7);
+  const auto a = place_files(PlacementPolicy::kRandom, 5, 10, pop, sizes, rng1);
+  const auto b = place_files(PlacementPolicy::kRandom, 5, 10, pop, sizes, rng2);
+  EXPECT_EQ(a.node_of, b.node_of);
+}
+
+TEST(Placement, RejectsBadArguments) {
+  const trace::Trace t = skewed_trace();
+  const trace::PopularityAnalyzer pop(t);
+  const std::vector<Bytes> sizes(10, kMB);
+  Rng rng(1);
+  EXPECT_THROW(place_files(PlacementPolicy::kPopularityRoundRobin, 0, 10, pop,
+                           sizes, rng),
+               std::invalid_argument);
+  EXPECT_THROW(place_files(PlacementPolicy::kPopularityRoundRobin, 2, 11, pop,
+                           sizes, rng),
+               std::invalid_argument);
+}
+
+TEST(Placement, SingleNodeTakesEverything) {
+  const trace::Trace t = skewed_trace();
+  const trace::PopularityAnalyzer pop(t);
+  const std::vector<Bytes> sizes(10, kMB);
+  Rng rng(1);
+  const auto map = place_files(PlacementPolicy::kPopularityRoundRobin, 1, 10,
+                               pop, sizes, rng);
+  EXPECT_EQ(map.files_on_node[0].size(), 10u);
+  EXPECT_EQ(map.files_on_node[0][0], 9u);  // ranked first
+}
+
+}  // namespace
+}  // namespace eevfs::core

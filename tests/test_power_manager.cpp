@@ -1,0 +1,197 @@
+#include "core/power_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace eevfs::core {
+namespace {
+
+class PowerManagerTest : public ::testing::Test {
+ protected:
+  PowerManagerTest()
+      : profile(disk::DiskProfile::ata133_fast()),
+        disk(std::make_unique<disk::DiskModel>(sim, profile, "d0")) {}
+
+  PowerManager::Params params(PowerPolicy policy) {
+    PowerManager::Params p;
+    p.policy = policy;
+    p.idle_threshold = seconds_to_ticks(5.0);
+    p.sleep_margin = 1.8;
+    return p;
+  }
+
+  /// Submits a 1 MB request at absolute time `at`.
+  void request_at(PowerManager& pm, Tick at) {
+    sim.schedule_at(at, [this, &pm] {
+      pm.note_arrival(0);
+      disk::DiskRequest req;
+      req.bytes = kMB;
+      disk->submit(std::move(req));
+    });
+  }
+
+  sim::Simulator sim;
+  disk::DiskProfile profile;
+  std::unique_ptr<disk::DiskModel> disk;
+};
+
+TEST_F(PowerManagerTest, RejectsEmptyDiskList) {
+  EXPECT_THROW(PowerManager(sim, params(PowerPolicy::kIdleTimer), {}),
+               std::invalid_argument);
+}
+
+TEST_F(PowerManagerTest, NonePolicyNeverSleeps) {
+  PowerManager pm(sim, params(PowerPolicy::kNone), {disk.get()});
+  pm.start();
+  sim.run(seconds_to_ticks(100));
+  EXPECT_EQ(disk->state(), disk::PowerState::kIdle);
+  EXPECT_EQ(disk->spin_downs(), 0u);
+}
+
+TEST_F(PowerManagerTest, IdleTimerSleepsAfterThreshold) {
+  PowerManager pm(sim, params(PowerPolicy::kIdleTimer), {disk.get()});
+  pm.start();
+  sim.run(seconds_to_ticks(4.9));
+  EXPECT_EQ(disk->state(), disk::PowerState::kIdle);
+  sim.run(seconds_to_ticks(7));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+  EXPECT_EQ(pm.sleeps_initiated(), 1u);
+}
+
+TEST_F(PowerManagerTest, ArrivalResetsIdleTimer) {
+  PowerManager pm(sim, params(PowerPolicy::kIdleTimer), {disk.get()});
+  pm.start();
+  request_at(pm, seconds_to_ticks(4.0));
+  sim.run(seconds_to_ticks(8.9));
+  // The timer re-armed when the request completed (~4.02 s), so at 8.9 s
+  // the disk is still up...
+  EXPECT_TRUE(disk::is_spun_up(disk->state()));
+  sim.run(seconds_to_ticks(12));
+  // ...and asleep by ~9.1 s.
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+}
+
+TEST_F(PowerManagerTest, PredictiveStaysUpWhenGapBelowGate) {
+  PowerManager pm(sim, params(PowerPolicy::kPredictive), {disk.get()});
+  pm.set_expected_gap(0, seconds_to_ticks(6.0));  // below 1.8x break-even
+  pm.start();
+  sim.run(seconds_to_ticks(60));
+  EXPECT_EQ(disk->state(), disk::PowerState::kIdle);
+  EXPECT_EQ(pm.sleeps_initiated(), 0u);
+}
+
+TEST_F(PowerManagerTest, PredictiveSleepsWhenGapClearsGate) {
+  PowerManager pm(sim, params(PowerPolicy::kPredictive), {disk.get()});
+  pm.set_expected_gap(0, seconds_to_ticks(60.0));
+  pm.start();
+  sim.run(seconds_to_ticks(10));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+}
+
+TEST_F(PowerManagerTest, PredictiveSleepsWhenNoAccessesExpected) {
+  PowerManager pm(sim, params(PowerPolicy::kPredictive), {disk.get()});
+  pm.set_expected_gap(0, PowerManager::kNever);
+  pm.start();
+  sim.run(seconds_to_ticks(10));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+}
+
+TEST_F(PowerManagerTest, PredictiveFallsBackToTimerWithoutInformation) {
+  PowerManager pm(sim, params(PowerPolicy::kPredictive), {disk.get()});
+  pm.start();  // no expected gap set
+  sim.run(seconds_to_ticks(10));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+}
+
+TEST_F(PowerManagerTest, PredictiveEwmaOverridesOptimisticStaticGap) {
+  PowerManager pm(sim, params(PowerPolicy::kPredictive), {disk.get()});
+  pm.set_expected_gap(0, seconds_to_ticks(1000.0));  // static says sleep
+  // Observed arrivals every 2 s say otherwise.
+  for (int i = 0; i < 10; ++i) {
+    request_at(pm, seconds_to_ticks(2.0 * i));
+  }
+  sim.run(seconds_to_ticks(40));
+  // After the burst the EWMA ~2 s blocks sleeping even though the static
+  // expectation would allow it.
+  EXPECT_TRUE(disk::is_spun_up(disk->state()));
+  EXPECT_EQ(pm.sleeps_initiated(), 0u);
+}
+
+TEST_F(PowerManagerTest, PredictedGapReportsConservativeMinimum) {
+  PowerManager pm(sim, params(PowerPolicy::kPredictive), {disk.get()});
+  EXPECT_FALSE(pm.predicted_gap(0).has_value());
+  pm.set_expected_gap(0, seconds_to_ticks(30.0));
+  EXPECT_EQ(pm.predicted_gap(0).value(), seconds_to_ticks(30.0));
+  request_at(pm, seconds_to_ticks(1.0));
+  request_at(pm, seconds_to_ticks(2.0));
+  request_at(pm, seconds_to_ticks(3.0));
+  sim.run(seconds_to_ticks(4.0));
+  // EWMA of ~1 s gaps < static 30 s -> reports the EWMA.
+  EXPECT_LT(pm.predicted_gap(0).value(), seconds_to_ticks(2.0));
+}
+
+TEST_F(PowerManagerTest, HintsSleepImmediatelyIntoLongWindow) {
+  PowerManager pm(sim, params(PowerPolicy::kHints), {disk.get()});
+  pm.set_future_accesses(0, {seconds_to_ticks(100)});
+  pm.start();
+  sim.run(seconds_to_ticks(3));
+  // No idle-threshold wait: asleep right away.
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+}
+
+TEST_F(PowerManagerTest, HintsProactivelyWakeBeforeTheAccess) {
+  PowerManager pm(sim, params(PowerPolicy::kHints), {disk.get()});
+  pm.set_future_accesses(0, {seconds_to_ticks(100)});
+  pm.start();
+  sim.run(seconds_to_ticks(97));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+  sim.run(seconds_to_ticks(100));
+  // spin_up_time = 2 s: wake began at t=98, so by t=100 the disk is up.
+  EXPECT_TRUE(disk::is_spun_up(disk->state()));
+  EXPECT_EQ(disk->spin_ups(), 1u);
+}
+
+TEST_F(PowerManagerTest, HintsStayUpForImminentAccess) {
+  PowerManager pm(sim, params(PowerPolicy::kHints), {disk.get()});
+  pm.set_future_accesses(0, {seconds_to_ticks(3)});
+  pm.start();
+  sim.run(seconds_to_ticks(2));
+  EXPECT_EQ(disk->state(), disk::PowerState::kIdle);
+}
+
+TEST_F(PowerManagerTest, HintsSleepForeverWhenNothingIsComing) {
+  PowerManager pm(sim, params(PowerPolicy::kHints), {disk.get()});
+  pm.set_future_accesses(0, {});
+  pm.start();
+  sim.run(seconds_to_ticks(1000));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+  EXPECT_EQ(disk->spin_ups(), 0u);
+}
+
+TEST_F(PowerManagerTest, OracleIgnoresIdleThresholdFloor) {
+  // A gap just above break-even but below the 5 s idle threshold + margin
+  // is still taken by the oracle.
+  auto p = params(PowerPolicy::kOracle);
+  p.idle_threshold = seconds_to_ticks(50.0);
+  PowerManager pm(sim, p, {disk.get()});
+  const Tick gap =
+      seconds_to_ticks(profile.break_even_seconds() * 1.2);
+  pm.set_future_accesses(0, {gap});
+  pm.start();
+  sim.run(seconds_to_ticks(2));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+}
+
+TEST_F(PowerManagerTest, StartArmsAlreadyIdleDisks) {
+  PowerManager pm(sim, params(PowerPolicy::kIdleTimer), {disk.get()});
+  // Without start() nothing happens...
+  sim.run(seconds_to_ticks(20));
+  EXPECT_EQ(disk->state(), disk::PowerState::kIdle);
+  pm.start();
+  sim.run(seconds_to_ticks(30));
+  EXPECT_EQ(disk->state(), disk::PowerState::kStandby);
+}
+
+}  // namespace
+}  // namespace eevfs::core

@@ -1,0 +1,169 @@
+// Direct unit tests of the PRE-BUD prefix gate (core/prefetcher).
+#include "core/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eevfs::core {
+namespace {
+
+class PrefetcherTest : public ::testing::Test {
+ protected:
+  PrefetcherTest()
+      : profile(disk::DiskProfile::ata133_fast()),
+        model(profile, seconds_to_ticks(5.0), 1.0) {}
+
+  Prefetcher make(bool gate = true) const {
+    return Prefetcher(model, profile, gate);
+  }
+
+  /// Accesses every `gap_s` seconds over the horizon for one file.
+  std::vector<Tick> periodic(double gap_s, double horizon_s,
+                             double offset_s = 0.0) const {
+    std::vector<Tick> out;
+    for (double t = offset_s; t < horizon_s; t += gap_s) {
+      out.push_back(seconds_to_ticks(t));
+    }
+    return out;
+  }
+
+  disk::DiskProfile profile;
+  EnergyPredictionModel model;
+  static constexpr Tick kHorizon = 800 * kTicksPerSecond;
+};
+
+TEST_F(PrefetcherTest, EmptyCandidatesYieldEmptyPlan) {
+  const auto plan =
+      make().plan({}, {}, {{}, {}}, kHorizon, 80 * kGB);
+  EXPECT_TRUE(plan.accepted.empty());
+  EXPECT_TRUE(plan.rejected_by_gate.empty());
+  EXPECT_EQ(plan.total_bytes, 0u);
+  ASSERT_EQ(plan.residual_disk_accesses.size(), 2u);
+}
+
+TEST_F(PrefetcherTest, AcceptsSetThatOpensTheWholeHorizon) {
+  // Three files interleave 5 s apart on one disk: no single file opens a
+  // window, the set of all three opens the whole horizon — the prefix
+  // gate must accept all of them (the greedy-per-file gate would not).
+  std::map<trace::FileId, std::vector<Tick>> accesses;
+  std::vector<Tick> disk0;
+  for (trace::FileId f = 0; f < 3; ++f) {
+    accesses[f] = periodic(15.0, 800.0, 5.0 * f);
+    for (const Tick t : accesses[f]) disk0.push_back(t);
+  }
+  std::sort(disk0.begin(), disk0.end());
+
+  std::vector<PrefetchCandidate> cands = {
+      {0, 10 * kMB, {0}}, {1, 10 * kMB, {0}}, {2, 10 * kMB, {0}}};
+  const auto plan =
+      make().plan(cands, accesses, {disk0}, kHorizon, 80 * kGB);
+  EXPECT_EQ(plan.accepted.size(), 3u);
+  EXPECT_TRUE(plan.residual_disk_accesses[0].empty());
+  EXPECT_GT(plan.predicted_benefit, 0.0);
+}
+
+TEST_F(PrefetcherTest, StopsAtThePrefixWhereBenefitPeaks) {
+  // File 0 is hot (all the traffic); files 1 and 2 are never accessed —
+  // copying them is pure cost, so the best prefix is just {0}.
+  std::map<trace::FileId, std::vector<Tick>> accesses;
+  accesses[0] = periodic(10.0, 800.0);
+  const std::vector<Tick> disk0 = accesses[0];
+
+  std::vector<PrefetchCandidate> cands = {
+      {0, 10 * kMB, {0}}, {1, 10 * kMB, {0}}, {2, 10 * kMB, {0}}};
+  const auto plan =
+      make().plan(cands, accesses, {disk0}, kHorizon, 80 * kGB);
+  ASSERT_EQ(plan.accepted.size(), 1u);
+  EXPECT_EQ(plan.accepted[0].file, 0u);
+  EXPECT_EQ(plan.rejected_by_gate,
+            (std::vector<trace::FileId>{1, 2}));
+}
+
+TEST_F(PrefetcherTest, RejectsEverythingOnASleepableDisk) {
+  // One access far in the future: the disk already sleeps the whole
+  // horizon; buffering gains next to nothing and costs a copy.
+  std::map<trace::FileId, std::vector<Tick>> accesses;
+  accesses[0] = {seconds_to_ticks(400)};
+  std::map<trace::FileId, std::vector<Tick>> dense;
+  // Surround with dense traffic from a non-candidate file so removing
+  // file 0 opens no window.
+  std::vector<Tick> disk0 = periodic(3.0, 800.0);
+  disk0.push_back(seconds_to_ticks(400));
+  std::sort(disk0.begin(), disk0.end());
+
+  std::vector<PrefetchCandidate> cands = {{0, 10 * kMB, {0}}};
+  const auto plan =
+      make().plan(cands, accesses, {disk0}, kHorizon, 80 * kGB);
+  EXPECT_TRUE(plan.accepted.empty());
+  EXPECT_EQ(plan.rejected_by_gate, (std::vector<trace::FileId>{0}));
+}
+
+TEST_F(PrefetcherTest, NoGateAcceptsEverythingThatFits) {
+  std::map<trace::FileId, std::vector<Tick>> accesses;
+  std::vector<PrefetchCandidate> cands;
+  for (trace::FileId f = 0; f < 5; ++f) {
+    cands.push_back({f, 10 * kMB, {0}});
+  }
+  const auto plan = make(/*gate=*/false)
+                        .plan(cands, accesses, {{}}, kHorizon, 35 * kMB);
+  // 35 MB capacity fits three 10 MB files.
+  EXPECT_EQ(plan.accepted.size(), 3u);
+  EXPECT_EQ(plan.total_bytes, 30 * kMB);
+  EXPECT_TRUE(plan.rejected_by_gate.empty());  // capacity, not the gate
+}
+
+TEST_F(PrefetcherTest, CapacityBoundsTheGatedPrefixToo) {
+  std::map<trace::FileId, std::vector<Tick>> accesses;
+  std::vector<Tick> disk0;
+  std::vector<PrefetchCandidate> cands;
+  for (trace::FileId f = 0; f < 4; ++f) {
+    accesses[f] = periodic(20.0, 800.0, 5.0 * f);
+    for (const Tick t : accesses[f]) disk0.push_back(t);
+    cands.push_back({f, 10 * kMB, {0}});
+  }
+  std::sort(disk0.begin(), disk0.end());
+  const auto plan =
+      make().plan(cands, accesses, {disk0}, kHorizon, 25 * kMB);
+  EXPECT_LE(plan.accepted.size(), 2u);
+  EXPECT_LE(plan.total_bytes, 25 * kMB);
+}
+
+TEST_F(PrefetcherTest, GroupsByDiskSetForStripedCandidates) {
+  // Two striped files covering disks {0,1}: their accesses land on both
+  // disks; accepting them must clear both residual timelines.
+  std::map<trace::FileId, std::vector<Tick>> accesses;
+  accesses[0] = periodic(12.0, 800.0);
+  accesses[1] = periodic(12.0, 800.0, 6.0);
+  std::vector<Tick> timeline;
+  for (const auto& [f, ts] : accesses) {
+    timeline.insert(timeline.end(), ts.begin(), ts.end());
+  }
+  std::sort(timeline.begin(), timeline.end());
+
+  std::vector<PrefetchCandidate> cands = {{0, 10 * kMB, {0, 1}},
+                                          {1, 10 * kMB, {0, 1}}};
+  const auto plan = make().plan(cands, accesses, {timeline, timeline},
+                                kHorizon, 80 * kGB);
+  EXPECT_EQ(plan.accepted.size(), 2u);
+  EXPECT_TRUE(plan.residual_disk_accesses[0].empty());
+  EXPECT_TRUE(plan.residual_disk_accesses[1].empty());
+}
+
+TEST_F(PrefetcherTest, ResidualsShrinkExactlyByAcceptedAccesses) {
+  std::map<trace::FileId, std::vector<Tick>> accesses;
+  accesses[0] = periodic(10.0, 800.0);
+  accesses[1] = {seconds_to_ticks(401)};  // not a candidate
+  std::vector<Tick> disk0 = accesses[0];
+  disk0.push_back(seconds_to_ticks(401));
+  std::sort(disk0.begin(), disk0.end());
+
+  std::vector<PrefetchCandidate> cands = {{0, 10 * kMB, {0}}};
+  const auto plan =
+      make().plan(cands, accesses, {disk0}, kHorizon, 80 * kGB);
+  ASSERT_EQ(plan.accepted.size(), 1u);
+  // Only the non-candidate's access remains.
+  EXPECT_EQ(plan.residual_disk_accesses[0],
+            (std::vector<Tick>{seconds_to_ticks(401)}));
+}
+
+}  // namespace
+}  // namespace eevfs::core

@@ -1,0 +1,191 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace eevfs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowStaysBelowBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBound)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBound, 0.06 * kSamples / kBound);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasConfiguredMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.05);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatchMu) {
+  const double mu = GetParam();
+  Rng rng(23);
+  constexpr int kSamples = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = static_cast<double>(rng.poisson(mu));
+    EXPECT_GE(v, 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, mu, 4.0 * std::sqrt(mu / kSamples) + 0.02);
+  EXPECT_NEAR(var, mu, 0.08 * mu + 0.1);
+}
+
+// Table II MU values, spanning both sampler branches (Knuth / PTRS).
+INSTANTIATE_TEST_SUITE_P(TableTwoMus, PoissonMeanTest,
+                         ::testing::Values(1.0, 10.0, 29.9, 30.1, 100.0,
+                                           1000.0));
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  constexpr int kSamples = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(sum_sq / kSamples - mean * mean, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalWithMeanHitsTargetMean) {
+  Rng rng(31);
+  constexpr int kSamples = 400000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.lognormal_with_mean(10.0, 0.5);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentDeterministicStreams) {
+  const Rng root(99);
+  Rng a1 = root.fork(1), a2 = root.fork(1), b = root.fork(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  }
+  Rng a3 = root.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a3.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkDiffersFromParentStream) {
+  Rng root(99);
+  Rng child = root.fork(0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (root.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Zipf, ProbabilitiesDecreaseWithRank) {
+  Rng rng(37);
+  const ZipfDistribution zipf(100, 0.98);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[60]);
+  // Rank-0 mass for alpha ~1 over 100 ranks is ~1/H_100 ~ 0.19.
+  EXPECT_NEAR(counts[0] / 200000.0, 0.19, 0.04);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  Rng rng(41);
+  const ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Rng rng(43);
+  const ZipfDistribution zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  // Advancing twice from the same state gives distinct values.
+  std::uint64_t s = 0;
+  EXPECT_NE(splitmix64(s), splitmix64(s));
+}
+
+}  // namespace
+}  // namespace eevfs

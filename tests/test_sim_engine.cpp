@@ -1,0 +1,173 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace eevfs::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsPopFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Tick fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 0);  // cancelled events do not advance time
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h = sim.schedule_at(1, [&] { ++count; });
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, HandleNotPendingInsideOwnCallback) {
+  Simulator sim;
+  EventHandle h;
+  bool pending_inside = true;
+  h = sim.schedule_at(5, [&] { pending_inside = h.pending(); });
+  sim.run();
+  EXPECT_FALSE(pending_inside);
+}
+
+TEST(Simulator, RunUntilStopsAndResumes) {
+  Simulator sim;
+  std::vector<Tick> fired;
+  for (Tick t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  const auto n1 = sim.run(25);
+  EXPECT_EQ(n1, 2u);
+  EXPECT_EQ(sim.now(), 25);
+  const auto n2 = sim.run();
+  EXPECT_EQ(n2, 2u);
+  EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30, 40}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator sim;
+  sim.run(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  Tick when = -1;
+  sim.schedule_at(42, [&] {
+    sim.schedule_after(0, [&] { when = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(when, 42);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Tick last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    const Tick t = (i * 7919) % 1000;  // scrambled times
+    sim.schedule_at(t, [&, t] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+      (void)t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed_events(), 20000u);
+}
+
+}  // namespace
+}  // namespace eevfs::sim

@@ -1,0 +1,277 @@
+#include "core/storage_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace eevfs::core {
+namespace {
+
+class StorageNodeTest : public ::testing::Test {
+ protected:
+  StorageNodeTest() : net(sim) {
+    node_ep = net.add_endpoint("node", net::mbps_to_bytes_per_sec(1000));
+    client_ep = net.add_endpoint("client", net::mbps_to_bytes_per_sec(1000));
+  }
+
+  NodeParams params() {
+    NodeParams p;
+    p.id = 0;
+    p.data_disks = 2;
+    p.buffer_disks = 1;
+    p.disk_profile = disk::DiskProfile::ata133_fast();
+    p.power.policy = PowerPolicy::kPredictive;
+    return p;
+  }
+
+  std::unique_ptr<StorageNode> make_node(NodeParams p) {
+    return std::make_unique<StorageNode>(sim, net, node_ep, p);
+  }
+
+  /// Registers `n` equally sized files and a pattern where file 0 is
+  /// accessed every second (hot) and the rest once each at the end.
+  void setup_files(StorageNode& node, std::size_t n, Bytes size,
+                   Tick horizon) {
+    std::map<trace::FileId, std::vector<Tick>> pattern;
+    for (trace::FileId f = 0; f < n; ++f) {
+      node.create_file(f, size);
+      if (f == 0) {
+        for (Tick t = 0; t < horizon; t += seconds_to_ticks(1)) {
+          pattern[f].push_back(t);
+        }
+      } else {
+        pattern[f].push_back(horizon - seconds_to_ticks(1));
+      }
+    }
+    node.receive_access_pattern(std::move(pattern), horizon);
+  }
+
+  sim::Simulator sim;
+  net::NetworkFabric net;
+  net::EndpointId node_ep{}, client_ep{};
+};
+
+TEST_F(StorageNodeTest, RoundRobinDiskAssignment) {
+  auto node = make_node(params());
+  for (trace::FileId f = 0; f < 6; ++f) node->create_file(f, kMB);
+  EXPECT_EQ(node->data_disk_of(0).value(), 0u);
+  EXPECT_EQ(node->data_disk_of(1).value(), 1u);
+  EXPECT_EQ(node->data_disk_of(2).value(), 0u);
+  EXPECT_EQ(node->data_disk_of(5).value(), 1u);
+  EXPECT_FALSE(node->data_disk_of(99).has_value());
+}
+
+TEST_F(StorageNodeTest, ConcentratePlacementBandsByPopularityOrder) {
+  auto p = params();
+  p.disk_placement = DiskPlacement::kConcentrate;
+  p.data_disks = 2;
+  auto node = make_node(p);
+  node->expect_files(6);
+  for (trace::FileId f = 0; f < 6; ++f) node->create_file(f, kMB);
+  // First half (hottest) on disk 0, second half on disk 1.
+  EXPECT_EQ(node->data_disk_of(0).value(), 0u);
+  EXPECT_EQ(node->data_disk_of(2).value(), 0u);
+  EXPECT_EQ(node->data_disk_of(3).value(), 1u);
+  EXPECT_EQ(node->data_disk_of(5).value(), 1u);
+}
+
+TEST_F(StorageNodeTest, ConcentrateWithoutExpectationThrows) {
+  auto p = params();
+  p.disk_placement = DiskPlacement::kConcentrate;
+  auto node = make_node(p);
+  EXPECT_THROW(node->create_file(0, kMB), std::logic_error);
+}
+
+TEST_F(StorageNodeTest, DuplicateCreateThrows) {
+  auto node = make_node(params());
+  node->create_file(0, kMB);
+  EXPECT_THROW(node->create_file(0, kMB), std::invalid_argument);
+}
+
+TEST_F(StorageNodeTest, PrefetchCopiesAndMarksBuffered) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB, seconds_to_ticks(600));
+  bool done = false;
+  node->start_prefetch({0}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(node->is_buffered(0));
+  EXPECT_FALSE(node->is_buffered(1));
+  EXPECT_EQ(node->prefetch_plan().accepted.size(), 1u);
+  // The copy did one data-disk read and one buffer-disk write.
+  EXPECT_EQ(node->data_disk(0).requests_completed(), 1u);
+  EXPECT_EQ(node->buffer_disk(0).requests_completed(), 1u);
+  EXPECT_EQ(node->buffer_disk(0).bytes_transferred(), 10 * kMB);
+}
+
+TEST_F(StorageNodeTest, EmptyPrefetchStillCompletesAndSetsExpectations) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB, seconds_to_ticks(600));
+  bool done = false;
+  node->start_prefetch({}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  // Disk 0 holds the hot file (1 s gaps): predicted gap must be small.
+  const auto gap = node->power_manager().predicted_gap(0);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_LT(*gap, seconds_to_ticks(3));
+}
+
+TEST_F(StorageNodeTest, PrefetchCandidateNotOnNodeThrows) {
+  auto node = make_node(params());
+  setup_files(*node, 2, kMB, seconds_to_ticks(10));
+  EXPECT_THROW(node->start_prefetch({42}, [] {}), std::invalid_argument);
+}
+
+TEST_F(StorageNodeTest, BeginReplayBeforePrefetchThrows) {
+  auto node = make_node(params());
+  EXPECT_THROW(node->begin_replay(0), std::logic_error);
+}
+
+TEST_F(StorageNodeTest, ServeReadHitUsesBufferDiskOnly) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB, seconds_to_ticks(600));
+  node->start_prefetch({0}, [] {});
+  sim.run();
+  const auto data_reads_before = node->data_disk(0).requests_completed();
+  Tick delivered = -1;
+  node->serve_read(0, client_ep, [&](Tick t) { delivered = t; });
+  sim.run();
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(node->data_disk(0).requests_completed(), data_reads_before);
+  EXPECT_EQ(node->buffer_disk(0).requests_completed(), 2u);  // copy + hit
+}
+
+TEST_F(StorageNodeTest, ServeReadMissUsesDataDisk) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB, seconds_to_ticks(600));
+  node->start_prefetch({}, [] {});
+  sim.run();
+  Tick delivered = -1;
+  node->serve_read(1, client_ep, [&](Tick t) { delivered = t; });
+  sim.run();
+  // File 1 lives on data disk 1.
+  EXPECT_EQ(node->data_disk(1).requests_completed(), 1u);
+  EXPECT_GE(delivered,
+            node->data_disk(1).profile().service_time(10 * kMB, false));
+}
+
+TEST_F(StorageNodeTest, ServeReadUnknownFileThrows) {
+  auto node = make_node(params());
+  EXPECT_THROW(node->serve_read(7, client_ep, nullptr), std::logic_error);
+}
+
+TEST_F(StorageNodeTest, OnDemandWakeIsCounted) {
+  auto node = make_node(params());
+  setup_files(*node, 2, kMB, seconds_to_ticks(600));
+  node->start_prefetch({}, [] {});
+  sim.run();
+  // Force disk 0 down, then read from it.
+  while (node->data_disk(0).state() != disk::PowerState::kStandby) {
+    const_cast<disk::DiskModel&>(node->data_disk(0)).request_spin_down();
+    sim.run();
+  }
+  EXPECT_EQ(node->wakeups_on_demand(), 0u);
+  node->serve_read(0, client_ep, nullptr);
+  sim.run();
+  EXPECT_EQ(node->wakeups_on_demand(), 1u);
+}
+
+TEST_F(StorageNodeTest, MaidCopiesOnMissAndHitsAfterwards) {
+  auto p = params();
+  p.cache_policy = CachePolicy::kLruOnMiss;
+  auto node = make_node(p);
+  setup_files(*node, 4, 10 * kMB, seconds_to_ticks(600));
+  node->start_prefetch({}, [] {});
+  sim.run();
+  node->serve_read(2, client_ep, nullptr);  // miss -> copy in background
+  sim.run();
+  EXPECT_TRUE(node->is_buffered(2));
+  const auto before = node->data_disk(0).requests_completed();
+  node->serve_read(2, client_ep, nullptr);  // now a hit
+  sim.run();
+  EXPECT_EQ(node->data_disk(0).requests_completed(), before);
+}
+
+TEST_F(StorageNodeTest, WriteGoesToBufferLogAndDestagesOnRead) {
+  auto node = make_node(params());
+  setup_files(*node, 2, 10 * kMB, seconds_to_ticks(600));
+  node->start_prefetch({}, [] {});
+  sim.run();
+  Tick acked = -1;
+  node->serve_write(0, 10 * kMB, client_ep, [&](Tick t) { acked = t; });
+  // Ack must not wait for the data disk: only the buffer-disk log write.
+  sim.run();
+  EXPECT_GT(acked, 0);
+  EXPECT_LT(acked, seconds_to_ticks(1));
+  // A read on the same disk destages the pending write.
+  node->serve_read(0, client_ep, nullptr);
+  sim.run();
+  EXPECT_FALSE(node->has_pending_writes());
+  // Data disk saw the read plus the destaged write.
+  EXPECT_EQ(node->data_disk(0).requests_completed(), 2u);
+}
+
+TEST_F(StorageNodeTest, WriteFallsThroughWhenBufferingDisabled) {
+  auto p = params();
+  p.write_buffering = false;
+  auto node = make_node(p);
+  setup_files(*node, 2, 10 * kMB, seconds_to_ticks(600));
+  node->start_prefetch({}, [] {});
+  sim.run();
+  node->serve_write(0, 10 * kMB, client_ep, nullptr);
+  sim.run();
+  EXPECT_EQ(node->data_disk(0).requests_completed(), 1u);
+  EXPECT_FALSE(node->has_pending_writes());
+}
+
+TEST_F(StorageNodeTest, WritesToSleepingDisksStayPendingUntilFlushed) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB, seconds_to_ticks(600));
+  node->start_prefetch({}, [] {});
+  sim.run();
+  // Put both data disks into standby: a buffered write must NOT wake them.
+  for (std::size_t d = 0; d < node->num_data_disks(); ++d) {
+    const_cast<disk::DiskModel&>(node->data_disk(d)).request_spin_down();
+  }
+  sim.run();
+  ASSERT_EQ(node->data_disk(0).state(), disk::PowerState::kStandby);
+  node->serve_write(0, 10 * kMB, client_ep, nullptr);
+  node->serve_write(1, 10 * kMB, client_ep, nullptr);
+  sim.run();
+  ASSERT_TRUE(node->has_pending_writes());
+  EXPECT_EQ(node->data_disk(0).state(), disk::PowerState::kStandby);
+  EXPECT_EQ(node->wakeups_on_demand(), 0u);
+
+  bool flushed = false;
+  node->flush_pending_writes([&] { flushed = true; });
+  sim.run();
+  EXPECT_TRUE(flushed);
+  EXPECT_FALSE(node->has_pending_writes());
+  EXPECT_EQ(node->data_disk(0).requests_completed(), 1u);
+  EXPECT_EQ(node->data_disk(1).requests_completed(), 1u);
+}
+
+TEST_F(StorageNodeTest, MetricsAddUp) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB, seconds_to_ticks(600));
+  node->start_prefetch({0}, [] {});
+  sim.run();
+  node->serve_read(0, client_ep, nullptr);  // hit
+  node->serve_read(1, client_ep, nullptr);  // miss
+  sim.run();
+  NodeMetrics m = node->collect_metrics();
+  EXPECT_EQ(m.buffer_hits, 1u);
+  EXPECT_EQ(m.data_disk_reads, 1u);
+  EXPECT_EQ(m.bytes_served, 20 * kMB);
+  EXPECT_EQ(m.bytes_prefetched, 10 * kMB);
+  EXPECT_GT(m.disk_joules, 0.0);
+  EXPECT_DOUBLE_EQ(m.base_joules,
+                   energy(params().base_watts, sim.now()));
+  // Meter covers the whole timeline on every disk.
+  EXPECT_EQ(m.data_disk_meter.total_ticks(), 2 * sim.now());
+  EXPECT_EQ(m.buffer_disk_meter.total_ticks(), sim.now());
+}
+
+}  // namespace
+}  // namespace eevfs::core

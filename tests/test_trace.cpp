@@ -1,0 +1,188 @@
+// Trace container, popularity analysis, text IO, and the append-only
+// access log.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/access_log.hpp"
+#include "trace/io.hpp"
+#include "trace/trace.hpp"
+
+namespace eevfs::trace {
+namespace {
+
+Trace make_trace() {
+  Trace t;
+  t.append({seconds_to_ticks(0), 5, 10 * kMB, Op::kRead, 0});
+  t.append({seconds_to_ticks(1), 3, 5 * kMB, Op::kRead, 1});
+  t.append({seconds_to_ticks(2), 5, 10 * kMB, Op::kRead, 0});
+  t.append({seconds_to_ticks(4), 5, 10 * kMB, Op::kWrite, 2});
+  t.append({seconds_to_ticks(5), 7, 1 * kMB, Op::kRead, 0});
+  return t;
+}
+
+TEST(Trace, AppendMaintainsCountsAndTotals) {
+  const Trace t = make_trace();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.unique_files(), 3u);
+  EXPECT_EQ(t.counts().at(5), 3u);
+  EXPECT_EQ(t.counts().at(3), 1u);
+  EXPECT_EQ(t.total_bytes(), 36 * kMB);
+  EXPECT_EQ(t.duration(), seconds_to_ticks(5));
+}
+
+TEST(Trace, RejectsOutOfOrderArrivals) {
+  Trace t;
+  t.append({100, 1, 1, Op::kRead, 0});
+  EXPECT_THROW(t.append({99, 1, 1, Op::kRead, 0}), std::invalid_argument);
+  t.append({100, 2, 1, Op::kRead, 0});  // equal arrivals are fine
+}
+
+TEST(Trace, EmptyTraceBasics) {
+  const Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.duration(), 0);
+  EXPECT_EQ(t.unique_files(), 0u);
+}
+
+TEST(PopularityAnalyzer, RanksByCountThenId) {
+  const Trace t = make_trace();
+  const PopularityAnalyzer a(t);
+  ASSERT_EQ(a.ranked().size(), 3u);
+  EXPECT_EQ(a.ranked()[0].file, 5u);
+  EXPECT_EQ(a.ranked()[0].accesses, 3u);
+  // Files 3 and 7 tie on one access; the lower id ranks first.
+  EXPECT_EQ(a.ranked()[1].file, 3u);
+  EXPECT_EQ(a.ranked()[2].file, 7u);
+  EXPECT_EQ(a.rank(5), 0u);
+  EXPECT_EQ(a.rank(7), 2u);
+  EXPECT_EQ(a.rank(999), PopularityAnalyzer::npos);
+}
+
+TEST(PopularityAnalyzer, TopAndCoverage) {
+  const Trace t = make_trace();
+  const PopularityAnalyzer a(t);
+  EXPECT_EQ(a.top(1), (std::vector<FileId>{5}));
+  EXPECT_EQ(a.top(10).size(), 3u);
+  EXPECT_DOUBLE_EQ(a.coverage(1), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(a.coverage(3), 1.0);
+  EXPECT_DOUBLE_EQ(a.coverage(0), 0.0);
+}
+
+TEST(PopularityAnalyzer, MeanGapAndAccessTimes) {
+  const Trace t = make_trace();
+  const PopularityAnalyzer a(t);
+  const FilePopularity& hot = a.ranked()[0];
+  EXPECT_EQ(hot.first_access, 0);
+  EXPECT_EQ(hot.last_access, seconds_to_ticks(4));
+  EXPECT_EQ(hot.mean_gap, seconds_to_ticks(2));  // gaps 2 s and 2 s
+  EXPECT_EQ(a.ranked()[1].mean_gap, 0);          // single access
+}
+
+TEST(TraceIo, RoundTripsThroughText) {
+  const Trace t = make_trace();
+  std::stringstream ss;
+  write_trace(ss, t);
+  const Trace back = read_trace(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i], t[i]) << "record " << i;
+  }
+}
+
+TEST(TraceIo, AcceptsCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << kTraceMagic << "\n\n# a comment\n100 1 1000 r 0\n";
+  const Trace t = read_trace(ss);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].file, 1u);
+  EXPECT_EQ(t[0].op, Op::kRead);
+}
+
+TEST(TraceIo, RejectsMissingMagic) {
+  std::stringstream ss("100 1 1000 r 0\n");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadFieldCount) {
+  std::stringstream ss;
+  ss << kTraceMagic << "\n100 1 1000 r\n";
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadOp) {
+  std::stringstream ss;
+  ss << kTraceMagic << "\n100 1 1000 x 0\n";
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadNumber) {
+  std::stringstream ss;
+  ss << kTraceMagic << "\nabc 1 1000 r 0\n";
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = "/tmp/eevfs_trace_test.trace";
+  write_trace_file(path, make_trace());
+  const Trace back = read_trace_file(path);
+  EXPECT_EQ(back.size(), 5u);
+  EXPECT_THROW(read_trace_file("/nonexistent/nope.trace"),
+               std::runtime_error);
+}
+
+TEST(AccessLog, CountsAndRanks) {
+  AccessLog log;
+  log.append(1, 0);
+  log.append(2, 10);
+  log.append(1, 20);
+  log.append(1, 30);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.accesses(1), 3u);
+  EXPECT_EQ(log.accesses(2), 1u);
+  EXPECT_EQ(log.accesses(99), 0u);
+  EXPECT_EQ(log.ranked(), (std::vector<FileId>{1, 2}));
+}
+
+TEST(AccessLog, PredictedGapIsEwma) {
+  AccessLog log(0.5);
+  EXPECT_FALSE(log.predicted_gap(7).has_value());
+  log.append(7, 0);
+  EXPECT_FALSE(log.predicted_gap(7).has_value());  // one access, no gap yet
+  log.append(7, 100);
+  EXPECT_EQ(log.predicted_gap(7).value(), 100);
+  log.append(7, 300);  // gap 200; ewma = 0.5*200 + 0.5*100 = 150
+  EXPECT_EQ(log.predicted_gap(7).value(), 150);
+  EXPECT_EQ(log.last_access(7).value(), 300);
+}
+
+TEST(AccessLog, RejectsTimeTravel) {
+  AccessLog log;
+  log.append(1, 100);
+  EXPECT_THROW(log.append(2, 50), std::invalid_argument);
+}
+
+TEST(AccessLog, RejectsBadAlpha) {
+  EXPECT_THROW(AccessLog(0.0), std::invalid_argument);
+  EXPECT_THROW(AccessLog(1.5), std::invalid_argument);
+}
+
+TEST(AccessLog, ExportsAsTrace) {
+  AccessLog log;
+  log.append(3, 5, 100);
+  log.append(4, 8, 200);
+  const Trace t = log.to_trace();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].file, 3u);
+  EXPECT_EQ(t[1].arrival, 8);
+  EXPECT_EQ(t[1].bytes, 200u);
+}
+
+}  // namespace
+}  // namespace eevfs::trace

@@ -1,0 +1,57 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eevfs {
+namespace {
+
+TEST(Units, SecondsToTicksRoundTrips) {
+  EXPECT_EQ(seconds_to_ticks(1.0), kTicksPerSecond);
+  EXPECT_EQ(seconds_to_ticks(0.0), 0);
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(seconds_to_ticks(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(kTicksPerSecond / 2), 0.5);
+}
+
+TEST(Units, SecondsToTicksRoundsToNearest) {
+  EXPECT_EQ(seconds_to_ticks(1e-6), 1);
+  EXPECT_EQ(seconds_to_ticks(0.49e-6), 0);
+  EXPECT_EQ(seconds_to_ticks(0.51e-6), 1);
+}
+
+TEST(Units, MillisecondsToTicks) {
+  EXPECT_EQ(milliseconds_to_ticks(700.0), 700 * kTicksPerMillisecond);
+  EXPECT_DOUBLE_EQ(ticks_to_milliseconds(milliseconds_to_ticks(350.0)), 350.0);
+}
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kMB, 1'000'000u);
+  EXPECT_EQ(kGB, 1'000u * kMB);
+  EXPECT_DOUBLE_EQ(bytes_to_mib(kMiB), 1.0);
+}
+
+TEST(Units, EnergyIntegratesWattsOverTicks) {
+  EXPECT_DOUBLE_EQ(energy(10.0, seconds_to_ticks(5.0)), 50.0);
+  EXPECT_DOUBLE_EQ(energy(0.0, seconds_to_ticks(100.0)), 0.0);
+  EXPECT_DOUBLE_EQ(energy(7.5, 0), 0.0);
+}
+
+TEST(Units, TransferTicksMatchesBandwidth) {
+  // 58 MB/s moving 58 MB takes exactly one second.
+  EXPECT_EQ(transfer_ticks(58 * kMB, 58e6), kTicksPerSecond);
+  // 10 MB at 100 MB/s = 100 ms.
+  EXPECT_EQ(transfer_ticks(10 * kMB, 100e6), 100 * kTicksPerMillisecond);
+}
+
+TEST(Units, TransferTicksNeverInstantForNonzeroBytes) {
+  EXPECT_EQ(transfer_ticks(0, 1e9), 0);
+  EXPECT_GE(transfer_ticks(1, 1e12), 1);
+}
+
+TEST(Units, TransferTicksZeroRateIsZero) {
+  EXPECT_EQ(transfer_ticks(kMB, 0.0), 0);
+  EXPECT_EQ(transfer_ticks(kMB, -5.0), 0);
+}
+
+}  // namespace
+}  // namespace eevfs

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/trace.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/webtrace.hpp"
+
+namespace eevfs::workload {
+namespace {
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticConfig cfg;
+  cfg.num_requests = 200;
+  const Workload a = generate_synthetic(cfg);
+  const Workload b = generate_synthetic(cfg);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i], b.requests[i]);
+  }
+  cfg.seed = 99;
+  const Workload c = generate_synthetic(cfg);
+  bool all_equal = true;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    if (!(a.requests[i] == c.requests[i])) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Synthetic, FixedSizesMatchMean) {
+  SyntheticConfig cfg;
+  cfg.mean_data_size_mb = 25.0;
+  cfg.num_requests = 10;
+  const Workload w = generate_synthetic(cfg);
+  ASSERT_EQ(w.file_sizes.size(), cfg.num_files);
+  for (const Bytes s : w.file_sizes) EXPECT_EQ(s, 25 * kMB);
+  for (const auto& r : w.requests.records()) EXPECT_EQ(r.bytes, 25 * kMB);
+}
+
+TEST(Synthetic, LognormalSizesAverageToMean) {
+  SyntheticConfig cfg;
+  cfg.size_sigma = 0.8;
+  cfg.mean_data_size_mb = 10.0;
+  cfg.num_files = 20000;
+  const Workload w = generate_synthetic(cfg);
+  double sum = 0.0;
+  for (const Bytes s : w.file_sizes) sum += static_cast<double>(s);
+  EXPECT_NEAR(sum / static_cast<double>(cfg.num_files), 10e6, 0.5e6);
+}
+
+TEST(Synthetic, FixedInterArrivalSpacing) {
+  SyntheticConfig cfg;
+  cfg.inter_arrival_ms = 350.0;
+  cfg.num_requests = 50;
+  const Workload w = generate_synthetic(cfg);
+  for (std::size_t i = 1; i < w.requests.size(); ++i) {
+    EXPECT_EQ(w.requests[i].arrival - w.requests[i - 1].arrival,
+              milliseconds_to_ticks(350.0));
+  }
+}
+
+TEST(Synthetic, ZeroInterArrivalIsBurst) {
+  SyntheticConfig cfg;
+  cfg.inter_arrival_ms = 0.0;
+  cfg.num_requests = 20;
+  const Workload w = generate_synthetic(cfg);
+  EXPECT_EQ(w.requests.duration(), 0);
+}
+
+TEST(Synthetic, JitteredArrivalsKeepMeanRate) {
+  SyntheticConfig cfg;
+  cfg.inter_arrival_ms = 100.0;
+  cfg.inter_arrival_jitter = 1.0;  // fully exponential
+  cfg.num_requests = 20000;
+  const Workload w = generate_synthetic(cfg);
+  const double mean_gap_ms =
+      ticks_to_milliseconds(w.requests.duration()) /
+      static_cast<double>(cfg.num_requests - 1);
+  EXPECT_NEAR(mean_gap_ms, 100.0, 3.0);
+}
+
+// The paper's popularity semantics: working-set width grows with MU.
+class MuWorkingSetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MuWorkingSetTest, WorkingSetScalesWithSqrtMu) {
+  SyntheticConfig cfg;
+  cfg.mu = GetParam();
+  cfg.num_requests = 2000;
+  const Workload w = generate_synthetic(cfg);
+  const auto unique = w.requests.unique_files();
+  // sigma = sqrt(mu); the touched set spans roughly +-3 sigma.
+  if (cfg.mu <= 1.0) {
+    EXPECT_LE(unique, 8u);
+  } else if (cfg.mu <= 10.0) {
+    EXPECT_LE(unique, 30u);
+    EXPECT_GE(unique, 5u);
+  } else if (cfg.mu <= 100.0) {
+    EXPECT_LE(unique, 90u);
+    EXPECT_GE(unique, 30u);
+  } else {
+    EXPECT_GE(unique, 100u);
+    EXPECT_LE(unique, 300u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableTwo, MuWorkingSetTest,
+                         ::testing::Values(1.0, 10.0, 100.0, 1000.0));
+
+TEST(Synthetic, Mu100IsFullyCoveredBySeventyFiles) {
+  // Reproduces the paper's §VI-A observation: with K=70 prefetched files
+  // the whole working set is covered for MU <= 100 but not for MU = 1000.
+  SyntheticConfig cfg;
+  cfg.num_requests = 1000;
+  cfg.mu = 100.0;
+  {
+    const Workload w = generate_synthetic(cfg);
+    const trace::PopularityAnalyzer a(w.requests);
+    EXPECT_DOUBLE_EQ(a.coverage(70), 1.0);
+  }
+  cfg.mu = 1000.0;
+  {
+    const Workload w = generate_synthetic(cfg);
+    const trace::PopularityAnalyzer a(w.requests);
+    EXPECT_LT(a.coverage(70), 0.95);
+    EXPECT_GT(a.coverage(70), 0.5);
+  }
+}
+
+TEST(Synthetic, RejectsInvalidConfigs) {
+  SyntheticConfig cfg;
+  cfg.num_files = 0;
+  EXPECT_THROW(generate_synthetic(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.num_requests = 0;
+  EXPECT_THROW(generate_synthetic(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.mean_data_size_mb = -1;
+  EXPECT_THROW(generate_synthetic(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.mu = 0.0;
+  EXPECT_THROW(generate_synthetic(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.inter_arrival_ms = -5;
+  EXPECT_THROW(generate_synthetic(cfg), std::invalid_argument);
+}
+
+TEST(Synthetic, ClientsAreAssignedWithinRange) {
+  SyntheticConfig cfg;
+  cfg.num_clients = 3;
+  cfg.num_requests = 500;
+  const Workload w = generate_synthetic(cfg);
+  for (const auto& r : w.requests.records()) EXPECT_LT(r.client, 3u);
+}
+
+TEST(WebTrace, WorkingSetIsBounded) {
+  WebTraceConfig cfg;
+  cfg.num_requests = 3000;
+  const Workload w = generate_webtrace(cfg);
+  EXPECT_LE(w.requests.unique_files(), cfg.working_set);
+  EXPECT_GE(w.requests.unique_files(), cfg.working_set / 2);
+}
+
+TEST(WebTrace, AccessesAreZipfSkewed) {
+  WebTraceConfig cfg;
+  cfg.num_requests = 5000;
+  const Workload w = generate_webtrace(cfg);
+  const trace::PopularityAnalyzer a(w.requests);
+  // The hottest file draws far more than the uniform share.
+  const double uniform_share =
+      static_cast<double>(cfg.num_requests) /
+      static_cast<double>(cfg.working_set);
+  EXPECT_GT(static_cast<double>(a.ranked()[0].accesses), 4 * uniform_share);
+  // ... and the top quarter of the working set covers most accesses.
+  EXPECT_GT(a.coverage(cfg.working_set / 4), 0.6);
+}
+
+TEST(WebTrace, SeventyFilesCoverTheWholeTrace) {
+  // The property the paper exploits in Fig. 6: all requests can be
+  // served from a 70-file prefetch.
+  WebTraceConfig cfg;
+  cfg.num_requests = 1000;
+  cfg.working_set = 60;
+  const Workload w = generate_webtrace(cfg);
+  const trace::PopularityAnalyzer a(w.requests);
+  EXPECT_DOUBLE_EQ(a.coverage(70), 1.0);
+}
+
+TEST(WebTrace, HotFilesAreScatteredAcrossIdSpace) {
+  WebTraceConfig cfg;
+  cfg.num_requests = 2000;
+  const Workload w = generate_webtrace(cfg);
+  trace::FileId max_id = 0;
+  for (const auto& [f, _] : w.requests.counts()) max_id = std::max(max_id, f);
+  EXPECT_GT(max_id, 500u);  // not clustered at the low ids
+}
+
+TEST(WebTrace, FixedDataSize) {
+  WebTraceConfig cfg;
+  cfg.data_size_mb = 10.0;
+  cfg.num_requests = 100;
+  const Workload w = generate_webtrace(cfg);
+  for (const auto& r : w.requests.records()) EXPECT_EQ(r.bytes, 10 * kMB);
+}
+
+TEST(WebTrace, DeterministicForSameSeed) {
+  WebTraceConfig cfg;
+  cfg.num_requests = 300;
+  const Workload a = generate_webtrace(cfg);
+  const Workload b = generate_webtrace(cfg);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i], b.requests[i]);
+  }
+}
+
+TEST(WebTrace, RejectsInvalidConfigs) {
+  WebTraceConfig cfg;
+  cfg.working_set = 0;
+  EXPECT_THROW(generate_webtrace(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.working_set = cfg.num_files + 1;
+  EXPECT_THROW(generate_webtrace(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.burstiness = 1.0;
+  EXPECT_THROW(generate_webtrace(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eevfs::workload
