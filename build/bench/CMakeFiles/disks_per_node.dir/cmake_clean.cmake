@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disks_per_node.dir/disks_per_node.cpp.o"
+  "CMakeFiles/disks_per_node.dir/disks_per_node.cpp.o.d"
+  "disks_per_node"
+  "disks_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disks_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/eevfs_bench_harness.dir/harness.cpp.o.d"
+  "libeevfs_bench_harness.a"
+  "libeevfs_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_energy.dir/fig3_energy.cpp.o"
+  "CMakeFiles/fig3_energy.dir/fig3_energy.cpp.o.d"
+  "fig3_energy"
+  "fig3_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

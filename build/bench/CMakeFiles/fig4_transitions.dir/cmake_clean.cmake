@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_transitions.dir/fig4_transitions.cpp.o"
+  "CMakeFiles/fig4_transitions.dir/fig4_transitions.cpp.o.d"
+  "fig4_transitions"
+  "fig4_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_response.dir/fig5_response.cpp.o"
+  "CMakeFiles/fig5_response.dir/fig5_response.cpp.o.d"
+  "fig5_response"
+  "fig5_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_webtrace.dir/fig6_webtrace.cpp.o"
+  "CMakeFiles/fig6_webtrace.dir/fig6_webtrace.cpp.o.d"
+  "fig6_webtrace"
+  "fig6_webtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_webtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/eevfs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/prebud/CMakeFiles/eevfs_prebud.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eevfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/eevfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eevfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eevfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eevfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eevfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eevfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prebud_parallel_disks.dir/prebud_parallel_disks.cpp.o"
+  "CMakeFiles/prebud_parallel_disks.dir/prebud_parallel_disks.cpp.o.d"
+  "prebud_parallel_disks"
+  "prebud_parallel_disks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prebud_parallel_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

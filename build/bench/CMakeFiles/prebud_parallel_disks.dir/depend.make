@@ -1,0 +1,2 @@
+# Empty dependencies file for prebud_parallel_disks.
+# This may be replaced when dependencies are built.

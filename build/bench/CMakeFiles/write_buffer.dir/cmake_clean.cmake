@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_buffer.dir/write_buffer.cpp.o"
+  "CMakeFiles/write_buffer.dir/write_buffer.cpp.o.d"
+  "write_buffer"
+  "write_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

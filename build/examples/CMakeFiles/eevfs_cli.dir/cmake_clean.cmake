@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_cli.dir/eevfs_cli.cpp.o"
+  "CMakeFiles/eevfs_cli.dir/eevfs_cli.cpp.o.d"
+  "eevfs_cli"
+  "eevfs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

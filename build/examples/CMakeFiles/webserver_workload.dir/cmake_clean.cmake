@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_workload.dir/webserver_workload.cpp.o"
+  "CMakeFiles/webserver_workload.dir/webserver_workload.cpp.o.d"
+  "webserver_workload"
+  "webserver_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

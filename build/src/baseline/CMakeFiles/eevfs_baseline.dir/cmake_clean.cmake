@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_baseline.dir/presets.cpp.o"
+  "CMakeFiles/eevfs_baseline.dir/presets.cpp.o.d"
+  "libeevfs_baseline.a"
+  "libeevfs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_manager.cpp" "src/core/CMakeFiles/eevfs_core.dir/buffer_manager.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/buffer_manager.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/eevfs_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/eevfs_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/energy_model.cpp" "src/core/CMakeFiles/eevfs_core.dir/energy_model.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/energy_model.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/core/CMakeFiles/eevfs_core.dir/metadata.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/eevfs_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/eevfs_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/power_manager.cpp" "src/core/CMakeFiles/eevfs_core.dir/power_manager.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/power_manager.cpp.o.d"
+  "/root/repo/src/core/prefetcher.cpp" "src/core/CMakeFiles/eevfs_core.dir/prefetcher.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/core/storage_node.cpp" "src/core/CMakeFiles/eevfs_core.dir/storage_node.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/storage_node.cpp.o.d"
+  "/root/repo/src/core/storage_server.cpp" "src/core/CMakeFiles/eevfs_core.dir/storage_server.cpp.o" "gcc" "src/core/CMakeFiles/eevfs_core.dir/storage_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/eevfs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eevfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eevfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eevfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eevfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eevfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

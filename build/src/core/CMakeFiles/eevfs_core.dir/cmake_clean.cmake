@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_core.dir/buffer_manager.cpp.o"
+  "CMakeFiles/eevfs_core.dir/buffer_manager.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/cluster.cpp.o"
+  "CMakeFiles/eevfs_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/config.cpp.o"
+  "CMakeFiles/eevfs_core.dir/config.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/energy_model.cpp.o"
+  "CMakeFiles/eevfs_core.dir/energy_model.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/metadata.cpp.o"
+  "CMakeFiles/eevfs_core.dir/metadata.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/metrics.cpp.o"
+  "CMakeFiles/eevfs_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/placement.cpp.o"
+  "CMakeFiles/eevfs_core.dir/placement.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/power_manager.cpp.o"
+  "CMakeFiles/eevfs_core.dir/power_manager.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/prefetcher.cpp.o"
+  "CMakeFiles/eevfs_core.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/storage_node.cpp.o"
+  "CMakeFiles/eevfs_core.dir/storage_node.cpp.o.d"
+  "CMakeFiles/eevfs_core.dir/storage_server.cpp.o"
+  "CMakeFiles/eevfs_core.dir/storage_server.cpp.o.d"
+  "libeevfs_core.a"
+  "libeevfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

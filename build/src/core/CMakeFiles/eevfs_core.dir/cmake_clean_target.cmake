@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeevfs_core.a"
+)

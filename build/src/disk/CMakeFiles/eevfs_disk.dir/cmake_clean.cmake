@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_disk.dir/disk_model.cpp.o"
+  "CMakeFiles/eevfs_disk.dir/disk_model.cpp.o.d"
+  "CMakeFiles/eevfs_disk.dir/disk_profile.cpp.o"
+  "CMakeFiles/eevfs_disk.dir/disk_profile.cpp.o.d"
+  "CMakeFiles/eevfs_disk.dir/energy_meter.cpp.o"
+  "CMakeFiles/eevfs_disk.dir/energy_meter.cpp.o.d"
+  "libeevfs_disk.a"
+  "libeevfs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_net.dir/network.cpp.o"
+  "CMakeFiles/eevfs_net.dir/network.cpp.o.d"
+  "libeevfs_net.a"
+  "libeevfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

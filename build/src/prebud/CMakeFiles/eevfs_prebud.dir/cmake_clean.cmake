@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_prebud.dir/bud_simulator.cpp.o"
+  "CMakeFiles/eevfs_prebud.dir/bud_simulator.cpp.o.d"
+  "libeevfs_prebud.a"
+  "libeevfs_prebud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_prebud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_sim.dir/engine.cpp.o"
+  "CMakeFiles/eevfs_sim.dir/engine.cpp.o.d"
+  "libeevfs_sim.a"
+  "libeevfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

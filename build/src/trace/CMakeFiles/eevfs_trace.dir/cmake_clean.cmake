@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_trace.dir/access_log.cpp.o"
+  "CMakeFiles/eevfs_trace.dir/access_log.cpp.o.d"
+  "CMakeFiles/eevfs_trace.dir/io.cpp.o"
+  "CMakeFiles/eevfs_trace.dir/io.cpp.o.d"
+  "CMakeFiles/eevfs_trace.dir/trace.cpp.o"
+  "CMakeFiles/eevfs_trace.dir/trace.cpp.o.d"
+  "libeevfs_trace.a"
+  "libeevfs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

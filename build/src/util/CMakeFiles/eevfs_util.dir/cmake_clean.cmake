@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_util.dir/cli.cpp.o"
+  "CMakeFiles/eevfs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/eevfs_util.dir/csv.cpp.o"
+  "CMakeFiles/eevfs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/eevfs_util.dir/logging.cpp.o"
+  "CMakeFiles/eevfs_util.dir/logging.cpp.o.d"
+  "CMakeFiles/eevfs_util.dir/rng.cpp.o"
+  "CMakeFiles/eevfs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eevfs_util.dir/stats.cpp.o"
+  "CMakeFiles/eevfs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eevfs_util.dir/string_util.cpp.o"
+  "CMakeFiles/eevfs_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/eevfs_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/eevfs_util.dir/thread_pool.cpp.o.d"
+  "libeevfs_util.a"
+  "libeevfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/eevfs_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/eevfs_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/webtrace.cpp" "src/workload/CMakeFiles/eevfs_workload.dir/webtrace.cpp.o" "gcc" "src/workload/CMakeFiles/eevfs_workload.dir/webtrace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/eevfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eevfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eevfs_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/eevfs_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/eevfs_workload.dir/webtrace.cpp.o"
+  "CMakeFiles/eevfs_workload.dir/webtrace.cpp.o.d"
+  "libeevfs_workload.a"
+  "libeevfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eevfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_manager.dir/test_power_manager.cpp.o"
+  "CMakeFiles/test_power_manager.dir/test_power_manager.cpp.o.d"
+  "test_power_manager"
+  "test_power_manager.pdb"
+  "test_power_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prebud.dir/test_prebud.cpp.o"
+  "CMakeFiles/test_prebud.dir/test_prebud.cpp.o.d"
+  "test_prebud"
+  "test_prebud.pdb"
+  "test_prebud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prebud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

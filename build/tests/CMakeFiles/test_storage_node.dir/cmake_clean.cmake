@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_node.dir/test_storage_node.cpp.o"
+  "CMakeFiles/test_storage_node.dir/test_storage_node.cpp.o.d"
+  "test_storage_node"
+  "test_storage_node.pdb"
+  "test_storage_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_server.dir/test_storage_server.cpp.o"
+  "CMakeFiles/test_storage_server.dir/test_storage_server.cpp.o.d"
+  "test_storage_server"
+  "test_storage_server.pdb"
+  "test_storage_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
