@@ -1,0 +1,92 @@
+// Robustness extension bench: energy vs availability under injected
+// data-disk failures.
+//
+// The paper's evaluation (§V) is fault-free, but its energy mechanism is
+// exactly what a failure stresses: the buffer disk concentrates the hot
+// set (a single point of failure per node) and the data disks sleep (a
+// dead drive looks like a long spin-up until the controller gives up).
+// This bench sweeps the number of permanent data-disk failures — at
+// deterministic pseudo-random times and coordinates — against the
+// replication degree, and reports the energy / availability tradeoff:
+//
+//   * availability  — fraction of requests served (after retry/replica)
+//   * dJ measured   — end-to-end energy delta vs the fault-free run of
+//     the same configuration (dead disks draw zero watts, so this can go
+//     *down* while availability craters — the interesting tension)
+//   * dJ modeled    — the node-local estimate of degraded-serving energy
+//     (buffer fallbacks minus buffered rescues), for model validation
+#include <cstdio>
+
+#include "fault/fault_injector.hpp"
+#include "harness.hpp"
+
+using namespace eevfs;
+
+int main() {
+  auto csv = bench::open_csv(
+      "fault_tolerance",
+      {"faults", "replication", "joules", "dj_measured", "dj_modeled",
+       "availability", "failed", "rerouted", "retried", "timed_out",
+       "writes_stranded", "mttr_s"});
+  bench::banner("Fault tolerance (extension)",
+                "injected data-disk failures vs energy and availability",
+                "MU=1000, K=70, inter-arrival=700ms; faults uniform in "
+                "(0, 600s); heartbeat 1s");
+
+  const auto w = bench::paper_workload();
+  std::printf("%-7s %-5s %14s %12s %12s %7s %7s %9s %9s %9s\n", "faults",
+              "repl", "joules", "dJ meas", "dJ model", "avail", "failed",
+              "rerouted", "retried", "stranded");
+  for (const std::size_t repl : {std::size_t{1}, std::size_t{2}}) {
+    // Fault-free reference for this replication degree.
+    double base_joules = 0.0;
+    {
+      core::ClusterConfig cfg = bench::paper_config();
+      cfg.replication_degree = repl;
+      core::Cluster c(cfg);
+      base_joules = c.run(w).total_joules;
+    }
+    for (const std::size_t faults : {0u, 1u, 2u, 4u, 8u}) {
+      core::ClusterConfig cfg = bench::paper_config();
+      cfg.replication_degree = repl;
+      if (faults > 0) {
+        cfg.fault_plan = fault::random_data_disk_failures(
+            /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
+            cfg.data_disks_per_node, faults);
+      }
+      core::Cluster c(cfg);
+      const core::RunMetrics m = c.run(w);
+      const auto& av = m.availability;
+      const double dj = m.total_joules - base_joules;
+      std::printf("%-7zu %-5zu %14.4e %12.3e %12.3e %7s %7llu %9llu %9llu "
+                  "%9llu\n",
+                  faults, repl, m.total_joules, dj, av.fault_energy_delta,
+                  bench::pct(av.availability(m.requests)).c_str(),
+                  static_cast<unsigned long long>(av.failed_requests),
+                  static_cast<unsigned long long>(av.rerouted_requests),
+                  static_cast<unsigned long long>(av.retried_requests),
+                  static_cast<unsigned long long>(av.writes_stranded));
+      csv->row({CsvWriter::cell(static_cast<std::uint64_t>(faults)),
+                CsvWriter::cell(static_cast<std::uint64_t>(repl)),
+                CsvWriter::cell(m.total_joules), CsvWriter::cell(dj),
+                CsvWriter::cell(av.fault_energy_delta),
+                CsvWriter::cell(av.availability(m.requests)),
+                CsvWriter::cell(av.failed_requests),
+                CsvWriter::cell(av.rerouted_requests),
+                CsvWriter::cell(av.retried_requests),
+                CsvWriter::cell(av.timed_out_requests),
+                CsvWriter::cell(av.writes_stranded),
+                CsvWriter::cell(av.mttr_sec)});
+    }
+  }
+  std::printf(
+      "\nexpected shape: unreplicated availability falls with every lost\n"
+      "disk while total energy *drops* (dead drives draw nothing) — an\n"
+      "energy metric alone would score the broken cluster as better.\n"
+      "replication_degree=2 holds availability at 100%% for the same\n"
+      "faults, paying reroute traffic and buffer-fallback energy (the\n"
+      "modeled dJ column tracks the degraded-serving share of the\n"
+      "measured delta).\n");
+  std::printf("\nCSV: %s\n", csv->path().c_str());
+  return 0;
+}

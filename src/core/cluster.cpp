@@ -50,6 +50,9 @@ void Cluster::build(const workload::Workload& workload) {
     params.prebud_gate = config_.prebud_gate;
     params.disk_placement = config_.disk_placement;
     params.stripe_width = config_.stripe_width;
+    params.max_io_retries = config_.max_disk_io_retries;
+    params.io_retry_backoff = milliseconds_to_ticks(config_.disk_io_backoff_ms);
+    params.io_deadline = seconds_to_ticks(config_.disk_io_deadline_sec);
     nodes_.push_back(
         std::make_unique<StorageNode>(*sim_, *net_, ep, params));
     raw.push_back(nodes_.back().get());
@@ -66,6 +69,7 @@ void Cluster::build(const workload::Workload& workload) {
 
   // Steps 1-4.
   server_->register_nodes(std::move(raw));
+  server_->set_replication_degree(config_.replication_degree);
   if (config_.online_popularity) {
     // Blind mode: the server knows the files (sizes) but nothing about
     // the access pattern — popularity is learned from the request log.
@@ -79,6 +83,32 @@ void Cluster::build(const workload::Workload& workload) {
     server_->ingest_history(workload);
     server_->place_and_create(workload);
     server_->distribute_patterns(workload);
+  }
+
+  // Arm the fault schedule (an empty plan costs nothing — no hooks, no
+  // events).  Node-level faults go through these callbacks so the fault
+  // library never depends on core.
+  if (!config_.fault_plan.empty()) {
+    injector_ =
+        std::make_unique<fault::FaultInjector>(*sim_, config_.fault_plan);
+    fault::FaultInjector::Targets targets;
+    targets.disk_of = [this](std::size_t node, bool buffer_disk,
+                             std::size_t d) -> disk::DiskModel* {
+      if (node >= nodes_.size()) return nullptr;
+      StorageNode& sn = *nodes_[node];
+      if (buffer_disk) {
+        return d < sn.num_buffer_disks() ? &sn.mutable_buffer_disk(d)
+                                         : nullptr;
+      }
+      return d < sn.num_data_disks() ? &sn.mutable_data_disk(d) : nullptr;
+    };
+    targets.crash_node = [this](std::size_t node) {
+      if (node < nodes_.size()) nodes_[node]->crash();
+    };
+    targets.restart_node = [this](std::size_t node) {
+      if (node < nodes_.size()) nodes_[node]->restart();
+    };
+    injector_->arm(net_.get(), std::move(targets));
   }
 }
 
@@ -114,6 +144,11 @@ RunMetrics Cluster::run(const workload::Workload& workload) {
             server_->begin_online_refresh(
                 config_.prefetch_file_count,
                 seconds_to_ticks(config_.refresh_interval_sec));
+          }
+          if (injector_ && config_.heartbeat_interval_sec > 0) {
+            server_->begin_health_monitor(
+                seconds_to_ticks(config_.heartbeat_interval_sec),
+                config_.heartbeat_miss_threshold);
           }
           start_replay(workload, replay_start);
         }
@@ -156,27 +191,68 @@ void Cluster::issue_next(std::size_t client_idx, Tick replay_start) {
   auto& queue = replay_queues_[client_idx];
   const trace::TraceRecord r = queue.front();
   queue.pop_front();
+  start_attempt(client_idx, r, replay_start, 0);
+}
+
+void Cluster::start_attempt(std::size_t client_idx,
+                            const trace::TraceRecord& r, Tick replay_start,
+                            std::size_t attempt) {
   Client& client = clients_[client_idx];
   const Tick issued = sim_->now();
+  // One attempt can end two ways — a typed completion from the stack, or
+  // the client-side deadline.  Whichever fires first wins; the guard
+  // makes the loser a no-op (a late reply to a timed-out attempt is
+  // dropped, like a closed socket).
+  auto settled = std::make_shared<bool>(false);
+  auto deadline = std::make_shared<sim::EventHandle>();
+  auto finish = [this, client_idx, r, replay_start, attempt, issued, settled,
+                 deadline](Tick t, RequestStatus st) {
+    if (*settled) return;
+    *settled = true;
+    deadline->cancel();
+    if (request_ok(st)) {
+      clients_[client_idx].record_response(issued, t);
+      if (attempt > 0) ++recovered_by_retry_;
+      complete_request(client_idx, replay_start);
+      return;
+    }
+    if (st == RequestStatus::kTimedOut) ++timed_out_requests_;
+    if (attempt < config_.max_request_retries) {
+      ++client_retries_;
+      start_attempt(client_idx, r, replay_start, attempt + 1);
+      return;
+    }
+    ++failed_requests_;
+    EEVFS_DEBUG() << "request for file " << r.file << " failed: "
+                  << to_string(st);
+    complete_request(client_idx, replay_start);
+  };
+
+  if (config_.request_timeout_sec > 0) {
+    *deadline = sim_->schedule_after(
+        seconds_to_ticks(config_.request_timeout_sec),
+        [this, finish] { finish(sim_->now(), RequestStatus::kTimedOut); });
+  }
   // Step 5: the client asks the server; step 6 delivers data back.
-  net_->send(
-      client.endpoint(), server_->endpoint(), net::kControlMessageBytes,
-      [this, r, client_idx, issued, replay_start](Tick) {
-        server_->route(
-            r, clients_[client_idx].endpoint(),
-            [this, client_idx, issued, replay_start](Tick completed) {
-              clients_[client_idx].record_response(issued, completed);
-              auto& pending = replay_queues_[client_idx];
-              if (!pending.empty()) {
-                const Tick due = replay_start + pending.front().arrival;
-                sim_->schedule_at(std::max(due, sim_->now()),
-                                  [this, client_idx, replay_start] {
-                                    issue_next(client_idx, replay_start);
-                                  });
-              }
-              if (--responses_outstanding_ == 0) finish_run();
-            });
-      });
+  net_->send(client.endpoint(), server_->endpoint(),
+             net::kControlMessageBytes, [this, r, client_idx, finish](Tick) {
+               server_->route(r, clients_[client_idx].endpoint(),
+                              [finish](Tick t, RequestStatus st) {
+                                finish(t, st);
+                              });
+             });
+}
+
+void Cluster::complete_request(std::size_t client_idx, Tick replay_start) {
+  auto& pending = replay_queues_[client_idx];
+  if (!pending.empty()) {
+    const Tick due = replay_start + pending.front().arrival;
+    sim_->schedule_at(std::max(due, sim_->now()),
+                      [this, client_idx, replay_start] {
+                        issue_next(client_idx, replay_start);
+                      });
+  }
+  if (--responses_outstanding_ == 0) finish_run();
 }
 
 void Cluster::finish_run() {
@@ -200,6 +276,7 @@ void Cluster::finish_run() {
   if (finished_) return;
   finished_ = true;
   server_->stop_online_refresh();
+  server_->stop_health_monitor();
 
   metrics_.makespan = sim_->now();
   metrics_.requests = server_->requests_routed();
@@ -223,6 +300,7 @@ void Cluster::finish_run() {
     metrics_.response_p99_sec = p99 / static_cast<double>(total);
   }
 
+  AvailabilityMetrics& av = metrics_.availability;
   for (auto& node : nodes_) {
     node->shutdown();
     NodeMetrics nm = node->collect_metrics();
@@ -235,10 +313,28 @@ void Cluster::finish_run() {
     metrics_.bytes_served += nm.bytes_served;
     metrics_.bytes_prefetched += nm.bytes_prefetched;
     metrics_.wakeups_on_demand += node->wakeups_on_demand();
+    av.disk_io_retries += nm.disk_io_retries;
+    av.buffer_fallback_reads += nm.buffer_fallback_reads;
+    av.buffered_rescues += nm.buffered_rescues;
+    av.writes_stranded += nm.writes_stranded;
+    av.fault_energy_delta += nm.fault_energy_delta;
     metrics_.per_node.push_back(std::move(nm));
   }
   metrics_.power_transitions = metrics_.spin_ups + metrics_.spin_downs;
   metrics_.total_joules = metrics_.disk_joules + metrics_.base_joules;
+
+  if (injector_) av.faults_injected = injector_->faults_injected();
+  av.failed_requests = failed_requests_;
+  av.timed_out_requests = timed_out_requests_;
+  av.client_retries = client_retries_;
+  av.rerouted_requests = server_->requests_rerouted();
+  // "Needed more than one attempt but recovered": client-level re-issues
+  // that eventually succeeded, plus server-side replica failovers (which
+  // recover within a single client attempt).
+  av.retried_requests = recovered_by_retry_ + av.rerouted_requests;
+  av.degraded_ticks = server_->degraded_ticks();
+  av.recovery_episodes = server_->recovery_episodes();
+  av.mttr_sec = server_->mttr_sec();
   EEVFS_INFO() << "run finished: " << metrics_.summary();
 }
 

@@ -9,6 +9,12 @@
 //   Step 5  clients submit requests through the server
 //   Step 6  nodes return data directly to the clients
 //
+// Robustness extension: the cluster also arms the fault injector from
+// config.fault_plan, runs the server's health monitor while faults are
+// live, and drives the client-side retry/timeout loop — a request gets a
+// per-attempt deadline and up to max_request_retries re-issues before it
+// is recorded as failed (typed, never a hang or a crash).
+//
 // A Cluster object is single-use: construct, run(), inspect.
 #pragma once
 
@@ -21,6 +27,7 @@
 #include "core/metrics.hpp"
 #include "core/storage_node.hpp"
 #include "core/storage_server.hpp"
+#include "fault/fault_injector.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "workload/synthetic.hpp"
@@ -46,11 +53,18 @@ class Cluster {
   std::size_t num_nodes() const { return nodes_.size(); }
   const net::NetworkFabric& network() const { return *net_; }
   const ClusterConfig& config() const { return config_; }
+  /// Null on fault-free runs.
+  const fault::FaultInjector* injector() const { return injector_.get(); }
 
  private:
   void build(const workload::Workload& workload);
   void start_replay(const workload::Workload& workload, Tick replay_start);
   void issue_next(std::size_t client_idx, Tick replay_start);
+  /// One attempt of one request: deadline-guarded, typed completion.
+  void start_attempt(std::size_t client_idx, const trace::TraceRecord& r,
+                     Tick replay_start, std::size_t attempt);
+  /// Advances the client's replay chain and the run-completion count.
+  void complete_request(std::size_t client_idx, Tick replay_start);
   void finish_run();
 
   ClusterConfig config_;
@@ -59,12 +73,19 @@ class Cluster {
   std::unique_ptr<StorageServer> server_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   std::vector<Client> clients_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 
   std::size_t responses_outstanding_ = 0;
   bool all_issued_ = false;
   std::vector<std::deque<trace::TraceRecord>> replay_queues_;
   bool finished_ = false;
   RunMetrics metrics_;
+
+  // client-level availability accounting
+  std::uint64_t failed_requests_ = 0;
+  std::uint64_t timed_out_requests_ = 0;
+  std::uint64_t client_retries_ = 0;
+  std::uint64_t recovered_by_retry_ = 0;
 };
 
 /// Convenience for the benches: run the same workload with and without

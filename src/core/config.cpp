@@ -91,6 +91,27 @@ void ClusterConfig::validate() const {
       server_nic_mbps <= 0.0 || client_nic_mbps <= 0.0) {
     throw std::invalid_argument("ClusterConfig: NIC rates must be positive");
   }
+  if (replication_degree == 0) {
+    throw std::invalid_argument("ClusterConfig: replication_degree >= 1");
+  }
+  if (replication_degree > num_storage_nodes) {
+    throw std::invalid_argument(
+        "ClusterConfig: replication_degree exceeds node count");
+  }
+  if (request_timeout_sec < 0.0 || disk_io_backoff_ms < 0.0 ||
+      disk_io_deadline_sec < 0.0 || heartbeat_interval_sec < 0.0) {
+    throw std::invalid_argument("ClusterConfig: negative fault parameters");
+  }
+  if (fault_plan.network_drop_prob < 0.0 ||
+      fault_plan.network_drop_prob >= 1.0) {
+    throw std::invalid_argument(
+        "ClusterConfig: network_drop_prob must be in [0, 1)");
+  }
+  if (fault_plan.network_drop_prob > 0.0 && request_timeout_sec <= 0.0) {
+    throw std::invalid_argument(
+        "ClusterConfig: network drops require request_timeout_sec > 0 "
+        "(dropped requests would strand the run)");
+  }
 }
 
 }  // namespace eevfs::core

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "disk/disk_profile.hpp"
+#include "fault/fault_injector.hpp"
 #include "util/units.hpp"
 
 namespace eevfs::core {
@@ -116,6 +117,35 @@ struct ClusterConfig {
   /// Striping trades energy (every miss spins up the whole stripe set)
   /// for service time — bench/ablation_striping quantifies it.
   std::size_t stripe_width = 1;
+
+  // --- fault tolerance (robustness extension) --------------------------
+  /// Copies of every file, on `replication_degree` distinct nodes
+  /// (popularity round-robin continues past the primary).  1 = the
+  /// paper's unreplicated system.  The server re-routes a request to the
+  /// next healthy replica when the primary fails it.
+  std::size_t replication_degree = 1;
+  /// Client-side deadline per request attempt; 0 disables timeouts.
+  /// Required (> 0) when fault_plan drops network messages — a dropped
+  /// request would otherwise strand the run.
+  double request_timeout_sec = 0.0;
+  /// Re-issues the client attempts after a typed failure or timeout
+  /// before counting the request as failed.
+  std::size_t max_request_retries = 2;
+  /// Node-level disk I/O retry policy: media errors are retried with
+  /// exponential backoff (base * 2^attempt) up to `max_disk_io_retries`
+  /// attempts or until `disk_io_deadline_sec` has elapsed for the I/O.
+  std::size_t max_disk_io_retries = 4;
+  double disk_io_backoff_ms = 5.0;
+  double disk_io_deadline_sec = 30.0;
+  /// Server health monitor: every `heartbeat_interval_sec` the server
+  /// pings each node over the fabric; a node that misses
+  /// `heartbeat_miss_threshold` consecutive beats is marked dead and
+  /// routed around until it answers again.  0 interval = monitor off
+  /// (it arms automatically when fault_plan is non-empty).
+  double heartbeat_interval_sec = 1.0;
+  std::size_t heartbeat_miss_threshold = 3;
+  /// The fault schedule for this run (empty = fault-free, zero cost).
+  fault::FaultPlan fault_plan;
 
   std::uint64_t seed = 1;
 

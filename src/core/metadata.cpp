@@ -5,8 +5,16 @@
 namespace eevfs::core {
 
 void ServerMetadata::insert(trace::FileId file, NodeId node, Bytes size) {
-  const auto [it, inserted] =
-      entries_.emplace(file, ServerFileEntry{node, size});
+  insert(file, std::vector<NodeId>{node}, size);
+}
+
+void ServerMetadata::insert(trace::FileId file, std::vector<NodeId> replicas,
+                            Bytes size) {
+  if (replicas.empty()) {
+    throw std::invalid_argument("ServerMetadata: file needs >= 1 replica");
+  }
+  const auto [it, inserted] = entries_.emplace(
+      file, ServerFileEntry{replicas.front(), size, std::move(replicas)});
   (void)it;
   if (!inserted) {
     throw std::invalid_argument("ServerMetadata: duplicate file " +
@@ -25,8 +33,13 @@ std::optional<ServerFileEntry> ServerMetadata::lookup(trace::FileId file) {
 }
 
 Bytes ServerMetadata::memory_footprint() const {
-  // id + node + size + hash-table overhead, roughly.
-  return static_cast<Bytes>(entries_.size()) * 48;
+  // id + node + size + hash-table overhead, roughly; replicas add a
+  // node id each.
+  Bytes total = 0;
+  for (const auto& [_, e] : entries_) {
+    total += 48 + static_cast<Bytes>(e.replicas.size()) * 8;
+  }
+  return total;
 }
 
 void NodeMetadata::insert(trace::FileId file, LocalFileMeta meta) {

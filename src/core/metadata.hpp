@@ -24,8 +24,11 @@ namespace eevfs::core {
 
 /// Server-side entry: everything the front end is allowed to know.
 struct ServerFileEntry {
-  NodeId node = 0;
+  NodeId node = 0;  // primary replica (replicas[0])
   Bytes size = 0;
+  /// All nodes holding a copy, primary first.  Size 1 without
+  /// replication — the k-replica extension appends k-1 more.
+  std::vector<NodeId> replicas;
 };
 
 class ServerMetadata {
@@ -33,6 +36,9 @@ class ServerMetadata {
   /// Registers a file; re-registering an id is an error (the server is
   /// the single writer of this table).
   void insert(trace::FileId file, NodeId node, Bytes size);
+  /// Replicated registration: `replicas` holds every owning node,
+  /// primary first (must be non-empty and duplicate-free).
+  void insert(trace::FileId file, std::vector<NodeId> replicas, Bytes size);
 
   /// Looks a file up, counting the probe.  nullopt for unknown files.
   std::optional<ServerFileEntry> lookup(trace::FileId file);

@@ -23,7 +23,7 @@ double RunMetrics::response_penalty_vs(const RunMetrics& baseline) const {
 }
 
 std::string RunMetrics::summary() const {
-  return format(
+  std::string s = format(
       "energy=%.3e J (disk %.3e + base %.3e), transitions=%llu "
       "(up %llu/down %llu), resp mean=%.3f s p95=%.3f s, hit rate=%.1f%%, "
       "makespan=%.1f s, requests=%llu",
@@ -33,6 +33,16 @@ std::string RunMetrics::summary() const {
       static_cast<unsigned long long>(spin_downs),
       response_time_sec.mean(), response_p95_sec, 100.0 * buffer_hit_rate(),
       ticks_to_seconds(makespan), static_cast<unsigned long long>(requests));
+  if (availability.faults_injected > 0 || availability.failed_requests > 0) {
+    s += format(
+        ", faults=%llu avail=%.4f failed=%llu retried=%llu rerouted=%llu",
+        static_cast<unsigned long long>(availability.faults_injected),
+        availability.availability(requests),
+        static_cast<unsigned long long>(availability.failed_requests),
+        static_cast<unsigned long long>(availability.retried_requests),
+        static_cast<unsigned long long>(availability.rerouted_requests));
+  }
+  return s;
 }
 
 }  // namespace eevfs::core

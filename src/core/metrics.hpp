@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "disk/energy_meter.hpp"
@@ -12,6 +13,60 @@
 #include "util/units.hpp"
 
 namespace eevfs::core {
+
+/// Typed outcome of one client request, end to end.  Anything except kOk
+/// means the request did NOT deliver data; the request layer (Cluster)
+/// retries or records a failure — nothing in the stack hangs or throws on
+/// a fault.
+enum class RequestStatus {
+  kOk = 0,
+  kDiskUnavailable,   // the file's disks (and any buffered copy) are gone
+  kNodeUnavailable,   // the owning node is crashed / marked dead
+  kNoReplica,         // every replica was tried and none could serve
+  kTimedOut,          // the per-request deadline expired (client-side)
+};
+
+constexpr std::string_view to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kDiskUnavailable: return "disk_unavailable";
+    case RequestStatus::kNodeUnavailable: return "node_unavailable";
+    case RequestStatus::kNoReplica: return "no_replica";
+    case RequestStatus::kTimedOut: return "timed_out";
+  }
+  return "?";
+}
+
+constexpr bool request_ok(RequestStatus s) { return s == RequestStatus::kOk; }
+
+/// Availability accounting for one run (all zeros on a fault-free run).
+struct AvailabilityMetrics {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t failed_requests = 0;     // exhausted every retry/replica
+  std::uint64_t timed_out_requests = 0;  // deadline expiries (pre-retry)
+  std::uint64_t retried_requests = 0;    // needed >1 attempt but recovered
+  std::uint64_t rerouted_requests = 0;   // served by a non-primary replica
+  std::uint64_t client_retries = 0;      // request re-issues by the client
+  std::uint64_t disk_io_retries = 0;     // media-error backoff retries
+  std::uint64_t buffer_fallback_reads = 0;  // buffer disk dead -> data disks
+  std::uint64_t buffered_rescues = 0;    // data disk dead -> buffered copy
+  std::uint64_t writes_stranded = 0;     // destages dropped on a dead disk
+  Tick degraded_ticks = 0;               // any node marked dead by health
+  std::uint64_t recovery_episodes = 0;   // dead -> alive transitions seen
+  double mttr_sec = 0.0;                 // mean time to recovery
+  /// Modeled extra disk energy attributable to degraded serving (fallback
+  /// reads done on data disks that a healthy buffer disk would have
+  /// absorbed, minus the cheaper buffered rescues).  An estimate from the
+  /// disk profiles, not a wall-meter difference — bench/fault_tolerance
+  /// reports the measured end-to-end delta alongside it.
+  Joules fault_energy_delta = 0.0;
+
+  double availability(std::uint64_t requests) const {
+    return requests == 0 ? 1.0
+                         : 1.0 - static_cast<double>(failed_requests) /
+                                     static_cast<double>(requests);
+  }
+};
 
 struct NodeMetrics {
   std::string label;
@@ -28,6 +83,16 @@ struct NodeMetrics {
   Tick data_disk_standby_ticks = 0;
   disk::EnergyMeter data_disk_meter;    // aggregated over the node's data disks
   disk::EnergyMeter buffer_disk_meter;  // aggregated over buffer disks
+
+  // --- degraded-mode accounting (zero on a fault-free run) -------------
+  std::uint64_t disk_io_retries = 0;
+  std::uint64_t media_errors = 0;
+  std::uint64_t buffer_fallback_reads = 0;
+  std::uint64_t buffered_rescues = 0;
+  std::uint64_t failed_serves = 0;
+  std::uint64_t writes_stranded = 0;
+  std::uint64_t disks_failed = 0;
+  Joules fault_energy_delta = 0.0;
 
   Joules total_joules() const { return disk_joules + base_joules; }
   std::uint64_t power_transitions() const { return spin_ups + spin_downs; }
@@ -55,6 +120,9 @@ struct RunMetrics {
   Bytes bytes_served = 0;
   Bytes bytes_prefetched = 0;
   std::vector<NodeMetrics> per_node;
+
+  // --- availability (tentpole: fault injection / degraded mode) --------
+  AvailabilityMetrics availability;
 
   double buffer_hit_rate() const {
     const auto reads = buffer_hits + data_disk_reads;

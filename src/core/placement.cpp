@@ -30,34 +30,46 @@ std::vector<trace::FileId> creation_order(
 PlacementMap place_files(PlacementPolicy policy, std::size_t num_nodes,
                          std::size_t num_files,
                          const trace::PopularityAnalyzer& popularity,
-                         const std::vector<Bytes>& sizes, Rng& rng) {
+                         const std::vector<Bytes>& sizes, Rng& rng,
+                         std::size_t replication_degree) {
   if (num_nodes == 0) {
     throw std::invalid_argument("place_files: no nodes");
   }
   if (sizes.size() < num_files) {
     throw std::invalid_argument("place_files: sizes shorter than file count");
   }
+  const std::size_t degree =
+      std::min(std::max<std::size_t>(replication_degree, 1), num_nodes);
 
   PlacementMap map;
   map.node_of.assign(num_files, 0);
+  map.replicas_of.assign(num_files, {});
   map.files_on_node.assign(num_nodes, {});
 
   const std::vector<trace::FileId> order = creation_order(num_files, popularity);
 
+  // Replicas land on the `degree - 1` nodes after the primary (mod the
+  // node count): distinct nodes, and under popularity round-robin every
+  // node still receives an even hot/cold mix of secondaries.
+  const auto place = [&](trace::FileId f, NodeId primary) {
+    map.node_of[f] = primary;
+    for (std::size_t j = 0; j < degree; ++j) {
+      const NodeId n = (primary + j) % num_nodes;
+      map.replicas_of[f].push_back(n);
+      map.files_on_node[n].push_back(f);
+    }
+  };
+
   switch (policy) {
     case PlacementPolicy::kPopularityRoundRobin: {
       for (std::size_t i = 0; i < order.size(); ++i) {
-        const NodeId n = i % num_nodes;
-        map.node_of[order[i]] = n;
-        map.files_on_node[n].push_back(order[i]);
+        place(order[i], i % num_nodes);
       }
       break;
     }
     case PlacementPolicy::kRandom: {
       for (const trace::FileId f : order) {
-        const auto n = static_cast<NodeId>(rng.next_below(num_nodes));
-        map.node_of[f] = n;
-        map.files_on_node[n].push_back(f);
+        place(f, static_cast<NodeId>(rng.next_below(num_nodes)));
       }
       break;
     }
@@ -67,9 +79,8 @@ PlacementMap place_files(PlacementPolicy policy, std::size_t num_nodes,
         const auto it = std::min_element(load.begin(), load.end());
         const auto n = static_cast<NodeId>(
             std::distance(load.begin(), it));
-        map.node_of[f] = n;
-        map.files_on_node[n].push_back(f);
-        load[n] += sizes[f];
+        place(f, n);
+        for (const NodeId r : map.replicas_of[f]) load[r] += sizes[f];
       }
       break;
     }

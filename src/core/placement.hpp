@@ -13,23 +13,32 @@
 namespace eevfs::core {
 
 struct PlacementMap {
-  /// Owning node per file, indexed by FileId.
+  /// Primary owning node per file, indexed by FileId.
   std::vector<NodeId> node_of;
+  /// All nodes holding a copy of each file, primary first (size ==
+  /// replication degree), indexed by FileId.
+  std::vector<std::vector<NodeId>> replicas_of;
   /// Files per node in creation (i.e. popularity) order — the order in
   /// which the server issues create-file requests, which drives the
-  /// node-local disk round-robin.
+  /// node-local disk round-robin.  Includes replica copies.
   std::vector<std::vector<trace::FileId>> files_on_node;
 
   NodeId node(trace::FileId f) const { return node_of.at(f); }
+  const std::vector<NodeId>& replicas(trace::FileId f) const {
+    return replicas_of.at(f);
+  }
 };
 
 /// Places `num_files` files (ids 0..num_files-1).  `popularity` ranks the
 /// accessed files; files absent from the ranking (never accessed) are
 /// placed after all ranked files, in id order.  `sizes` is indexed by
-/// FileId and used by the size-balanced policy.
+/// FileId and used by the size-balanced policy.  `replication_degree`
+/// copies land on distinct consecutive nodes (mod the node count) past
+/// the policy-chosen primary; it is clamped to the node count.
 PlacementMap place_files(PlacementPolicy policy, std::size_t num_nodes,
                          std::size_t num_files,
                          const trace::PopularityAnalyzer& popularity,
-                         const std::vector<Bytes>& sizes, Rng& rng);
+                         const std::vector<Bytes>& sizes, Rng& rng,
+                         std::size_t replication_degree = 1);
 
 }  // namespace eevfs::core

@@ -42,6 +42,16 @@ StorageNode::StorageNode(sim::Simulator& sim, net::NetworkFabric& net,
 
   pending_writes_.resize(data_disks_.size());
   flush_in_progress_.assign(data_disks_.size(), false);
+
+  // A data disk entering kFailed strands the destages queued for it —
+  // dropping them (counted) keeps the teardown drain from wedging on a
+  // disk that will never accept the writes.
+  for (std::size_t i = 0; i < data_disks_.size(); ++i) {
+    data_disks_[i]->set_state_callback(
+        [this, i](disk::PowerState, disk::PowerState next) {
+          if (next == disk::PowerState::kFailed) on_data_disk_failed(i);
+        });
+  }
 }
 
 void StorageNode::create_file(trace::FileId f, Bytes size) {
@@ -148,29 +158,65 @@ void StorageNode::start_prefetch(const std::vector<trace::FileId>& candidates,
   }
 }
 
+void StorageNode::submit_with_retry(
+    disk::DiskModel* target, Bytes bytes, bool sequential, bool is_write,
+    Tick issued, std::size_t attempt,
+    std::function<void(Tick, disk::IoStatus)> done,
+    std::size_t power_managed_disk) {
+  disk::DiskRequest req;
+  req.bytes = bytes;
+  req.sequential = sequential;
+  req.is_write = is_write;
+  req.on_complete = [this, target, bytes, sequential, is_write, issued,
+                     attempt, done = std::move(done)](
+                        Tick t, disk::IoStatus st) mutable {
+    if (st == disk::IoStatus::kMediaError &&
+        attempt < params_.max_io_retries) {
+      // Exponential backoff, bounded by the per-I/O deadline.
+      const Tick backoff = params_.io_retry_backoff
+                           << std::min<std::size_t>(attempt, 16);
+      if (t - issued + backoff <= params_.io_deadline) {
+        ++disk_io_retries_;
+        sim_.schedule_after(
+            backoff, [this, target, bytes, sequential, is_write, issued,
+                      attempt, done = std::move(done)]() mutable {
+              // Retries bypass the power manager: the drive is already
+              // spinning from the failed attempt.
+              submit_with_retry(target, bytes, sequential, is_write, issued,
+                                attempt + 1, std::move(done),
+                                kNotPowerManaged);
+            });
+        return;
+      }
+    }
+    done(t, st);
+  };
+  if (power_managed_disk != kNotPowerManaged) {
+    submit_to_data_disk(power_managed_disk, std::move(req));
+  } else {
+    target->submit(std::move(req));
+  }
+}
+
 void StorageNode::stripe_io(const LocalFileMeta& file, Bytes bytes,
                             bool is_write, bool notify_power_manager,
-                            std::function<void(Tick)> done) {
+                            std::function<void(Tick, disk::IoStatus)> done) {
   const auto width = static_cast<Bytes>(file.disks.size());
   const Bytes per_disk = (bytes + width - 1) / width;
   auto outstanding = std::make_shared<std::size_t>(file.disks.size());
+  auto worst = std::make_shared<disk::IoStatus>(disk::IoStatus::kOk);
   auto shared_done =
-      std::make_shared<std::function<void(Tick)>>(std::move(done));
+      std::make_shared<std::function<void(Tick, disk::IoStatus)>>(
+          std::move(done));
   for (const std::size_t d : file.disks) {
-    disk::DiskRequest req;
-    req.bytes = per_disk;
-    req.sequential = false;
-    req.is_write = is_write;
-    req.on_complete = [outstanding, shared_done](Tick t) {
-      if (--*outstanding == 0 && *shared_done) (*shared_done)(t);
-    };
-    if (notify_power_manager) {
-      submit_to_data_disk(d, std::move(req));
-    } else {
-      // Node-internal work (prefetch copies, destages) must not perturb
-      // the power manager's inter-arrival estimate.
-      data_disks_[d]->submit(std::move(req));
-    }
+    submit_with_retry(
+        data_disks_[d].get(), per_disk, /*sequential=*/false, is_write,
+        sim_.now(), 0,
+        [outstanding, worst, shared_done](Tick t, disk::IoStatus st) {
+          if (static_cast<int>(st) > static_cast<int>(*worst)) *worst = st;
+          if (--*outstanding == 0 && *shared_done) (*shared_done)(t, *worst);
+        },
+        notify_power_manager ? d : kNotPowerManaged);
   }
 }
 
@@ -185,14 +231,34 @@ void StorageNode::copy_into_buffer(trace::FileId f,
     sim_.schedule_after(0, std::move(done));
     return;
   }
+  if (!stripe_set_alive(lf)) {
+    // Source disk already gone — nothing to copy from.
+    buffer_->erase(f);
+    sim_.schedule_after(0, std::move(done));
+    return;
+  }
   stripe_io(lf, bytes, /*is_write=*/false, /*notify_power_manager=*/false,
-            [this, f, bytes, done = std::move(done)](Tick) {
-              const std::size_t bd = buffered_count_ % buffer_disks_.size();
+            [this, f, bytes, done = std::move(done)](Tick,
+                                                     disk::IoStatus read_st) {
+              const auto bd =
+                  healthy_buffer_disk(buffered_count_ % buffer_disks_.size());
+              if (read_st != disk::IoStatus::kOk || !bd) {
+                // A faulted copy just leaves the file unbuffered.
+                buffer_->erase(f);
+                done();
+                return;
+              }
               disk::DiskRequest write;
               write.bytes = bytes;
               write.sequential = true;  // buffer disks are log-structured
               write.is_write = true;
-              write.on_complete = [this, f, bytes, bd, done](Tick) {
+              write.on_complete = [this, f, bytes, bd = *bd,
+                                   done](Tick, disk::IoStatus write_st) {
+                if (write_st != disk::IoStatus::kOk) {
+                  buffer_->erase(f);
+                  done();
+                  return;
+                }
                 LocalFileMeta& meta = meta_.at(f);
                 meta.buffered = true;
                 meta.buffer_disk = bd;
@@ -200,7 +266,7 @@ void StorageNode::copy_into_buffer(trace::FileId f,
                 done();
               };
               ++buffered_count_;
-              buffer_disks_[bd]->submit(std::move(write));
+              buffer_disks_[*bd]->submit(std::move(write));
             });
 }
 
@@ -254,8 +320,80 @@ void StorageNode::submit_to_data_disk(std::size_t disk,
   data_disks_[disk]->submit(std::move(request));
 }
 
+std::optional<std::size_t> StorageNode::healthy_buffer_disk(
+    std::size_t preferred) const {
+  if (buffer_disks_.empty()) return std::nullopt;
+  if (!buffer_disks_[preferred]->failed()) return preferred;
+  for (std::size_t i = 0; i < buffer_disks_.size(); ++i) {
+    if (!buffer_disks_[i]->failed()) return i;
+  }
+  return std::nullopt;
+}
+
+bool StorageNode::stripe_set_alive(const LocalFileMeta& file) const {
+  for (const std::size_t d : file.disks) {
+    if (data_disks_[d]->failed()) return false;
+  }
+  return true;
+}
+
+void StorageNode::on_data_disk_failed(std::size_t d) {
+  auto dropped = std::move(pending_writes_[d]);
+  pending_writes_[d].clear();
+  for (const PendingWrite& w : dropped) {
+    if (buffer_) buffer_->release_write(w.bytes);
+    ++writes_stranded_;
+  }
+  if (!dropped.empty()) {
+    EEVFS_DEBUG() << "node " << params_.id << ": disk " << d << " failed, "
+                  << dropped.size() << " destages stranded";
+    notify_flush_waiters();
+  }
+}
+
+void StorageNode::read_via_buffer(
+    trace::FileId f, Bytes bytes,
+    std::function<void(Tick, disk::IoStatus)> done) {
+  const LocalFileMeta& meta = meta_.at(f);
+  submit_with_retry(buffer_disks_[meta.buffer_disk].get(), bytes,
+                    /*sequential=*/true, /*is_write=*/false, sim_.now(), 0,
+                    std::move(done), kNotPowerManaged);
+}
+
+Joules StorageNode::degraded_read_energy_estimate(Bytes bytes) const {
+  // Modeled, not measured: the active-power cost of a random stripe read
+  // minus the sequential buffer-log read it replaced.  Spin-up energy is
+  // not included (it is visible in the real meters instead).
+  const disk::DiskProfile& p = params_.disk_profile;
+  const Tick data_path = p.service_time(bytes, /*sequential=*/false);
+  const Tick buffer_path = p.service_time(bytes, /*sequential=*/true);
+  const Watts active = p.watts(disk::PowerState::kActive);
+  return energy(active, data_path) - energy(active, buffer_path);
+}
+
+void StorageNode::crash() {
+  alive_ = false;
+  EEVFS_DEBUG() << "node " << params_.id << ": crashed at t="
+                << ticks_to_seconds(sim_.now());
+}
+
+void StorageNode::restart() {
+  alive_ = true;
+  EEVFS_DEBUG() << "node " << params_.id << ": restarted at t="
+                << ticks_to_seconds(sim_.now());
+}
+
 void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
-                             std::function<void(Tick)> on_delivered) {
+                             ServeCallback on_result) {
+  if (!on_result) on_result = [](Tick, RequestStatus) {};
+  if (!alive_) {
+    // Connection refused: fail fast on the next tick, no disk touched.
+    ++failed_serves_;
+    sim_.schedule_after(1, [this, cb = std::move(on_result)] {
+      cb(sim_.now(), RequestStatus::kNodeUnavailable);
+    });
+    return;
+  }
   LocalFileMeta* found = meta_.find(f);
   if (found == nullptr) {
     throw std::logic_error("StorageNode: read for unknown file " +
@@ -264,21 +402,71 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
   LocalFileMeta& meta = *found;
   const Bytes bytes = meta.size;
 
-  const bool hit = buffer_ && meta.buffered && buffer_->contains(f);
-  auto ship = [this, client, bytes,
-               on_delivered = std::move(on_delivered)](Tick) {
+  auto shared_result =
+      std::make_shared<ServeCallback>(std::move(on_result));
+  auto ship = [this, client, bytes, shared_result](Tick) {
     bytes_served_ += bytes;
-    net_.send(self_, client, bytes, on_delivered);
+    net_.send(self_, client, bytes, [shared_result](Tick t) {
+      (*shared_result)(t, RequestStatus::kOk);
+    });
+  };
+  auto fail = [this, shared_result](Tick t) {
+    ++failed_serves_;
+    (*shared_result)(t, RequestStatus::kDiskUnavailable);
   };
 
-  if (hit) {
+  const bool buffered_copy = buffer_ && meta.buffered && buffer_->contains(f);
+  const bool buffer_alive =
+      buffered_copy && !buffer_disks_[meta.buffer_disk]->failed();
+
+  if (buffered_copy && buffer_alive) {
     ++buffer_hits_;
+    if (!stripe_set_alive(meta)) {
+      // The data copy is gone; the buffered copy is carrying the file.
+      ++buffered_rescues_;
+      fault_energy_delta_ -= degraded_read_energy_estimate(bytes);
+    }
     buffer_->touch(f);
-    disk::DiskRequest req;
-    req.bytes = bytes;
-    req.sequential = true;
-    req.on_complete = std::move(ship);
-    buffer_disks_[meta.buffer_disk]->submit(std::move(req));
+    read_via_buffer(f, bytes, [this, f, ship, fail](Tick t,
+                                                    disk::IoStatus st) {
+      if (st == disk::IoStatus::kOk) {
+        ship(t);
+        return;
+      }
+      // The buffer disk died (or ran out of retries) mid-serve: degrade
+      // to the data-disk stripe set when it is still whole.
+      LocalFileMeta& m = meta_.at(f);
+      ++buffer_fallback_reads_;
+      fault_energy_delta_ += degraded_read_energy_estimate(m.size);
+      if (!stripe_set_alive(m)) {
+        fail(t);
+        return;
+      }
+      ++data_disk_reads_;
+      stripe_io(m, m.size, /*is_write=*/false, /*notify_power_manager=*/true,
+                [ship, fail](Tick t2, disk::IoStatus st2) {
+                  if (st2 == disk::IoStatus::kOk) ship(t2);
+                  else fail(t2);
+                });
+    });
+    return;
+  }
+
+  if (buffered_copy && !buffer_alive) {
+    // Degraded mode: the buffered copy exists but its disk is dead, so
+    // the read falls back to the data disks — availability is kept, the
+    // energy saving is sacrificed (and metered).
+    ++buffer_fallback_reads_;
+    fault_energy_delta_ += degraded_read_energy_estimate(bytes);
+  }
+
+  if (!stripe_set_alive(meta)) {
+    // No live copy anywhere on this node: fail upward so the server can
+    // re-route to a replica node.
+    ++failed_serves_;
+    sim_.schedule_after(1, [this, shared_result] {
+      (*shared_result)(sim_.now(), RequestStatus::kDiskUnavailable);
+    });
     return;
   }
 
@@ -287,7 +475,12 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
   const bool maid_copy =
       buffer_ && params_.cache_policy == CachePolicy::kLruOnMiss;
   stripe_io(meta, bytes, /*is_write=*/false, /*notify_power_manager=*/true,
-            [this, disks, f, maid_copy, ship = std::move(ship)](Tick t) {
+            [this, disks, f, maid_copy, ship = std::move(ship),
+             fail = std::move(fail)](Tick t, disk::IoStatus st) {
+    if (st != disk::IoStatus::kOk) {
+      fail(t);
+      return;
+    }
     ship(t);
     for (const std::size_t d : disks) {
       maybe_flush(d);  // the platters are spinning: destage queued writes
@@ -300,18 +493,26 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
         LocalFileMeta* vmeta = meta_.find(victim);
         if (vmeta != nullptr) vmeta->buffered = false;
       }
-      if (res.inserted && !meta_.at(f).buffered) {
-        const std::size_t bd = buffered_count_++ % buffer_disks_.size();
+      const auto bd =
+          healthy_buffer_disk(buffered_count_ % buffer_disks_.size());
+      if (res.inserted && !meta_.at(f).buffered && bd) {
+        ++buffered_count_;
         disk::DiskRequest copy;
         copy.bytes = meta_.at(f).size;
         copy.sequential = true;
         copy.is_write = true;
-        copy.on_complete = [this, f, bd](Tick) {
+        copy.on_complete = [this, f, bd = *bd](Tick, disk::IoStatus cst) {
+          if (cst != disk::IoStatus::kOk) {
+            buffer_->erase(f);
+            return;
+          }
           LocalFileMeta& m = meta_.at(f);
           m.buffered = true;
           m.buffer_disk = bd;
         };
-        buffer_disks_[bd]->submit(std::move(copy));
+        buffer_disks_[*bd]->submit(std::move(copy));
+      } else if (res.inserted && !meta_.at(f).buffered) {
+        buffer_->erase(f);  // no live buffer disk to hold the copy
       }
     }
   });
@@ -319,36 +520,84 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
 
 void StorageNode::serve_write(trace::FileId f, Bytes bytes,
                               net::EndpointId client,
-                              std::function<void(Tick)> on_acked) {
+                              ServeCallback on_result) {
+  if (!on_result) on_result = [](Tick, RequestStatus) {};
+  if (!alive_) {
+    ++failed_serves_;
+    sim_.schedule_after(1, [this, cb = std::move(on_result)] {
+      cb(sim_.now(), RequestStatus::kNodeUnavailable);
+    });
+    return;
+  }
   LocalFileMeta* wmeta = meta_.find(f);
   if (wmeta == nullptr) {
     throw std::logic_error("StorageNode: write for unknown file " +
                            std::to_string(f));
   }
   const std::size_t d = wmeta->disks.front();  // primary stripe disk
-  auto ack = [this, client, on_acked = std::move(on_acked)](Tick) {
-    net_.send(self_, client, net::kControlMessageBytes, on_acked);
+  auto shared_result =
+      std::make_shared<ServeCallback>(std::move(on_result));
+  auto ack = [this, client, shared_result](Tick) {
+    net_.send(self_, client, net::kControlMessageBytes, [shared_result](Tick t) {
+      (*shared_result)(t, RequestStatus::kOk);
+    });
+  };
+  auto fail = [this, shared_result](Tick t) {
+    ++failed_serves_;
+    (*shared_result)(t, RequestStatus::kDiskUnavailable);
   };
 
-  if (params_.write_buffering && buffer_ && buffer_->reserve_write(bytes)) {
-    ++writes_buffered_;
-    const std::size_t bd = d % buffer_disks_.size();
-    pending_writes_[d].push_back(PendingWrite{f, bytes, bd});
-    disk::DiskRequest req;
-    req.bytes = bytes;
-    req.sequential = true;  // append to the buffer-disk log
-    req.is_write = true;
-    req.on_complete = std::move(ack);
-    buffer_disks_[bd]->submit(std::move(req));
-    // If the target data disk happens to be spinning and unloaded, the
-    // destage can start right away.
-    if (disk::is_spun_up(data_disks_[d]->state())) maybe_flush(d);
+  const auto bd =
+      buffer_ ? healthy_buffer_disk(d % buffer_disks_.size()) : std::nullopt;
+  if (params_.write_buffering && bd && buffer_->reserve_write(bytes)) {
+    submit_with_retry(
+        buffer_disks_[*bd].get(), bytes, /*sequential=*/true,
+        /*is_write=*/true, sim_.now(), 0,
+        [this, f, bytes, d, bd = *bd, ack, fail](Tick t, disk::IoStatus st) {
+          if (st == disk::IoStatus::kOk) {
+            ++writes_buffered_;
+            pending_writes_[d].push_back(PendingWrite{f, bytes, bd});
+            ack(t);
+            // If the target data disk happens to be spinning and
+            // unloaded, the destage can start right away.
+            if (disk::is_spun_up(data_disks_[d]->state())) maybe_flush(d);
+            return;
+          }
+          // The buffer-log append failed: release the reservation and
+          // fall back to a direct stripe write.
+          buffer_->release_write(bytes);
+          LocalFileMeta& m = meta_.at(f);
+          if (!stripe_set_alive(m)) {
+            fail(t);
+            return;
+          }
+          ++writes_direct_;
+          stripe_io(m, bytes, /*is_write=*/true,
+                    /*notify_power_manager=*/true,
+                    [ack, fail](Tick t2, disk::IoStatus st2) {
+                      if (st2 == disk::IoStatus::kOk) ack(t2);
+                      else fail(t2);
+                    });
+        },
+        kNotPowerManaged);
+    return;
+  }
+
+  if (!stripe_set_alive(*wmeta)) {
+    ++failed_serves_;
+    sim_.schedule_after(1, [this, shared_result] {
+      (*shared_result)(sim_.now(), RequestStatus::kDiskUnavailable);
+    });
     return;
   }
 
   ++writes_direct_;
   stripe_io(*wmeta, bytes, /*is_write=*/true,
-            /*notify_power_manager=*/true, std::move(ack));
+            /*notify_power_manager=*/true,
+            [ack, fail](Tick t, disk::IoStatus st) {
+              if (st == disk::IoStatus::kOk) ack(t);
+              else fail(t);
+            });
 }
 
 void StorageNode::maybe_flush(std::size_t d) {
@@ -378,12 +627,26 @@ void StorageNode::flush_one(std::size_t d, PendingWrite w,
   read.bytes = w.bytes;
   read.sequential = true;
   (void)d;  // destination disks come from the file's stripe set
-  read.on_complete = [this, w, done = std::move(done)](Tick) {
+  read.on_complete = [this, w, done = std::move(done)](Tick,
+                                                       disk::IoStatus rst) {
+    const LocalFileMeta& m = meta_.at(w.file);
+    if (rst != disk::IoStatus::kOk || !stripe_set_alive(m)) {
+      // The staged copy is unreadable or its home disks are gone: drop
+      // the destage (counted as data loss) so the drain cannot wedge.
+      ++writes_stranded_;
+      buffer_->release_write(w.bytes);
+      --destages_in_flight_;
+      done();
+      notify_flush_waiters();
+      return;
+    }
     // Destages ride along with foreground traffic; they do not count as
     // arrivals for the power manager's gap estimate (the disk was already
     // awake for a read in the common path) but do keep it busy.
-    stripe_io(meta_.at(w.file), w.bytes, /*is_write=*/true,
-              /*notify_power_manager=*/false, [this, w, done](Tick) {
+    stripe_io(m, w.bytes, /*is_write=*/true,
+              /*notify_power_manager=*/false,
+              [this, w, done](Tick, disk::IoStatus wst) {
+                if (wst != disk::IoStatus::kOk) ++writes_stranded_;
                 buffer_->release_write(w.bytes);
                 --destages_in_flight_;
                 done();
@@ -435,12 +698,16 @@ NodeMetrics StorageNode::collect_metrics() {
     m.spin_ups += d->spin_ups();
     m.spin_downs += d->spin_downs();
     m.data_disk_standby_ticks += d->meter().ticks(disk::PowerState::kStandby);
+    m.media_errors += d->media_errors();
+    if (d->failed()) ++m.disks_failed;
   }
   for (auto& b : buffer_disks_) {
     b->finalize();
     m.buffer_disk_meter.merge(b->meter());
     m.spin_ups += b->spin_ups();
     m.spin_downs += b->spin_downs();
+    m.media_errors += b->media_errors();
+    if (b->failed()) ++m.disks_failed;
   }
   m.disk_joules =
       m.data_disk_meter.total_joules() + m.buffer_disk_meter.total_joules();
@@ -451,6 +718,12 @@ NodeMetrics StorageNode::collect_metrics() {
   m.writes_direct = writes_direct_;
   m.bytes_served = bytes_served_;
   m.bytes_prefetched = bytes_prefetched_;
+  m.disk_io_retries = disk_io_retries_;
+  m.buffer_fallback_reads = buffer_fallback_reads_;
+  m.buffered_rescues = buffered_rescues_;
+  m.failed_serves = failed_serves_;
+  m.writes_stranded = writes_stranded_;
+  m.fault_energy_delta = fault_energy_delta_;
   return m;
 }
 

@@ -3,6 +3,15 @@
 // prefetch plan, serves reads/writes, and runs the power manager over its
 // data disks.  The storage server never learns which disk inside a node
 // holds a file (§IV-D, distributed metadata management).
+//
+// Fault behaviour (robustness extension): every serve carries a typed
+// RequestStatus.  Disk I/O goes through a bounded-retry policy (media
+// errors back off exponentially under a per-request deadline); a failed
+// buffer disk degrades reads back to the data disks (availability kept,
+// energy savings sacrificed and metered); a failed data disk is rescued
+// from the buffered copy when one exists, else the request fails upward
+// so the server can re-route to a replica.  A crashed node fails every
+// serve fast (connection refused) until restarted.
 #pragma once
 
 #include <functional>
@@ -40,10 +49,19 @@ struct NodeParams {
   DiskPlacement disk_placement = DiskPlacement::kRoundRobin;
   /// Intra-node striping width (clamped to the data-disk count).
   std::size_t stripe_width = 1;
+  /// Disk I/O retry policy (media errors): attempts, exponential backoff
+  /// base, and a per-I/O deadline after which retrying stops.
+  std::size_t max_io_retries = 4;
+  Tick io_retry_backoff = milliseconds_to_ticks(5.0);
+  Tick io_deadline = seconds_to_ticks(30.0);
 };
 
 class StorageNode {
  public:
+  /// Completion of one serve: `t` is the delivery/ack time on success;
+  /// on failure it is when the node gave up.
+  using ServeCallback = std::function<void(Tick t, RequestStatus status)>;
+
   StorageNode(sim::Simulator& sim, net::NetworkFabric& net,
               net::EndpointId self, NodeParams params);
 
@@ -85,21 +103,34 @@ class StorageNode {
 
   // --- request path (steps 5-6) ---------------------------------------
 
-  /// Serves a read and ships the data to `client`; `on_delivered` fires
-  /// when the last byte reaches the client.
+  /// Serves a read and ships the data to `client`; `on_result` fires when
+  /// the last byte reaches the client, or with a typed failure when the
+  /// node cannot serve (crashed, disks gone, retries exhausted).
   void serve_read(trace::FileId f, net::EndpointId client,
-                  std::function<void(Tick delivered)> on_delivered);
+                  ServeCallback on_result);
 
   /// Serves a write (buffer-disk log when possible, §III-C) and sends a
-  /// small ack to `client`.
+  /// small ack to `client`; typed failure when it cannot.
   void serve_write(trace::FileId f, Bytes bytes, net::EndpointId client,
-                   std::function<void(Tick acked)> on_acked);
+                   ServeCallback on_result);
+
+  // --- faults ----------------------------------------------------------
+
+  /// Whole-node crash: every subsequent serve fails fast with
+  /// kNodeUnavailable (connection refused) and heartbeats go unanswered,
+  /// until restart().  Disk power state is left as-is — the model treats
+  /// a crash as the service process dying, not the shelf losing power.
+  void crash();
+  void restart();
+  bool alive() const { return alive_; }
 
   // --- teardown ----------------------------------------------------------
 
   bool has_pending_writes() const;
   /// Destages everything still in the write buffer to the data disks;
-  /// `done` fires when the last destage completes.
+  /// `done` fires when the last destage completes.  Destages whose data
+  /// disk has failed are dropped (counted as stranded writes) so a dead
+  /// disk cannot wedge the drain.
   void flush_pending_writes(std::function<void()> done);
 
   /// Ends the measured phase: stops the power manager (cancelling its
@@ -118,7 +149,13 @@ class StorageNode {
   const disk::DiskModel& data_disk(std::size_t i) const {
     return *data_disks_.at(i);
   }
+  disk::DiskModel& mutable_data_disk(std::size_t i) {
+    return *data_disks_.at(i);
+  }
   const disk::DiskModel& buffer_disk(std::size_t i) const {
+    return *buffer_disks_.at(i);
+  }
+  disk::DiskModel& mutable_buffer_disk(std::size_t i) {
     return *buffer_disks_.at(i);
   }
   std::size_t num_data_disks() const { return data_disks_.size(); }
@@ -127,6 +164,13 @@ class StorageNode {
   const NodeMetadata& metadata() const { return meta_; }
   const PrefetchPlan& prefetch_plan() const { return plan_; }
   std::uint64_t wakeups_on_demand() const { return wakeups_on_demand_; }
+  std::uint64_t disk_io_retries() const { return disk_io_retries_; }
+  std::uint64_t buffer_fallback_reads() const {
+    return buffer_fallback_reads_;
+  }
+  std::uint64_t buffered_rescues() const { return buffered_rescues_; }
+  std::uint64_t failed_serves() const { return failed_serves_; }
+  std::uint64_t writes_stranded() const { return writes_stranded_; }
 
  private:
   struct PendingWrite {
@@ -139,14 +183,44 @@ class StorageNode {
   /// and on-demand-wake accounting.
   void submit_to_data_disk(std::size_t disk, disk::DiskRequest request);
 
+  /// Submits one I/O to `target` and retries media errors with
+  /// exponential backoff until the attempt budget or the per-I/O deadline
+  /// runs out.  `done` receives the final status.
+  void submit_with_retry(disk::DiskModel* target, Bytes bytes,
+                         bool sequential, bool is_write, Tick issued,
+                         std::size_t attempt,
+                         std::function<void(Tick, disk::IoStatus)> done,
+                         std::size_t power_managed_disk);
+  static constexpr std::size_t kNotPowerManaged =
+      static_cast<std::size_t>(-1);
+
   /// Issues one I/O of `bytes` split over the file's stripe set (random
-  /// access); `done` fires when the last stripe completes.
+  /// access); `done` fires when the last stripe completes, with the worst
+  /// stripe status.
   void stripe_io(const LocalFileMeta& file, Bytes bytes, bool is_write,
-                 bool notify_power_manager, std::function<void(Tick)> done);
+                 bool notify_power_manager,
+                 std::function<void(Tick, disk::IoStatus)> done);
 
   /// Copies one file into the buffer disk area (used by prefetch and the
-  /// MAID-style copy-on-access policy).
+  /// MAID-style copy-on-access policy).  Faults abort the copy (the file
+  /// just stays unbuffered); `done` always fires.
   void copy_into_buffer(trace::FileId f, std::function<void()> done);
+
+  /// First buffer disk that is still spinning, or nullopt.
+  std::optional<std::size_t> healthy_buffer_disk(std::size_t preferred) const;
+  /// True when every stripe disk of `file` is alive.
+  bool stripe_set_alive(const LocalFileMeta& file) const;
+  /// Reacts to a data disk entering kFailed: strands its queued destages.
+  void on_data_disk_failed(std::size_t d);
+
+  /// Serves `f` from its buffered copy (degraded path helper).
+  void read_via_buffer(trace::FileId f, Bytes bytes,
+                       std::function<void(Tick, disk::IoStatus)> done);
+
+  /// Modeled energy cost difference of serving `bytes` from the data-disk
+  /// stripe set instead of the buffer log (positive = data path costs
+  /// more) — the meterable price of one degraded read.
+  Joules degraded_read_energy_estimate(Bytes bytes) const;
 
   /// Destages queued writes for data disk `d` while it is spinning.
   void maybe_flush(std::size_t d);
@@ -175,6 +249,7 @@ class StorageNode {
   PrefetchPlan plan_;
   bool plan_ready_ = false;
   Tick replay_start_ = 0;
+  bool alive_ = true;
 
   std::vector<std::vector<PendingWrite>> pending_writes_;  // per data disk
   std::vector<bool> flush_in_progress_;
@@ -189,6 +264,12 @@ class StorageNode {
   std::uint64_t writes_direct_ = 0;
   Bytes bytes_served_ = 0;
   Bytes bytes_prefetched_ = 0;
+  std::uint64_t disk_io_retries_ = 0;
+  std::uint64_t buffer_fallback_reads_ = 0;
+  std::uint64_t buffered_rescues_ = 0;
+  std::uint64_t failed_serves_ = 0;
+  std::uint64_t writes_stranded_ = 0;
+  Joules fault_energy_delta_ = 0.0;
 };
 
 }  // namespace eevfs::core

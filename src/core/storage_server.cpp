@@ -20,6 +20,7 @@ void StorageServer::register_nodes(std::vector<StorageNode*> nodes) {
     throw std::invalid_argument("StorageServer: no storage nodes");
   }
   nodes_ = std::move(nodes);
+  health_.assign(nodes_.size(), NodeHealth{});
 }
 
 void StorageServer::ingest_history(const workload::Workload& history) {
@@ -35,15 +36,19 @@ void StorageServer::place_and_create(const workload::Workload& workload) {
   }
   placement_ = place_files(placement_policy_, nodes_.size(),
                            workload.num_files(), *analyzer_,
-                           workload.file_sizes, rng_);
+                           workload.file_sizes, rng_, replication_degree_);
   // Create-file calls happen in popularity order per node, which is what
-  // makes the node-local disk round-robin load balance (§III-B).
+  // makes the node-local disk round-robin load balance (§III-B); the
+  // per-node lists include replica copies.
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     nodes_[n]->expect_files(placement_.files_on_node[n].size());
     for (const trace::FileId f : placement_.files_on_node[n]) {
-      metadata_.insert(f, n, workload.file_size(f));
       nodes_[n]->create_file(f, workload.file_size(f));
     }
+  }
+  // The routing table records every replica, primary first.
+  for (trace::FileId f = 0; f < workload.num_files(); ++f) {
+    metadata_.insert(f, placement_.replicas(f), workload.file_size(f));
   }
 }
 
@@ -98,31 +103,153 @@ void StorageServer::begin_online_refresh(std::size_t k, Tick interval) {
 
 void StorageServer::stop_online_refresh() { refresh_timer_.cancel(); }
 
+void StorageServer::begin_health_monitor(Tick interval,
+                                         std::size_t miss_threshold) {
+  if (interval <= 0) return;
+  heartbeat_interval_ = interval;
+  miss_threshold_ = std::max<std::size_t>(miss_threshold, 1);
+  heartbeat_timer_.cancel();
+  heartbeat_timer_ =
+      sim_.schedule_after(heartbeat_interval_, [this] { heartbeat_round(); });
+}
+
+void StorageServer::stop_health_monitor() { heartbeat_timer_.cancel(); }
+
+void StorageServer::heartbeat_round() {
+  // Settle last round first: a ping still in flight means no reply came
+  // back within a full interval.
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    NodeHealth& h = health_[n];
+    if (h.ping_in_flight && !h.dead && ++h.missed >= miss_threshold_) {
+      mark_dead(n);
+    }
+  }
+  // Ping everyone again (dead nodes too — a reply revives them).  The
+  // node answers only while alive; ping and reply ride the real fabric,
+  // so congestion or injected drops can cost a beat, which is exactly the
+  // false-positive behaviour a real monitor has.
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    health_[n].ping_in_flight = true;
+    net_.send(self_, nodes_[n]->endpoint(), net::kControlMessageBytes,
+              [this, n](Tick) {
+                if (!nodes_[n]->alive()) return;  // crashed: no reply
+                net_.send(nodes_[n]->endpoint(), self_,
+                          net::kControlMessageBytes, [this, n](Tick) {
+                            NodeHealth& h = health_[n];
+                            h.ping_in_flight = false;
+                            h.missed = 0;
+                            if (h.dead) mark_alive(n);
+                          });
+              });
+  }
+  heartbeat_timer_ =
+      sim_.schedule_after(heartbeat_interval_, [this] { heartbeat_round(); });
+}
+
+void StorageServer::mark_dead(NodeId n) {
+  NodeHealth& h = health_[n];
+  if (h.dead) return;
+  h.dead = true;
+  h.dead_since = sim_.now();
+  EEVFS_DEBUG() << "server: node " << n << " marked dead at t="
+                << ticks_to_seconds(sim_.now());
+}
+
+void StorageServer::mark_alive(NodeId n) {
+  NodeHealth& h = health_[n];
+  if (!h.dead) return;
+  h.dead = false;
+  h.missed = 0;
+  recovered_dead_ticks_ += sim_.now() - h.dead_since;
+  ++recovery_episodes_;
+  EEVFS_DEBUG() << "server: node " << n << " recovered at t="
+                << ticks_to_seconds(sim_.now());
+}
+
+Tick StorageServer::degraded_ticks() const {
+  Tick total = recovered_dead_ticks_;
+  for (const NodeHealth& h : health_) {
+    if (h.dead) total += sim_.now() - h.dead_since;
+  }
+  return total;
+}
+
+double StorageServer::mttr_sec() const {
+  return recovery_episodes_ == 0
+             ? 0.0
+             : ticks_to_seconds(recovered_dead_ticks_) /
+                   static_cast<double>(recovery_episodes_);
+}
+
 void StorageServer::route(const trace::TraceRecord& r,
-                          net::EndpointId client,
-                          std::function<void(Tick)> on_done) {
+                          net::EndpointId client, RouteCallback on_done) {
   const auto entry = metadata_.lookup(r.file);
   if (!entry) {
     throw std::logic_error("StorageServer: request for unknown file " +
                            std::to_string(r.file));
   }
-  StorageNode* node = nodes_.at(entry->node);
   log_.append(r.file, sim_.now(), r.bytes);
   ++requests_routed_;
-  // Pay the metadata probe, then forward a control message to the owning
-  // node; the node then talks to the client directly (step 6) — data
-  // never flows through the server.
-  sim_.schedule_after(
-      ServerMetadata::lookup_cost(),
-      [this, node, r, client, on_done = std::move(on_done)] {
-        net_.send(self_, node->endpoint(), net::kControlMessageBytes,
-                  [node, r, client, on_done](Tick) {
-                    if (r.op == trace::Op::kRead) {
-                      node->serve_read(r.file, client, on_done);
-                    } else {
-                      node->serve_write(r.file, r.bytes, client, on_done);
-                    }
-                  });
+  // Pay the metadata probe, then walk the replica list.
+  sim_.schedule_after(ServerMetadata::lookup_cost(),
+                      [this, r, client, replicas = entry->replicas,
+                       on_done = std::move(on_done)]() mutable {
+                        try_replica(r, client, std::move(replicas), 0,
+                                    std::move(on_done));
+                      });
+}
+
+void StorageServer::try_replica(const trace::TraceRecord& r,
+                                net::EndpointId client,
+                                std::vector<NodeId> replicas, std::size_t idx,
+                                RouteCallback on_done) {
+  // Skip replicas the server already knows cannot serve this file:
+  // health-marked dead nodes, and (file, node) pairs that failed before.
+  while (idx < replicas.size() &&
+         (health_[replicas[idx]].dead ||
+          unavailable_.contains({r.file, replicas[idx]}))) {
+    ++idx;
+  }
+  if (idx >= replicas.size()) {
+    ++requests_failed_;
+    sim_.schedule_after(1, [this, on_done = std::move(on_done)] {
+      on_done(sim_.now(), RequestStatus::kNoReplica);
+    });
+    return;
+  }
+
+  StorageNode* node = nodes_.at(replicas[idx]);
+  const bool rerouted = idx > 0;
+  // Forward a control message to the replica; the node then talks to the
+  // client directly (step 6) — data never flows through the server.
+  net_.send(
+      self_, node->endpoint(), net::kControlMessageBytes,
+      [this, node, r, client, replicas = std::move(replicas), idx, rerouted,
+       on_done = std::move(on_done)](Tick) mutable {
+        StorageNode::ServeCallback handle =
+            [this, r, client, replicas = std::move(replicas), idx, rerouted,
+             on_done = std::move(on_done)](Tick t,
+                                           RequestStatus st) mutable {
+              if (request_ok(st)) {
+                if (rerouted) ++requests_rerouted_;
+                on_done(t, st);
+                return;
+              }
+              // The node could not serve: remember why, then fail over.
+              if (st == RequestStatus::kDiskUnavailable) {
+                unavailable_.insert({r.file, replicas[idx]});
+              } else if (st == RequestStatus::kNodeUnavailable) {
+                mark_dead(replicas[idx]);
+              }
+              ++failovers_;
+              try_replica(r, client, std::move(replicas), idx + 1,
+                          std::move(on_done));
+            };
+        if (r.op == trace::Op::kRead) {
+          node->serve_read(r.file, client, std::move(handle));
+        } else {
+          node->serve_write(r.file, r.bytes, client, std::move(handle));
+        }
       });
 }
 

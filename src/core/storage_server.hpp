@@ -3,13 +3,24 @@
 // derives popularity from its append-only request log, performs the
 // popularity round-robin placement, splits the access pattern per node,
 // and forwards client requests to the owning node.
+//
+// Robustness extension: the server is also the failover point.  Files can
+// be placed on `replication_degree` nodes; when a node fails a request
+// (typed reply) the server remembers what went wrong — a dead node, or a
+// (file, node) pair whose disks are gone — and re-routes to the next
+// healthy replica.  A periodic heartbeat over the fabric marks nodes dead
+// after `miss_threshold` silent rounds and revives them when they answer
+// again, feeding the availability metrics (degraded time, MTTR).
 #pragma once
 
 #include <functional>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "core/metadata.hpp"
+#include "core/metrics.hpp"
 #include "core/placement.hpp"
 #include "core/storage_node.hpp"
 #include "net/network.hpp"
@@ -20,6 +31,9 @@ namespace eevfs::core {
 
 class StorageServer {
  public:
+  /// Final outcome of one routed request.
+  using RouteCallback = std::function<void(Tick completed, RequestStatus)>;
+
   StorageServer(sim::Simulator& sim, net::NetworkFabric& net,
                 net::EndpointId self, PlacementPolicy placement,
                 std::uint64_t seed);
@@ -35,16 +49,24 @@ class StorageServer {
   /// traces").
   void ingest_history(const workload::Workload& history);
 
+  /// How many copies of every file place_and_create lays out (clamped to
+  /// the node count; 1 = the paper's unreplicated system).
+  void set_replication_degree(std::size_t degree) {
+    replication_degree_ = degree;
+  }
+
   /// Step 3: place every file and issue create-file calls to the nodes
   /// in popularity order (drives their local disk round-robin).
   void place_and_create(const workload::Workload& workload);
 
   /// Step 4: split the access pattern per node and forward it
-  /// (application hints, §IV-C).
+  /// (application hints, §IV-C).  Hints go to the primary replica only —
+  /// secondaries serve cold and are only woken by failover traffic.
   void distribute_patterns(const workload::Workload& workload);
 
   /// This node-indexed slice of the globally top-`k` files, each slice in
-  /// global rank order — the prefetch instruction of step 3.
+  /// global rank order — the prefetch instruction of step 3.  Primary
+  /// replicas only.
   std::vector<std::vector<trace::FileId>> prefetch_candidates(
       std::size_t k) const;
 
@@ -55,11 +77,19 @@ class StorageServer {
   void stop_online_refresh();
   std::uint64_t refreshes_performed() const { return refreshes_; }
 
+  /// Health monitor: every `interval` the server pings each node over the
+  /// fabric; a node that stays silent for `miss_threshold` consecutive
+  /// rounds is marked dead (and routed around) until it answers again.
+  void begin_health_monitor(Tick interval, std::size_t miss_threshold);
+  void stop_health_monitor();
+
   /// Steps 5-6: route one request.  Called when the client's control
-  /// message reaches the server; forwards a control message to the node,
-  /// which then serves the client directly.
+  /// message reaches the server; forwards a control message to a replica
+  /// node, which then serves the client directly.  On a typed failure the
+  /// server tries the next healthy replica; `on_done` fires exactly once
+  /// with the final outcome (kNoReplica when every copy is gone).
   void route(const trace::TraceRecord& r, net::EndpointId client,
-             std::function<void(Tick completed)> on_done);
+             RouteCallback on_done);
 
   const PlacementMap& placement() const { return placement_; }
   const ServerMetadata& metadata() const { return metadata_; }
@@ -69,7 +99,35 @@ class StorageServer {
   }
   std::uint64_t requests_routed() const { return requests_routed_; }
 
+  // --- availability introspection --------------------------------------
+  /// Requests ultimately served by a non-primary replica.
+  std::uint64_t requests_rerouted() const { return requests_rerouted_; }
+  /// Requests that exhausted every replica (kNoReplica outcomes).
+  std::uint64_t requests_failed() const { return requests_failed_; }
+  /// Replica-to-replica failover hops taken (>= rerouted).
+  std::uint64_t failovers() const { return failovers_; }
+  bool node_dead(NodeId n) const { return health_.at(n).dead; }
+  /// Total node-dead time as of now (unrecovered nodes included).
+  Tick degraded_ticks() const;
+  std::uint64_t recovery_episodes() const { return recovery_episodes_; }
+  /// Mean time to recovery over the completed dead->alive episodes.
+  double mttr_sec() const;
+
  private:
+  struct NodeHealth {
+    bool dead = false;
+    std::size_t missed = 0;
+    Tick dead_since = 0;
+    bool ping_in_flight = false;
+  };
+
+  void try_replica(const trace::TraceRecord& r, net::EndpointId client,
+                   std::vector<NodeId> replicas, std::size_t idx,
+                   RouteCallback on_done);
+  void mark_dead(NodeId n);
+  void mark_alive(NodeId n);
+  void heartbeat_round();
+
   sim::Simulator& sim_;
   net::NetworkFabric& net_;
   net::EndpointId self_;
@@ -81,9 +139,24 @@ class StorageServer {
   PlacementMap placement_;
   ServerMetadata metadata_;
   trace::AccessLog log_;
+  std::size_t replication_degree_ = 1;
   std::uint64_t requests_routed_ = 0;
   sim::EventHandle refresh_timer_;
   std::uint64_t refreshes_ = 0;
+
+  // failover + health state
+  std::vector<NodeHealth> health_;
+  /// (file, node) pairs a node failed with kDiskUnavailable: no live copy
+  /// of the file remains there, so routing skips it from then on.
+  std::set<std::pair<trace::FileId, NodeId>> unavailable_;
+  sim::EventHandle heartbeat_timer_;
+  Tick heartbeat_interval_ = 0;
+  std::size_t miss_threshold_ = 3;
+  std::uint64_t requests_rerouted_ = 0;
+  std::uint64_t requests_failed_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t recovery_episodes_ = 0;
+  Tick recovered_dead_ticks_ = 0;  // summed over completed episodes
 };
 
 }  // namespace eevfs::core

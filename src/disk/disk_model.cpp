@@ -34,6 +34,15 @@ void DiskModel::enter_state(PowerState next) {
 }
 
 void DiskModel::submit(DiskRequest request) {
+  if (state_ == PowerState::kFailed) {
+    // Fail fast, but asynchronously — callers expect completion to arrive
+    // from the event loop, never re-entrantly from submit().
+    sim_.schedule_after(1, [this, req = std::move(request)]() mutable {
+      ++requests_failed_;
+      if (req.on_complete) req.on_complete(sim_.now(), IoStatus::kUnavailable);
+    });
+    return;
+  }
   queue_.push_back(std::move(request));
   switch (state_) {
     case PowerState::kIdle:
@@ -48,6 +57,8 @@ void DiskModel::submit(DiskRequest request) {
     case PowerState::kSpinningDown:
       wake_when_down_ = true;  // finish the transition, then wake
       break;
+    case PowerState::kFailed:
+      break;  // unreachable (handled above)
   }
 }
 
@@ -57,7 +68,7 @@ bool DiskModel::request_spin_down() {
   ++spin_downs_;
   EEVFS_TRACE() << label_ << ": spinning down at t="
                 << ticks_to_seconds(sim_.now());
-  sim_.schedule_after(profile_.spin_down_time, [this] {
+  pending_event_ = sim_.schedule_after(profile_.spin_down_time, [this] {
     enter_state(PowerState::kStandby);
     if (wake_when_down_ || !queue_.empty()) {
       wake_when_down_ = false;
@@ -76,20 +87,32 @@ void DiskModel::begin_spin_up() {
   assert(state_ == PowerState::kStandby);
   enter_state(PowerState::kSpinningUp);
   ++spin_ups_;
-  Tick ramp = profile_.spin_up_time;
-  if (profile_.spin_up_retry_prob > 0.0) {
+  // First attempt, plus any injected flakes, plus the profile's
+  // deterministic pseudo-random retry stream.
+  std::uint32_t attempts = 1 + forced_spin_up_flakes_;
+  forced_spin_up_flakes_ = 0;
+  if (attempts == 1 && profile_.spin_up_retry_prob > 0.0) {
     const double draw =
         static_cast<double>(splitmix64(flake_state_) >> 11) * 0x1.0p-53;
-    if (draw < profile_.spin_up_retry_prob) {
-      ++spin_up_retries_;
-      ramp *= 2;  // retry: spin down the attempt and try again
-      EEVFS_DEBUG() << label_ << ": spin-up retry at t="
-                    << ticks_to_seconds(sim_.now());
-    }
+    if (draw < profile_.spin_up_retry_prob) attempts = 2;
   }
+  if (attempts > 1) {
+    spin_up_retries_ += attempts - 1;
+    EEVFS_DEBUG() << label_ << ": spin-up needs " << (attempts - 1)
+                  << " retries at t=" << ticks_to_seconds(sim_.now());
+  }
+  if (attempts > profile_.max_spin_up_attempts) {
+    // The motor never reaches speed: burn the bounded ramp time, then the
+    // controller gives up and drops the drive.
+    const Tick ramp = profile_.spin_up_time *
+                      static_cast<Tick>(profile_.max_spin_up_attempts);
+    pending_event_ = sim_.schedule_after(ramp, [this] { fail(); });
+    return;
+  }
+  const Tick ramp = profile_.spin_up_time * static_cast<Tick>(attempts);
   EEVFS_TRACE() << label_ << ": spinning up at t="
                 << ticks_to_seconds(sim_.now());
-  sim_.schedule_after(ramp, [this] {
+  pending_event_ = sim_.schedule_after(ramp, [this] {
     enter_state(PowerState::kIdle);
     if (!queue_.empty()) {
       start_next_request();
@@ -104,15 +127,24 @@ void DiskModel::start_next_request() {
   enter_state(PowerState::kActive);
   const DiskRequest& req = queue_.front();
   const Tick service = profile_.service_time(req.bytes, req.sequential);
-  sim_.schedule_after(service, [this] { complete_current(); });
+  pending_event_ = sim_.schedule_after(service, [this] { complete_current(); });
 }
 
 void DiskModel::complete_current() {
   assert(state_ == PowerState::kActive && !queue_.empty());
   DiskRequest req = std::move(queue_.front());
   queue_.pop_front();
+
+  IoStatus status = IoStatus::kOk;
+  if (!req.is_write && pending_read_errors_ > 0) {
+    --pending_read_errors_;
+    ++media_errors_;
+    status = IoStatus::kMediaError;
+    EEVFS_DEBUG() << label_ << ": media error at t="
+                  << ticks_to_seconds(sim_.now());
+  }
   ++requests_completed_;
-  bytes_transferred_ += req.bytes;
+  if (status == IoStatus::kOk) bytes_transferred_ += req.bytes;
 
   if (!queue_.empty()) {
     // Account the Active interval just served, then start the next one.
@@ -122,7 +154,29 @@ void DiskModel::complete_current() {
     enter_state(PowerState::kIdle);
     if (on_idle_) on_idle_();
   }
-  if (req.on_complete) req.on_complete(sim_.now());
+  if (req.on_complete) req.on_complete(sim_.now(), status);
+}
+
+void DiskModel::fail() {
+  if (state_ == PowerState::kFailed) return;
+  EEVFS_INFO() << label_ << ": DISK FAILED at t="
+               << ticks_to_seconds(sim_.now());
+  pending_event_.cancel();  // abandon in-flight transfer or transition
+  wake_when_down_ = false;
+  enter_state(PowerState::kFailed);
+  drain_queue_unavailable();
+}
+
+void DiskModel::drain_queue_unavailable() {
+  std::deque<DiskRequest> stranded = std::move(queue_);
+  queue_.clear();
+  for (DiskRequest& req : stranded) {
+    ++requests_failed_;
+    if (!req.on_complete) continue;
+    sim_.schedule_after(1, [this, cb = std::move(req.on_complete)] {
+      cb(sim_.now(), IoStatus::kUnavailable);
+    });
+  }
 }
 
 void DiskModel::finalize() { advance_meter(); }

@@ -1,17 +1,26 @@
-// Event-driven model of one disk drive: FIFO service queue, five-state
-// power machine, and energy metering.
+// Event-driven model of one disk drive: FIFO service queue, six-state
+// power machine (five DPM states + a terminal failed state), and energy
+// metering.
 //
 // The model is deliberately policy-free: it never decides *when* to spin
 // down — that is the PowerManager's job (core/power_manager) — but it does
 // auto-wake when a request lands on a sleeping disk, which is what a
 // Linux 2.4 ATA driver does and what gives the paper its response-time
 // penalties.
+//
+// Faults: every completion carries an IoStatus.  A disk can be failed
+// permanently (fail(), or an injected spin-up flake storm that exceeds
+// profile.max_spin_up_attempts), in which case every queued and future
+// request completes with kUnavailable; latent media errors can be armed
+// with inject_read_errors().  Retry/backoff policy lives one layer up
+// (core::StorageNode) — the drive only reports what happened.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "disk/disk_profile.hpp"
 #include "disk/energy_meter.hpp"
@@ -20,12 +29,30 @@
 
 namespace eevfs::disk {
 
+/// Outcome of one disk request.
+enum class IoStatus {
+  kOk = 0,
+  kMediaError,    // transient: the sector read back bad; retry may succeed
+  kUnavailable,   // terminal: the drive is failed (or failed mid-request)
+};
+
+constexpr std::string_view to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kMediaError: return "media_error";
+    case IoStatus::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
 struct DiskRequest {
   Bytes bytes = 0;
   bool sequential = false;
   bool is_write = false;
-  /// Invoked when the transfer completes; `completion` == sim.now().
-  std::function<void(Tick completion)> on_complete;
+  /// Invoked when the transfer completes or fails; `completion` ==
+  /// sim.now() at the callback.  Check `status` — a failed drive reports
+  /// kUnavailable without transferring anything.
+  std::function<void(Tick completion, IoStatus status)> on_complete;
 };
 
 class DiskModel {
@@ -36,7 +63,8 @@ class DiskModel {
   DiskModel& operator=(const DiskModel&) = delete;
 
   /// Enqueues a request.  If the disk is in standby (or spinning down) it
-  /// wakes automatically; the request waits out the spin-up.
+  /// wakes automatically; the request waits out the spin-up.  On a failed
+  /// disk the request completes with kUnavailable on the next tick.
   void submit(DiskRequest request);
 
   /// Asks the disk to spin down.  Honoured only from Idle with an empty
@@ -46,6 +74,27 @@ class DiskModel {
   /// Wakes a standby disk (proactive wake for hint-driven power
   /// management).  No-op unless the disk is in Standby.
   void request_spin_up();
+
+  // --- fault injection (fault::FaultInjector) ---------------------------
+
+  /// Permanently fails the drive: the state machine enters kFailed (zero
+  /// watts — the controller drops the drive off the bus), any in-flight
+  /// transfer or transition is abandoned, and every queued request
+  /// completes with kUnavailable.  Idempotent.
+  void fail();
+  bool failed() const { return state_ == PowerState::kFailed; }
+
+  /// Arms `n` latent read errors: the next `n` read completions report
+  /// kMediaError (the platters still paid the service time).  Writes are
+  /// unaffected (drive-level write verify is not modelled).
+  void inject_read_errors(std::uint64_t n) { pending_read_errors_ += n; }
+
+  /// Forces the next spin-up to need `extra_attempts` retries on top of
+  /// the first try.  If that exceeds profile.max_spin_up_attempts the
+  /// drive never comes back: it fails after the bounded ramp time.
+  void inject_spin_up_flakes(std::uint32_t extra_attempts) {
+    forced_spin_up_flakes_ += extra_attempts;
+  }
 
   PowerState state() const { return state_; }
   bool busy() const { return state_ == PowerState::kActive; }
@@ -60,17 +109,21 @@ class DiskModel {
   const EnergyMeter& meter() const { return meter_; }
   std::uint64_t spin_ups() const { return spin_ups_; }
   std::uint64_t spin_downs() const { return spin_downs_; }
-  /// Spin-ups that needed a retry (profile.spin_up_retry_prob > 0).
+  /// Spin-ups that needed a retry (profile.spin_up_retry_prob > 0 or an
+  /// injected flake).
   std::uint64_t spin_up_retries() const { return spin_up_retries_; }
   /// Paper's "power state transitions" metric counts both directions.
   std::uint64_t power_transitions() const { return spin_ups_ + spin_downs_; }
   std::uint64_t requests_completed() const { return requests_completed_; }
+  std::uint64_t media_errors() const { return media_errors_; }
+  std::uint64_t requests_failed() const { return requests_failed_; }
   Bytes bytes_transferred() const { return bytes_transferred_; }
 
   /// Fired whenever the disk becomes idle (queue drained or spun up with
   /// nothing to do) — the power manager arms its idle timer here.
   void set_idle_callback(std::function<void()> cb) { on_idle_ = std::move(cb); }
-  /// Fired on every state change (old, new).
+  /// Fired on every state change (old, new).  kFailed arrives here too —
+  /// the owning node reacts by entering degraded mode.
   void set_state_callback(std::function<void(PowerState, PowerState)> cb) {
     on_state_change_ = std::move(cb);
   }
@@ -81,6 +134,8 @@ class DiskModel {
   void start_next_request();
   void complete_current();
   void begin_spin_up();
+  /// Completes (with kUnavailable) everything queued on a failed drive.
+  void drain_queue_unavailable();
 
   sim::Simulator& sim_;
   DiskProfile profile_;
@@ -92,11 +147,16 @@ class DiskModel {
 
   std::deque<DiskRequest> queue_;
   bool wake_when_down_ = false;  // request arrived mid-spin-down
+  sim::EventHandle pending_event_;  // in-flight transfer or transition
 
   std::uint64_t spin_ups_ = 0;
   std::uint64_t spin_downs_ = 0;
   std::uint64_t spin_up_retries_ = 0;
   std::uint64_t flake_state_ = 0;  // deterministic retry stream
+  std::uint32_t forced_spin_up_flakes_ = 0;
+  std::uint64_t pending_read_errors_ = 0;
+  std::uint64_t media_errors_ = 0;
+  std::uint64_t requests_failed_ = 0;
   std::uint64_t requests_completed_ = 0;
   Bytes bytes_transferred_ = 0;
 

@@ -11,6 +11,7 @@ Watts DiskProfile::watts(PowerState s) const {
     case PowerState::kStandby: return standby_watts;
     case PowerState::kSpinningUp: return spin_up_watts;
     case PowerState::kSpinningDown: return spin_down_watts;
+    case PowerState::kFailed: return 0.0;  // dead drives draw nothing
   }
   return 0.0;
 }

@@ -44,6 +44,10 @@ struct DiskProfile {
   /// §V-A — aging CSS drives really do miss spin-ups).  A retry doubles
   /// that spin-up's duration and energy.  Deterministic per disk+attempt.
   double spin_up_retry_prob = 0.0;
+  /// Bound on spin-up attempts (first try + retries).  A spin-up that
+  /// would exceed this — only reachable through injected spin-up flakes —
+  /// marks the drive kFailed instead of ramping forever.
+  std::uint32_t max_spin_up_attempts = 8;
 
   Watts watts(PowerState s) const;
 

@@ -15,9 +15,10 @@ enum class PowerState : std::size_t {
   kStandby,         // spun down
   kSpinningUp,      // standby -> idle transition
   kSpinningDown,    // idle -> standby transition
+  kFailed,          // terminal: the drive is dead (fault injection)
 };
 
-inline constexpr std::size_t kNumPowerStates = 5;
+inline constexpr std::size_t kNumPowerStates = 6;
 
 constexpr std::string_view to_string(PowerState s) {
   switch (s) {
@@ -26,6 +27,7 @@ constexpr std::string_view to_string(PowerState s) {
     case PowerState::kStandby: return "standby";
     case PowerState::kSpinningUp: return "spinning_up";
     case PowerState::kSpinningDown: return "spinning_down";
+    case PowerState::kFailed: return "failed";
   }
   return "?";
 }

@@ -1,0 +1,155 @@
+#include "fault/fault_injector.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace eevfs::fault {
+
+namespace {
+
+FaultSpec make_spec(double at_sec, FaultKind kind, std::size_t node,
+                    bool buffer, std::size_t disk, std::uint64_t param) {
+  FaultSpec s;
+  s.at_sec = at_sec;
+  s.kind = kind;
+  s.node = node;
+  s.buffer_disk = buffer;
+  s.disk = disk;
+  s.param = param;
+  return s;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::fail_data_disk(double at_sec, std::size_t node,
+                                     std::size_t disk) {
+  events.push_back(make_spec(at_sec, FaultKind::kDiskFailure, node,
+                             /*buffer=*/false, disk, 0));
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_buffer_disk(double at_sec, std::size_t node,
+                                       std::size_t disk) {
+  events.push_back(make_spec(at_sec, FaultKind::kDiskFailure, node,
+                             /*buffer=*/true, disk, 0));
+  return *this;
+}
+
+FaultPlan& FaultPlan::flake_spin_up(double at_sec, std::size_t node,
+                                    std::size_t disk, std::uint64_t retries) {
+  events.push_back(make_spec(at_sec, FaultKind::kSpinUpFlake, node,
+                             /*buffer=*/false, disk, retries));
+  return *this;
+}
+
+FaultPlan& FaultPlan::latent_read_errors(double at_sec, std::size_t node,
+                                         std::size_t disk,
+                                         std::uint64_t count) {
+  events.push_back(make_spec(at_sec, FaultKind::kLatentReadErrors, node,
+                             /*buffer=*/false, disk, count));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_node(double at_sec, std::size_t node) {
+  events.push_back(make_spec(at_sec, FaultKind::kNodeCrash, node,
+                             /*buffer=*/false, 0, 0));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart_node(double at_sec, std::size_t node) {
+  events.push_back(make_spec(at_sec, FaultKind::kNodeRestart, node,
+                             /*buffer=*/false, 0, 0));
+  return *this;
+}
+
+FaultPlan random_data_disk_failures(std::uint64_t seed, double horizon_sec,
+                                    std::size_t nodes,
+                                    std::size_t data_disks_per_node,
+                                    std::size_t count) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(Rng(seed).fork(0xFA17));
+  for (std::size_t i = 0; i < count; ++i) {
+    // Keep failures off t=0 so the prefetch phase has started.
+    const double at = horizon_sec * (0.05 + 0.9 * rng.next_double());
+    const auto node = static_cast<std::size_t>(rng.next_below(nodes));
+    const auto disk =
+        static_cast<std::size_t>(rng.next_below(data_disks_per_node));
+    plan.fail_data_disk(at, node, disk);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)) {
+  drop_stream_ = plan_.seed ^ 0x9E3779B97F4A7C15ULL;
+}
+
+void FaultInjector::arm(net::NetworkFabric* net, Targets targets) {
+  targets_ = std::move(targets);
+  if (net != nullptr && plan_.network_drop_prob > 0.0) {
+    const double prob = plan_.network_drop_prob;
+    net->set_drop_hook([this, prob](net::EndpointId, net::EndpointId, Bytes) {
+      const double draw =
+          static_cast<double>(splitmix64(drop_stream_) >> 11) * 0x1.0p-53;
+      const bool drop = draw < prob;
+      if (drop) ++messages_dropped_;
+      return drop;
+    });
+  }
+  for (const FaultSpec& spec : plan_.events) {
+    sim_.schedule_at(seconds_to_ticks(spec.at_sec),
+                     [this, spec] { apply(spec); });
+  }
+}
+
+void FaultInjector::apply(const FaultSpec& spec) {
+  EEVFS_DEBUG() << "fault: " << to_string(spec.kind) << " node=" << spec.node
+                << (spec.kind == FaultKind::kNodeCrash ||
+                            spec.kind == FaultKind::kNodeRestart
+                        ? ""
+                        : (spec.buffer_disk ? " buffer" : " data"))
+                << " at t=" << ticks_to_seconds(sim_.now());
+  switch (spec.kind) {
+    case FaultKind::kDiskFailure:
+    case FaultKind::kSpinUpFlake:
+    case FaultKind::kLatentReadErrors: {
+      disk::DiskModel* d =
+          targets_.disk_of
+              ? targets_.disk_of(spec.node, spec.buffer_disk, spec.disk)
+              : nullptr;
+      if (d == nullptr) {
+        ++faults_misaddressed_;
+        return;
+      }
+      if (spec.kind == FaultKind::kDiskFailure) {
+        d->fail();
+      } else if (spec.kind == FaultKind::kSpinUpFlake) {
+        d->inject_spin_up_flakes(static_cast<std::uint32_t>(spec.param));
+      } else {
+        d->inject_read_errors(spec.param);
+      }
+      break;
+    }
+    case FaultKind::kNodeCrash:
+      if (!targets_.crash_node) {
+        ++faults_misaddressed_;
+        return;
+      }
+      targets_.crash_node(spec.node);
+      break;
+    case FaultKind::kNodeRestart:
+      if (!targets_.restart_node) {
+        ++faults_misaddressed_;
+        return;
+      }
+      targets_.restart_node(spec.node);
+      break;
+  }
+  ++faults_injected_;
+  ++injected_by_kind_[static_cast<std::size_t>(spec.kind)];
+}
+
+}  // namespace eevfs::fault

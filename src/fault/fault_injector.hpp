@@ -1,0 +1,137 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The paper (§V) measures only the happy path; EEVFS's energy story makes
+// failures *worse* than in an always-on system — the buffer disk carries
+// the whole hot set, and a spin-up that never completes strands every
+// queued request.  This module schedules faults on the simulation clock so
+// the robustness of every layer (disk, node, server, client retry) can be
+// measured as deterministically as the energy results: the same FaultPlan
+// and seed always produce the same fault sequence, so fault runs are as
+// reproducible as fault-free ones.
+//
+// The injector deliberately depends only on sim/disk/net.  Node-level
+// faults (crash/restart) are applied through callbacks the owner (the
+// core::Cluster) registers, which keeps the dependency arrow pointing
+// core -> fault and not back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "disk/disk_model.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+
+namespace eevfs::fault {
+
+enum class FaultKind : std::size_t {
+  kDiskFailure = 0,    // permanent: DiskModel::fail()
+  kSpinUpFlake,        // transient: next spin-up needs `param` retries
+  kLatentReadErrors,   // next `param` reads return kMediaError
+  kNodeCrash,          // storage node stops serving (and heartbeating)
+  kNodeRestart,        // crashed node comes back
+};
+
+inline constexpr std::size_t kNumFaultKinds = 5;
+
+constexpr std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDiskFailure: return "disk_failure";
+    case FaultKind::kSpinUpFlake: return "spin_up_flake";
+    case FaultKind::kLatentReadErrors: return "latent_read_errors";
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRestart: return "node_restart";
+  }
+  return "?";
+}
+
+/// One scheduled fault.  Disk coordinates are node-relative; they are
+/// ignored for node-level faults.
+struct FaultSpec {
+  double at_sec = 0.0;
+  FaultKind kind = FaultKind::kDiskFailure;
+  std::size_t node = 0;
+  bool buffer_disk = false;  // disk faults: target a buffer vs data disk
+  std::size_t disk = 0;      // index within the node's data/buffer set
+  /// kSpinUpFlake: forced retries; kLatentReadErrors: error count.
+  std::uint64_t param = 1;
+};
+
+/// The full fault schedule for one run.  Carried inside ClusterConfig;
+/// an empty plan (the default) is free — no hooks are installed.
+struct FaultPlan {
+  std::vector<FaultSpec> events;
+  /// Probability that any network message is dropped (deterministic
+  /// per-message draw from `seed`).  Requires a client request timeout,
+  /// or dropped requests would strand the run — ClusterConfig::validate
+  /// enforces that.
+  double network_drop_prob = 0.0;
+  std::uint64_t seed = 0x5EEDFA17u;
+
+  bool empty() const { return events.empty() && network_drop_prob <= 0.0; }
+
+  // Convenience builders (used by benches/tests; chainable).
+  FaultPlan& fail_data_disk(double at_sec, std::size_t node, std::size_t disk);
+  FaultPlan& fail_buffer_disk(double at_sec, std::size_t node,
+                              std::size_t disk);
+  FaultPlan& flake_spin_up(double at_sec, std::size_t node, std::size_t disk,
+                           std::uint64_t retries);
+  FaultPlan& latent_read_errors(double at_sec, std::size_t node,
+                                std::size_t disk, std::uint64_t count);
+  FaultPlan& crash_node(double at_sec, std::size_t node);
+  FaultPlan& restart_node(double at_sec, std::size_t node);
+};
+
+/// `count` permanent data-disk failures at deterministic pseudo-random
+/// times in (0, horizon_sec) on pseudo-random (node, disk) coordinates —
+/// the sweep axis of bench/fault_tolerance.
+FaultPlan random_data_disk_failures(std::uint64_t seed, double horizon_sec,
+                                    std::size_t nodes,
+                                    std::size_t data_disks_per_node,
+                                    std::size_t count);
+
+class FaultInjector {
+ public:
+  /// How the injector reaches the cluster's components.  `disk_of` maps
+  /// (node, buffer?, disk index) to the DiskModel, or nullptr when out of
+  /// range (the fault is then dropped and counted as misaddressed).
+  struct Targets {
+    std::function<disk::DiskModel*(std::size_t node, bool buffer_disk,
+                                   std::size_t disk)> disk_of;
+    std::function<void(std::size_t node)> crash_node;
+    std::function<void(std::size_t node)> restart_node;
+  };
+
+  FaultInjector(sim::Simulator& sim, FaultPlan plan);
+
+  /// Installs the network drop hook (when the plan has drops) and
+  /// schedules every fault event.  Call once, before sim.run().
+  void arm(net::NetworkFabric* net, Targets targets);
+
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  std::uint64_t injected(FaultKind k) const {
+    return injected_by_kind_[static_cast<std::size_t>(k)];
+  }
+  /// Faults whose (node, disk) coordinates did not resolve.
+  std::uint64_t faults_misaddressed() const { return faults_misaddressed_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void apply(const FaultSpec& spec);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  Targets targets_;
+  std::uint64_t drop_stream_ = 0;  // deterministic per-message draws
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t faults_misaddressed_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t injected_by_kind_[kNumFaultKinds] = {};
+};
+
+}  // namespace eevfs::fault

@@ -21,11 +21,24 @@ void NetworkFabric::send(EndpointId src, EndpointId dst, Bytes bytes,
   if (src >= endpoints_.size() || dst >= endpoints_.size()) {
     throw std::out_of_range("NetworkFabric::send: unknown endpoint");
   }
+  // Nothing crosses a real wire for free: zero-byte "messages" pay the
+  // control-message floor (headers, at minimum).
+  bytes = std::max(bytes, kControlMessageBytes);
+  if (drop_hook_ && drop_hook_(src, dst, bytes)) {
+    ++endpoints_[src].stats.messages_dropped;
+    return;  // on_delivered never fires; timeouts upstream recover
+  }
   if (src == dst) {
-    // Loopback: deliver "immediately" (next tick keeps causality strict).
-    sim_.schedule_after(1, [cb = std::move(on_delivered), this] {
-      if (cb) cb(sim_.now());
-    });
+    // Loopback: skips the NIC entirely, pays only the propagation
+    // latency (kernel loopback path), and still counts in the stats.
+    Endpoint& e = endpoints_[src];
+    ++e.stats.messages_sent;
+    e.stats.bytes_sent += bytes;
+    sim_.schedule_after(std::max<Tick>(latency_, 1),
+                        [this, src, cb = std::move(on_delivered)] {
+                          ++endpoints_[src].stats.messages_received;
+                          if (cb) cb(sim_.now());
+                        });
     return;
   }
   Endpoint& s = endpoints_[src];

@@ -27,6 +27,7 @@ inline constexpr Bytes kControlMessageBytes = 512;
 struct EndpointStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  std::uint64_t messages_dropped = 0;  // sends eaten by the fault hook
   Bytes bytes_sent = 0;
   Tick busy_ticks = 0;  // time the NIC spent transmitting
 };
@@ -42,9 +43,24 @@ class NetworkFabric {
   EndpointId add_endpoint(std::string label, double nic_bytes_per_sec);
 
   /// Sends `bytes` from `src` to `dst`; `on_delivered` fires at the
-  /// delivery time.  FIFO per source NIC.
+  /// delivery time.  FIFO per source NIC.  Defined edge cases:
+  ///  * src == dst (loopback): delivered after the propagation latency
+  ///    only — no NIC occupancy — with send/receive stats still counted;
+  ///  * bytes == 0: clamped up to kControlMessageBytes — nothing crosses
+  ///    a real wire for free, so zero-byte "messages" pay the control
+  ///    floor;
+  ///  * an installed drop hook may eat the message: on_delivered never
+  ///    fires and the source's messages_dropped is incremented.  Callers
+  ///    that must survive drops need their own timeout (core::Cluster's
+  ///    request deadline provides it on the request path).
   void send(EndpointId src, EndpointId dst, Bytes bytes,
             std::function<void(Tick delivered)> on_delivered);
+
+  /// Fault injection: when set, every send() consults the hook; a `true`
+  /// return silently drops the message.  Pass nullptr to clear.
+  using DropHook = std::function<bool(EndpointId src, EndpointId dst,
+                                      Bytes bytes)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
   /// Time `src`'s NIC frees up (>= now when it is transmitting).
   Tick nic_free_at(EndpointId src) const;
@@ -66,6 +82,7 @@ class NetworkFabric {
   sim::Simulator& sim_;
   Tick latency_;
   std::vector<Endpoint> endpoints_;
+  DropHook drop_hook_;
 };
 
 /// Convenience: converts the paper's megabit-per-second NIC ratings.

@@ -116,13 +116,13 @@ void BudSimulator::consider_prefetch(BlockId block, std::size_t index) {
   disk::DiskRequest read;
   read.bytes = config_.block_bytes;
   read.sequential = false;
-  read.on_complete = [this, block](Tick) {
+  read.on_complete = [this, block](Tick, disk::IoStatus) {
     const std::size_t bd = next_buffer_disk_++ % buffer_disks_.size();
     disk::DiskRequest write;
     write.bytes = config_.block_bytes;
     write.sequential = true;
     write.is_write = true;
-    write.on_complete = [this, block](Tick) {
+    write.on_complete = [this, block](Tick, disk::IoStatus) {
       copy_in_flight_.erase(block);
       buffered_.insert(block);
       ++stats_.blocks_prefetched;
@@ -135,7 +135,7 @@ void BudSimulator::consider_prefetch(BlockId block, std::size_t index) {
 void BudSimulator::handle_request(std::size_t index) {
   const BlockRequest& req = (*requests_)[index];
   const Tick issued = sim_.now();
-  auto complete = [this, issued](Tick done) {
+  auto complete = [this, issued](Tick done, disk::IoStatus) {
     stats_.response_time_sec.add(ticks_to_seconds(done - issued));
     stats_.makespan = std::max(stats_.makespan, done);
     --outstanding_;

@@ -104,11 +104,13 @@ T get_le(std::istream& in) {
   unsigned char buf[sizeof(T)];
   in.read(reinterpret_cast<char*>(buf), sizeof(T));
   if (!in) throw std::runtime_error("binary trace: truncated input");
-  std::make_unsigned_t<T> v = 0;
+  // Accumulate in a wide register: |= on a sub-int type would promote to
+  // int and warn on the narrowing assignment under -Wconversion.
+  std::uint64_t v = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
-    v |= static_cast<std::make_unsigned_t<T>>(buf[i]) << (8 * i);
+    v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
   }
-  return static_cast<T>(v);
+  return static_cast<T>(static_cast<std::make_unsigned_t<T>>(v));
 }
 
 }  // namespace

@@ -99,7 +99,7 @@ TEST_F(DiskModelTest, ServesRequestWithExactServiceTime) {
   Tick completed = -1;
   DiskRequest req;
   req.bytes = 10 * kMB;
-  req.on_complete = [&](Tick t) { completed = t; };
+  req.on_complete = [&](Tick t, disk::IoStatus) { completed = t; };
   disk.submit(std::move(req));
   EXPECT_EQ(disk.state(), PowerState::kActive);
   sim.run();
@@ -115,7 +115,7 @@ TEST_F(DiskModelTest, QueueIsFifo) {
   for (int i = 0; i < 3; ++i) {
     DiskRequest req;
     req.bytes = kMB;
-    req.on_complete = [&order, i](Tick) { order.push_back(i); };
+    req.on_complete = [&order, i](Tick, disk::IoStatus) { order.push_back(i); };
     disk.submit(std::move(req));
   }
   EXPECT_EQ(disk.queue_depth(), 3u);
@@ -128,8 +128,8 @@ TEST_F(DiskModelTest, BackToBackRequestsSerialize) {
   Tick first = 0, second = 0;
   DiskRequest a, b;
   a.bytes = b.bytes = kMB;
-  a.on_complete = [&](Tick t) { first = t; };
-  b.on_complete = [&](Tick t) { second = t; };
+  a.on_complete = [&](Tick t, disk::IoStatus) { first = t; };
+  b.on_complete = [&](Tick t, disk::IoStatus) { second = t; };
   disk.submit(std::move(a));
   disk.submit(std::move(b));
   sim.run();
@@ -161,7 +161,7 @@ TEST_F(DiskModelTest, RequestWakesStandbyDiskAndPaysSpinUp) {
   Tick completed = -1;
   DiskRequest req;
   req.bytes = kMB;
-  req.on_complete = [&](Tick t) { completed = t; };
+  req.on_complete = [&](Tick t, disk::IoStatus) { completed = t; };
   disk.submit(std::move(req));
   EXPECT_EQ(disk.state(), PowerState::kSpinningUp);
   sim.run();
@@ -176,12 +176,56 @@ TEST_F(DiskModelTest, RequestDuringSpinDownWaitsFullCycle) {
   Tick completed = -1;
   DiskRequest req;
   req.bytes = kMB;
-  req.on_complete = [&](Tick t) { completed = t; };
+  req.on_complete = [&](Tick t, disk::IoStatus) { completed = t; };
   disk.submit(std::move(req));  // arrives mid-spin-down
   sim.run();
   EXPECT_EQ(completed, profile.spin_down_time + profile.spin_up_time +
                            profile.service_time(kMB, false));
   EXPECT_EQ(disk.spin_ups(), 1u);
+}
+
+TEST_F(DiskModelTest, SpinDownRacingArrivalMidTransitionWakes) {
+  // A request that lands part-way through the spin-down (not at the same
+  // tick the transition started) must set the wake-when-down latch; a
+  // second spin-down ask during the race is refused.
+  DiskModel disk(sim, profile, "d");
+  ASSERT_TRUE(disk.request_spin_down());
+  Tick completed = -1;
+  sim.schedule_after(profile.spin_down_time / 2, [&] {
+    DiskRequest req;
+    req.bytes = kMB;
+    req.on_complete = [&](Tick t, disk::IoStatus) { completed = t; };
+    disk.submit(std::move(req));
+    EXPECT_EQ(disk.state(), PowerState::kSpinningDown);
+    EXPECT_FALSE(disk.request_spin_down());  // mid-transition: refused
+  });
+  sim.run();
+  EXPECT_EQ(completed, profile.spin_down_time + profile.spin_up_time +
+                           profile.service_time(kMB, false));
+  EXPECT_EQ(disk.spin_ups(), 1u);
+  EXPECT_EQ(disk.state(), PowerState::kIdle);
+}
+
+TEST_F(DiskModelTest, SpinUpRetryProbIsDeterministicPerLabel) {
+  // The flaky spin-up stream is seeded from the disk label, so the same
+  // drive in two separate simulations draws the same retry sequence.
+  DiskProfile p = profile;
+  p.spin_up_retry_prob = 0.5;
+  const auto run_cycles = [&p](const std::string& label) {
+    sim::Simulator s;
+    DiskModel disk(s, p, label);
+    for (int i = 0; i < 20; ++i) {
+      disk.request_spin_down();
+      s.run();
+      disk.request_spin_up();
+      s.run();
+    }
+    return disk.spin_up_retries();
+  };
+  const std::uint64_t a = run_cycles("d0");
+  EXPECT_EQ(a, run_cycles("d0"));
+  EXPECT_GT(a, 0u);   // at p=0.5 over 20 cycles some retries must show
+  EXPECT_LT(a, 20u);  // ...but not every cycle flakes
 }
 
 TEST_F(DiskModelTest, ProactiveSpinUpFromStandby) {
@@ -272,7 +316,7 @@ TEST_F(DiskModelTest, SequentialRequestsAreFaster) {
   DiskRequest req;
   req.bytes = 10 * kMB;
   req.sequential = true;
-  req.on_complete = [&](Tick t) { seq_done = t; };
+  req.on_complete = [&](Tick t, disk::IoStatus) { seq_done = t; };
   disk.submit(std::move(req));
   sim.run();
   EXPECT_EQ(seq_done, profile.service_time(10 * kMB, true));

@@ -35,7 +35,7 @@ FuzzResult fuzz_once(std::uint64_t seed, double retry_prob) {
         req.bytes = (1 + rng.next_below(20)) * kMB;
         req.sequential = rng.next_below(2) == 0;
         const std::uint64_t tag = next_tag++;
-        req.on_complete = [&, tag](Tick) {
+        req.on_complete = [&, tag](Tick, disk::IoStatus) {
           ++result.completed;
           if (!first_completion && tag != last_completed_tag + 1) {
             ++result.completion_order_violations;

@@ -1,0 +1,467 @@
+// Fault injection and degraded-mode serving, bottom-up: the DiskModel
+// fault machinery, StorageNode degraded paths, FaultPlan construction,
+// and the end-to-end availability story (the ISSUE's acceptance
+// criteria: replicated runs survive a disk loss with zero failed
+// requests and bit-identical metrics; unreplicated runs fail typed,
+// never hang).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/presets.hpp"
+#include "core/cluster.hpp"
+#include "core/storage_node.hpp"
+#include "disk/disk_model.hpp"
+#include "fault/fault_injector.hpp"
+#include "workload/synthetic.hpp"
+
+namespace eevfs {
+namespace {
+
+using core::RequestStatus;
+
+// --- DiskModel fault machinery ---------------------------------------
+
+class DiskFaultTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  disk::DiskProfile profile = disk::DiskProfile::ata133_fast();
+};
+
+TEST_F(DiskFaultTest, FailedDiskFailsFastWithUnavailable) {
+  disk::DiskModel disk(sim, profile, "d");
+  disk.fail();
+  EXPECT_TRUE(disk.failed());
+  disk::IoStatus st = disk::IoStatus::kOk;
+  disk::DiskRequest req;
+  req.bytes = kMB;
+  req.on_complete = [&](Tick, disk::IoStatus s) { st = s; };
+  disk.submit(std::move(req));
+  sim.run();
+  EXPECT_EQ(st, disk::IoStatus::kUnavailable);
+  EXPECT_EQ(disk.requests_failed(), 1u);
+  EXPECT_EQ(disk.requests_completed(), 0u);
+  // The controller dropped the drive off the bus: zero watts from here.
+  EXPECT_DOUBLE_EQ(profile.watts(disk::PowerState::kFailed), 0.0);
+}
+
+TEST_F(DiskFaultTest, FailMidFlightDrainsEveryQueuedRequestTyped) {
+  disk::DiskModel disk(sim, profile, "d");
+  std::vector<disk::IoStatus> seen;
+  for (int i = 0; i < 3; ++i) {
+    disk::DiskRequest req;
+    req.bytes = 10 * kMB;
+    req.on_complete = [&](Tick, disk::IoStatus s) { seen.push_back(s); };
+    disk.submit(std::move(req));
+  }
+  disk.fail();  // one in flight, two queued: all must complete typed
+  sim.run();
+  ASSERT_EQ(seen.size(), 3u);
+  for (const disk::IoStatus s : seen) {
+    EXPECT_EQ(s, disk::IoStatus::kUnavailable);
+  }
+  EXPECT_EQ(disk.requests_failed(), 3u);
+  EXPECT_EQ(disk.requests_completed(), 0u);
+}
+
+TEST_F(DiskFaultTest, LatentReadErrorsAreTransient) {
+  disk::DiskModel disk(sim, profile, "d");
+  disk.inject_read_errors(1);
+  std::vector<disk::IoStatus> seen;
+  for (int i = 0; i < 2; ++i) {
+    disk::DiskRequest req;
+    req.bytes = kMB;
+    req.on_complete = [&](Tick, disk::IoStatus s) { seen.push_back(s); };
+    disk.submit(std::move(req));
+  }
+  sim.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], disk::IoStatus::kMediaError);
+  EXPECT_EQ(seen[1], disk::IoStatus::kOk);
+  EXPECT_EQ(disk.media_errors(), 1u);
+  // The bad read still spun the platters but transferred nothing.
+  EXPECT_EQ(disk.bytes_transferred(), kMB);
+}
+
+TEST_F(DiskFaultTest, WritesDoNotConsumeLatentReadErrors) {
+  disk::DiskModel disk(sim, profile, "d");
+  disk.inject_read_errors(1);
+  disk::IoStatus write_st{}, read_st{};
+  disk::DiskRequest w;
+  w.bytes = kMB;
+  w.is_write = true;
+  w.on_complete = [&](Tick, disk::IoStatus s) { write_st = s; };
+  disk.submit(std::move(w));
+  disk::DiskRequest r;
+  r.bytes = kMB;
+  r.on_complete = [&](Tick, disk::IoStatus s) { read_st = s; };
+  disk.submit(std::move(r));
+  sim.run();
+  EXPECT_EQ(write_st, disk::IoStatus::kOk);
+  EXPECT_EQ(read_st, disk::IoStatus::kMediaError);
+}
+
+TEST_F(DiskFaultTest, SpinUpFlakeRetriesAndRecovers) {
+  disk::DiskModel disk(sim, profile, "d");
+  ASSERT_TRUE(disk.request_spin_down());
+  sim.run();
+  ASSERT_EQ(disk.state(), disk::PowerState::kStandby);
+  const Tick t0 = sim.now();
+  disk.inject_spin_up_flakes(2);  // 3 attempts total, within the bound
+  Tick completed = -1;
+  disk::IoStatus st{};
+  disk::DiskRequest req;
+  req.bytes = kMB;
+  req.on_complete = [&](Tick t, disk::IoStatus s) { completed = t; st = s; };
+  disk.submit(std::move(req));
+  sim.run();
+  EXPECT_EQ(st, disk::IoStatus::kOk);
+  EXPECT_EQ(completed,
+            t0 + 3 * profile.spin_up_time + profile.service_time(kMB, false));
+  EXPECT_EQ(disk.spin_up_retries(), 2u);
+  EXPECT_FALSE(disk.failed());
+}
+
+TEST_F(DiskFaultTest, SpinUpFlakeStormFailsTheDrive) {
+  disk::DiskProfile p = profile;
+  p.max_spin_up_attempts = 3;
+  disk::DiskModel disk(sim, p, "d");
+  ASSERT_TRUE(disk.request_spin_down());
+  sim.run();
+  disk.inject_spin_up_flakes(5);  // 6 attempts > the 3-attempt bound
+  disk::IoStatus st = disk::IoStatus::kOk;
+  disk::DiskRequest req;
+  req.bytes = kMB;
+  req.on_complete = [&](Tick, disk::IoStatus s) { st = s; };
+  disk.submit(std::move(req));
+  sim.run();
+  EXPECT_TRUE(disk.failed());
+  EXPECT_EQ(st, disk::IoStatus::kUnavailable);
+  EXPECT_EQ(disk.requests_failed(), 1u);
+}
+
+// --- StorageNode degraded-mode serving --------------------------------
+
+class NodeFaultTest : public ::testing::Test {
+ protected:
+  NodeFaultTest() : net(sim) {
+    node_ep = net.add_endpoint("node", net::mbps_to_bytes_per_sec(1000));
+    client_ep = net.add_endpoint("client", net::mbps_to_bytes_per_sec(1000));
+  }
+
+  core::NodeParams params() {
+    core::NodeParams p;
+    p.id = 0;
+    p.data_disks = 2;
+    p.buffer_disks = 1;
+    p.disk_profile = disk::DiskProfile::ata133_fast();
+    p.power.policy = core::PowerPolicy::kPredictive;
+    return p;
+  }
+
+  std::unique_ptr<core::StorageNode> make_node(core::NodeParams p) {
+    return std::make_unique<core::StorageNode>(sim, net, node_ep, p);
+  }
+
+  /// Registers `n` files (round-robin over the two data disks: even ids
+  /// on disk 0).  File 0 is hot — accessed every second, so the PRE-BUD
+  /// gate accepts it as a prefetch candidate — the rest are cold.
+  void setup_files(core::StorageNode& node, std::size_t n, Bytes size) {
+    const Tick horizon = seconds_to_ticks(600);
+    std::map<trace::FileId, std::vector<Tick>> pattern;
+    for (trace::FileId f = 0; f < n; ++f) {
+      node.create_file(f, size);
+      if (f == 0) {
+        for (Tick t = 0; t < horizon; t += seconds_to_ticks(1)) {
+          pattern[f].push_back(t);
+        }
+      } else {
+        pattern[f].push_back(horizon - seconds_to_ticks(1));
+      }
+    }
+    node.receive_access_pattern(std::move(pattern), horizon);
+  }
+
+  RequestStatus serve(core::StorageNode& node, trace::FileId f) {
+    RequestStatus st = RequestStatus::kOk;
+    node.serve_read(f, client_ep, [&](Tick, RequestStatus s) { st = s; });
+    sim.run();
+    return st;
+  }
+
+  sim::Simulator sim;
+  net::NetworkFabric net;
+  net::EndpointId node_ep{}, client_ep{};
+};
+
+TEST_F(NodeFaultTest, BufferedCopyRescuesDeadDataDisk) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB);
+  node->start_prefetch({0}, [] {});
+  sim.run();
+  ASSERT_TRUE(node->is_buffered(0));
+  node->mutable_data_disk(0).fail();  // file 0 lives on data disk 0
+  EXPECT_EQ(serve(*node, 0), RequestStatus::kOk);
+  EXPECT_EQ(node->buffered_rescues(), 1u);
+  // An unbuffered file on the dead disk has no live copy on this node:
+  // it must fail upward (typed) so the server can try a replica.
+  EXPECT_EQ(serve(*node, 2), RequestStatus::kDiskUnavailable);
+  EXPECT_GE(node->failed_serves(), 1u);
+  // A file on the surviving disk is unaffected.
+  EXPECT_EQ(serve(*node, 1), RequestStatus::kOk);
+}
+
+TEST_F(NodeFaultTest, DeadBufferDiskFallsBackToDataDisks) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB);
+  node->start_prefetch({0}, [] {});
+  sim.run();
+  ASSERT_TRUE(node->is_buffered(0));
+  node->mutable_buffer_disk(0).fail();
+  // Availability is kept — the read degrades to the data-disk copy — at
+  // an energy cost the node meters.
+  EXPECT_EQ(serve(*node, 0), RequestStatus::kOk);
+  EXPECT_EQ(node->buffer_fallback_reads(), 1u);
+  EXPECT_EQ(node->failed_serves(), 0u);
+}
+
+TEST_F(NodeFaultTest, MediaErrorsAreRetriedWithBackoff) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB);
+  node->mutable_data_disk(0).inject_read_errors(2);
+  EXPECT_EQ(serve(*node, 0), RequestStatus::kOk);
+  EXPECT_EQ(node->disk_io_retries(), 2u);
+  EXPECT_EQ(node->data_disk(0).media_errors(), 2u);
+  EXPECT_EQ(node->failed_serves(), 0u);
+}
+
+TEST_F(NodeFaultTest, RetryBudgetExhaustionFailsTyped) {
+  auto p = params();
+  p.max_io_retries = 2;
+  auto node = make_node(p);
+  setup_files(*node, 4, 10 * kMB);
+  node->mutable_data_disk(0).inject_read_errors(100);
+  EXPECT_EQ(serve(*node, 0), RequestStatus::kDiskUnavailable);
+  EXPECT_EQ(node->disk_io_retries(), 2u);
+  EXPECT_GE(node->failed_serves(), 1u);
+}
+
+TEST_F(NodeFaultTest, CrashedNodeFailsFastAndRestartRecovers) {
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB);
+  node->crash();
+  EXPECT_FALSE(node->alive());
+  const Tick before = sim.now();
+  RequestStatus st = RequestStatus::kOk;
+  Tick failed_at = -1;
+  node->serve_read(0, client_ep, [&](Tick t, RequestStatus s) {
+    st = s;
+    failed_at = t;
+  });
+  sim.run();
+  EXPECT_EQ(st, RequestStatus::kNodeUnavailable);
+  EXPECT_LE(failed_at - before, 2);  // connection refused, no disk touched
+  EXPECT_EQ(node->data_disk(0).requests_completed(), 0u);
+  node->restart();
+  EXPECT_TRUE(node->alive());
+  EXPECT_EQ(serve(*node, 0), RequestStatus::kOk);
+}
+
+// --- FaultPlan construction -------------------------------------------
+
+TEST(FaultPlan, BuildersAppendTypedSpecs) {
+  fault::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.fail_data_disk(1.0, 2, 1)
+      .fail_buffer_disk(1.5, 3, 0)
+      .flake_spin_up(2.0, 0, 0, 3)
+      .latent_read_errors(0.5, 0, 1, 7)
+      .crash_node(3.0, 1)
+      .restart_node(4.0, 1);
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.events.size(), 6u);
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kDiskFailure);
+  EXPECT_FALSE(plan.events[0].buffer_disk);
+  EXPECT_EQ(plan.events[0].node, 2u);
+  EXPECT_EQ(plan.events[0].disk, 1u);
+  EXPECT_TRUE(plan.events[1].buffer_disk);
+  EXPECT_EQ(plan.events[2].kind, fault::FaultKind::kSpinUpFlake);
+  EXPECT_EQ(plan.events[2].param, 3u);
+  EXPECT_EQ(plan.events[3].kind, fault::FaultKind::kLatentReadErrors);
+  EXPECT_EQ(plan.events[3].param, 7u);
+  EXPECT_EQ(plan.events[4].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[5].kind, fault::FaultKind::kNodeRestart);
+}
+
+TEST(FaultPlan, DropsAloneMakeThePlanNonEmpty) {
+  fault::FaultPlan plan;
+  plan.network_drop_prob = 0.01;
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RandomDataDiskFailuresAreDeterministic) {
+  const auto a = fault::random_data_disk_failures(42, 10.0, 8, 2, 5);
+  const auto b = fault::random_data_disk_failures(42, 10.0, 8, 2, 5);
+  ASSERT_EQ(a.events.size(), 5u);
+  ASSERT_EQ(b.events.size(), 5u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at_sec, b.events[i].at_sec);
+    EXPECT_EQ(a.events[i].node, b.events[i].node);
+    EXPECT_EQ(a.events[i].disk, b.events[i].disk);
+    EXPECT_EQ(a.events[i].kind, fault::FaultKind::kDiskFailure);
+    EXPECT_FALSE(a.events[i].buffer_disk);
+    EXPECT_GT(a.events[i].at_sec, 0.0);
+    EXPECT_LT(a.events[i].at_sec, 10.0);
+    EXPECT_LT(a.events[i].node, 8u);
+    EXPECT_LT(a.events[i].disk, 2u);
+  }
+}
+
+// --- Cluster-level availability (the acceptance criteria) --------------
+
+workload::Workload small_workload(std::size_t requests = 300,
+                                  double mu = 1000.0,
+                                  double size_mb = 10.0) {
+  workload::SyntheticConfig cfg;
+  cfg.num_requests = requests;
+  cfg.mu = mu;
+  cfg.mean_data_size_mb = size_mb;
+  return workload::generate_synthetic(cfg);
+}
+
+TEST(ClusterFault, ReplicatedClusterSurvivesDataDiskFailure) {
+  const auto w = small_workload(400);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.replication_degree = 2;
+  cfg.fault_plan.fail_data_disk(0.0, 0, 0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  // Every request lands despite the lost disk: the buffered copies and
+  // the replica set absorb the failure.
+  EXPECT_EQ(m.availability.failed_requests, 0u);
+  EXPECT_GT(m.availability.rerouted_requests, 0u);
+  EXPECT_GT(m.availability.retried_requests, 0u);
+  EXPECT_EQ(m.response_time_sec.count(), w.requests.size());
+  EXPECT_EQ(m.availability.faults_injected, 1u);
+  EXPECT_DOUBLE_EQ(m.availability.availability(m.requests), 1.0);
+  ASSERT_NE(c.injector(), nullptr);
+  EXPECT_EQ(c.injector()->injected(fault::FaultKind::kDiskFailure), 1u);
+}
+
+TEST(ClusterFault, FaultedRunIsBitIdenticalAcrossRuns) {
+  const auto w = small_workload(400);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.replication_degree = 2;
+  cfg.fault_plan.fail_data_disk(0.0, 0, 0);
+  core::Cluster a(cfg), b(cfg);
+  const core::RunMetrics ma = a.run(w);
+  const core::RunMetrics mb = b.run(w);
+  EXPECT_EQ(ma.total_joules, mb.total_joules);  // bit-exact
+  EXPECT_EQ(ma.makespan, mb.makespan);
+  EXPECT_EQ(ma.availability.failed_requests, mb.availability.failed_requests);
+  EXPECT_EQ(ma.availability.retried_requests,
+            mb.availability.retried_requests);
+  EXPECT_EQ(ma.availability.rerouted_requests,
+            mb.availability.rerouted_requests);
+  EXPECT_EQ(ma.availability.client_retries, mb.availability.client_retries);
+  EXPECT_EQ(ma.response_time_sec.mean(), mb.response_time_sec.mean());
+}
+
+TEST(ClusterFault, UnreplicatedClusterFailsTypedButNeverHangs) {
+  const auto w = small_workload(400);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.replication_degree = 1;
+  cfg.fault_plan.fail_data_disk(0.0, 0, 0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);  // completing at all is the point
+  EXPECT_GT(m.availability.failed_requests, 0u);
+  EXPECT_EQ(m.availability.rerouted_requests, 0u);  // nowhere to go
+  EXPECT_GT(m.availability.client_retries, 0u);
+  // Every request is accounted for: served or typed-failed, no strand.
+  EXPECT_EQ(m.response_time_sec.count() + m.availability.failed_requests,
+            w.requests.size());
+  EXPECT_LT(m.availability.availability(m.requests), 1.0);
+}
+
+TEST(ClusterFault, BufferDiskLossDegradesToDataDisksWithoutFailures) {
+  // 200 requests over ~10 s; the buffer disk dies mid-replay, after the
+  // prefetch put the hot files on it.
+  const auto w = small_workload(200, 20.0);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.fault_plan.fail_buffer_disk(4.0, 0, 0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  EXPECT_EQ(m.availability.failed_requests, 0u);
+  EXPECT_GT(m.availability.buffer_fallback_reads, 0u);
+  // Fallback reads spin data disks a healthy buffer would have spared.
+  EXPECT_GT(m.availability.fault_energy_delta, 0.0);
+}
+
+TEST(ClusterFault, NodeCrashIsDetectedAndRecoveredByHeartbeats) {
+  const auto w = small_workload(200, 20.0);  // ~10 s of replay
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.fault_plan.crash_node(0.0, 0).restart_node(6.0, 0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  ASSERT_NE(c.injector(), nullptr);
+  EXPECT_EQ(c.injector()->injected(fault::FaultKind::kNodeCrash), 1u);
+  EXPECT_EQ(c.injector()->injected(fault::FaultKind::kNodeRestart), 1u);
+  // While the node was down its requests failed typed...
+  EXPECT_GT(m.availability.failed_requests, 0u);
+  EXPECT_GT(m.response_time_sec.count(), 0u);
+  EXPECT_EQ(m.response_time_sec.count() + m.availability.failed_requests,
+            w.requests.size());
+  // ...and the health monitor saw the outage end after the restart.
+  EXPECT_GT(m.availability.degraded_ticks, 0);
+  EXPECT_EQ(m.availability.recovery_episodes, 1u);
+  EXPECT_GT(m.availability.mttr_sec, 0.0);
+}
+
+TEST(ClusterFault, NetworkDropsAreAbsorbedByTimeoutsAndRetries) {
+  const auto w = small_workload(300);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.fault_plan.network_drop_prob = 0.02;
+  cfg.request_timeout_sec = 3.0;
+  cfg.max_request_retries = 6;
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  ASSERT_NE(c.injector(), nullptr);
+  EXPECT_GT(c.injector()->messages_dropped(), 0u);
+  EXPECT_GT(m.availability.timed_out_requests +
+                m.availability.client_retries,
+            0u);
+  EXPECT_EQ(m.response_time_sec.count() + m.availability.failed_requests,
+            w.requests.size());
+}
+
+TEST(ClusterFault, MisaddressedFaultsAreCountedNotApplied) {
+  const auto w = small_workload(100);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.fault_plan.fail_data_disk(0.0, 99, 0);  // node out of range
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  ASSERT_NE(c.injector(), nullptr);
+  EXPECT_EQ(c.injector()->faults_misaddressed(), 1u);
+  EXPECT_EQ(c.injector()->faults_injected(), 0u);
+  EXPECT_EQ(m.availability.failed_requests, 0u);
+}
+
+TEST(ClusterFault, ValidateRejectsNonsensicalFaultConfigs) {
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.replication_degree = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.replication_degree = cfg.num_storage_nodes + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = baseline::eevfs_pf();
+  cfg.fault_plan.network_drop_prob = 0.1;  // drops without a timeout
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(core::Cluster{cfg}, std::invalid_argument);
+  cfg.request_timeout_sec = 1.0;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.fault_plan.network_drop_prob = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eevfs

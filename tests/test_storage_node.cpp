@@ -135,7 +135,8 @@ TEST_F(StorageNodeTest, ServeReadHitUsesBufferDiskOnly) {
   sim.run();
   const auto data_reads_before = node->data_disk(0).requests_completed();
   Tick delivered = -1;
-  node->serve_read(0, client_ep, [&](Tick t) { delivered = t; });
+  node->serve_read(0, client_ep,
+                   [&](Tick t, core::RequestStatus) { delivered = t; });
   sim.run();
   EXPECT_GT(delivered, 0);
   EXPECT_EQ(node->data_disk(0).requests_completed(), data_reads_before);
@@ -148,7 +149,8 @@ TEST_F(StorageNodeTest, ServeReadMissUsesDataDisk) {
   node->start_prefetch({}, [] {});
   sim.run();
   Tick delivered = -1;
-  node->serve_read(1, client_ep, [&](Tick t) { delivered = t; });
+  node->serve_read(1, client_ep,
+                   [&](Tick t, core::RequestStatus) { delivered = t; });
   sim.run();
   // File 1 lives on data disk 1.
   EXPECT_EQ(node->data_disk(1).requests_completed(), 1u);
@@ -199,7 +201,8 @@ TEST_F(StorageNodeTest, WriteGoesToBufferLogAndDestagesOnRead) {
   node->start_prefetch({}, [] {});
   sim.run();
   Tick acked = -1;
-  node->serve_write(0, 10 * kMB, client_ep, [&](Tick t) { acked = t; });
+  node->serve_write(0, 10 * kMB, client_ep,
+                    [&](Tick t, core::RequestStatus) { acked = t; });
   // Ack must not wait for the data disk: only the buffer-disk log write.
   sim.run();
   EXPECT_GT(acked, 0);

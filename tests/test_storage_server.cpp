@@ -108,7 +108,8 @@ TEST_F(StorageServerTest, RouteForwardsAndLogsRequests) {
 
   Tick done = -1;
   const trace::TraceRecord r = w.requests[0];
-  server->route(r, client_ep, [&](Tick t) { done = t; });
+  server->route(r, client_ep,
+                [&](Tick t, core::RequestStatus) { done = t; });
   sim.run();
   EXPECT_GT(done, 0);
   EXPECT_EQ(server->requests_routed(), 1u);

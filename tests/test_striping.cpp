@@ -79,10 +79,12 @@ TEST_F(StripingNodeTest, StripedReadIsFasterThanWholeFile) {
   auto whole = make_node(1);
   Tick striped_done = 0, whole_done = 0;
   const Tick t0 = sim.now();
-  striped->serve_read(0, client_ep, [&](Tick t) { striped_done = t - t0; });
+  striped->serve_read(
+      0, client_ep, [&](Tick t, core::RequestStatus) { striped_done = t - t0; });
   sim.run();
   const Tick t1 = sim.now();
-  whole->serve_read(0, client_ep, [&](Tick t) { whole_done = t - t1; });
+  whole->serve_read(
+      0, client_ep, [&](Tick t, core::RequestStatus) { whole_done = t - t1; });
   sim.run();
   EXPECT_LT(striped_done, whole_done);
   // 40 MB over 4 disks: disk phase ~4x faster; the NIC hop is shared.
