@@ -5,11 +5,12 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "ablation_hints", {"mu", "policy", "joules", "gain_vs_npf",
                          "transitions", "wakeups", "resp_mean_s"});
   bench::banner("Ablation", "power policies: timer / predictive / hints / oracle",
@@ -25,6 +26,7 @@ int main() {
     npf_cfg.enable_prefetch = false;
     core::Cluster npf_cluster(npf_cfg);
     const core::RunMetrics npf = npf_cluster.run(w);
+    out->add_run(format("mu=%.0f/npf", mu), npf);
 
     std::printf("\nMU = %.0f\n", mu);
     std::printf("%-12s %14s %8s %12s %8s %10s\n", "policy", "energy (J)",
@@ -40,17 +42,20 @@ int main() {
                   static_cast<unsigned long long>(m.power_transitions),
                   static_cast<unsigned long long>(m.wakeups_on_demand),
                   m.response_time_sec.mean());
-      csv->row({CsvWriter::cell(mu), core::to_string(policy),
+      out->row({CsvWriter::cell(mu), core::to_string(policy),
                 CsvWriter::cell(m.total_joules),
                 CsvWriter::cell(m.energy_gain_vs(npf)),
                 CsvWriter::cell(m.power_transitions),
                 CsvWriter::cell(m.wakeups_on_demand),
                 CsvWriter::cell(m.response_time_sec.mean())});
+      out->add_run(
+          format("mu=%.0f/%s", mu, core::to_string(policy).c_str()),
+          m);
     }
   }
   std::printf("\nexpected shape (§IV-C): hints eliminate on-demand wake-ups "
               "and their\nresponse penalty at equal-or-better energy; the "
               "timer policy pays the\nmost wake-ups.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

@@ -13,7 +13,7 @@ using namespace eevfs;
 
 namespace {
 
-void run_suite(CsvWriter& csv, const char* workload_name,
+void run_suite(bench::BenchOutput& out, const char* workload_name,
                const workload::Workload& w) {
   std::printf("\nworkload: %s\n", workload_name);
   std::printf("%-16s %14s %8s %12s %10s %10s\n", "system", "energy (J)",
@@ -22,6 +22,7 @@ void run_suite(CsvWriter& csv, const char* workload_name,
   {
     core::Cluster c(baseline::eevfs_npf());
     npf = c.run(w);
+    out.add_run(std::string(workload_name) + "/npf", npf);
   }
   for (const auto& [name, config] : baseline::all_presets()) {
     core::Cluster c(config);
@@ -30,11 +31,12 @@ void run_suite(CsvWriter& csv, const char* workload_name,
                 m.total_joules, bench::pct(m.energy_gain_vs(npf)).c_str(),
                 static_cast<unsigned long long>(m.power_transitions),
                 m.response_time_sec.mean(), 100.0 * m.buffer_hit_rate());
-    csv.row({workload_name, name, CsvWriter::cell(m.total_joules),
+    out.row({workload_name, name, CsvWriter::cell(m.total_joules),
              CsvWriter::cell(m.energy_gain_vs(npf)),
              CsvWriter::cell(m.power_transitions),
              CsvWriter::cell(m.response_time_sec.mean()),
              CsvWriter::cell(m.buffer_hit_rate())});
+    out.add_run(std::string(workload_name) + "/" + name, m);
   }
 
   // Design-choice ablations on top of EEVFS PF.
@@ -57,34 +59,35 @@ void run_suite(CsvWriter& csv, const char* workload_name,
                 m.total_joules, bench::pct(m.energy_gain_vs(npf)).c_str(),
                 static_cast<unsigned long long>(m.power_transitions),
                 m.response_time_sec.mean(), 100.0 * m.buffer_hit_rate());
-    csv.row({workload_name, v.name, CsvWriter::cell(m.total_joules),
+    out.row({workload_name, v.name, CsvWriter::cell(m.total_joules),
              CsvWriter::cell(m.energy_gain_vs(npf)),
              CsvWriter::cell(m.power_transitions),
              CsvWriter::cell(m.response_time_sec.mean()),
              CsvWriter::cell(m.buffer_hit_rate())});
+    out.add_run(std::string(workload_name) + "/" + v.name, m);
   }
 }
 
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "ablation_policies", {"workload", "system", "joules", "gain_vs_npf",
                             "transitions", "resp_mean_s", "hit_rate"});
   bench::banner("Ablation", "EEVFS vs MAID / PDC / always-on / oracle",
                 "paper compares these qualitatively in §II-A; here measured");
 
-  run_suite(*csv, "synthetic (Table II defaults)", bench::paper_workload());
+  run_suite(*out, "synthetic (Table II defaults)", bench::paper_workload());
 
   workload::WebTraceConfig web;
   web.num_requests = 1000;
-  run_suite(*csv, "web trace (Fig. 6)", workload::generate_webtrace(web));
+  run_suite(*out, "web trace (Fig. 6)", workload::generate_webtrace(web));
 
   // A popularity-blind uniform workload: the regime where prefetching
   // cannot help and the gate should refuse to waste copies.
-  run_suite(*csv, "uniform (MU sweep worst case)",
+  run_suite(*out, "uniform (MU sweep worst case)",
             bench::paper_workload(10.0, /*mu=*/250000.0));
 
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

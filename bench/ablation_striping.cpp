@@ -6,11 +6,12 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "ablation_striping",
       {"data_mb", "stripe_width", "pf_joules", "gain_vs_npf", "resp_mean_s",
        "resp_p95_s", "transitions"});
@@ -32,6 +33,7 @@ int main() {
       core::Cluster c(npf_cfg);
       npf = c.run(w);
     }
+    out->add_run(format("mb=%.0f/npf", mb), npf);
     for (const std::size_t width : {1u, 2u, 4u}) {
       core::ClusterConfig cfg = bench::paper_config();
       cfg.data_disks_per_node = 4;
@@ -43,13 +45,14 @@ int main() {
                   bench::pct(m.energy_gain_vs(npf)).c_str(),
                   m.response_time_sec.mean(), m.response_p95_sec,
                   static_cast<unsigned long long>(m.power_transitions));
-      csv->row({CsvWriter::cell(mb),
+      out->row({CsvWriter::cell(mb),
                 CsvWriter::cell(static_cast<std::uint64_t>(width)),
                 CsvWriter::cell(m.total_joules),
                 CsvWriter::cell(m.energy_gain_vs(npf)),
                 CsvWriter::cell(m.response_time_sec.mean()),
                 CsvWriter::cell(m.response_p95_sec),
                 CsvWriter::cell(m.power_transitions)});
+      out->add_run(format("mb=%.0f/stripe=%zu", mb, width), m);
     }
   }
   std::printf("\nexpected shape: wider stripes cut miss service time "
@@ -57,6 +60,6 @@ int main() {
               "the energy gain — the\npaper's \"maintain energy savings\" "
               "goal favours narrow stripes plus the\nbuffer disk absorbing "
               "the hot set.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

@@ -4,11 +4,12 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "ablation_threshold",
       {"axis", "value", "pf_joules", "gain_vs_npf", "transitions",
        "wakeups", "resp_mean_s"});
@@ -24,6 +25,7 @@ int main() {
     core::Cluster n(cfg);
     npf = n.run(w);
   }
+  out->add_run("npf", npf);
 
   std::printf("%-10s %8s %14s %8s %12s %8s %10s\n", "axis", "value",
               "PF (J)", "gain", "transitions", "wakes", "resp (s)");
@@ -38,12 +40,13 @@ int main() {
                 static_cast<unsigned long long>(m.power_transitions),
                 static_cast<unsigned long long>(m.wakeups_on_demand),
                 m.response_time_sec.mean());
-    csv->row({"threshold_s", CsvWriter::cell(threshold),
+    out->row({"threshold_s", CsvWriter::cell(threshold),
               CsvWriter::cell(m.total_joules),
               CsvWriter::cell(m.energy_gain_vs(npf)),
               CsvWriter::cell(m.power_transitions),
               CsvWriter::cell(m.wakeups_on_demand),
               CsvWriter::cell(m.response_time_sec.mean())});
+    out->add_run(format("threshold=%.0fs", threshold), m);
   }
   for (const double margin : {1.0, 1.4, 1.8, 2.5, 4.0}) {
     core::ClusterConfig cfg = bench::paper_config();
@@ -56,16 +59,17 @@ int main() {
                 static_cast<unsigned long long>(m.power_transitions),
                 static_cast<unsigned long long>(m.wakeups_on_demand),
                 m.response_time_sec.mean());
-    csv->row({"sleep_margin", CsvWriter::cell(margin),
+    out->row({"sleep_margin", CsvWriter::cell(margin),
               CsvWriter::cell(m.total_joules),
               CsvWriter::cell(m.energy_gain_vs(npf)),
               CsvWriter::cell(m.power_transitions),
               CsvWriter::cell(m.wakeups_on_demand),
               CsvWriter::cell(m.response_time_sec.mean())});
+    out->add_run(format("margin=%.1f", margin), m);
   }
   std::printf("\nexpected shape: small thresholds buy more standby time at "
               "the price of\ntransitions and wake penalties; very large "
               "thresholds approach NPF.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

@@ -9,11 +9,12 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "disks_per_node",
       {"data_disks", "pf_joules", "npf_joules", "gain", "ceiling",
        "pf_resp_s", "transitions"});
@@ -43,16 +44,17 @@ int main() {
                 bench::pct(cmp.energy_gain()).c_str(), 100.0 * ceiling,
                 cmp.pf.response_time_sec.mean(),
                 static_cast<unsigned long long>(cmp.pf.power_transitions));
-    csv->row({CsvWriter::cell(static_cast<std::uint64_t>(disks)),
+    out->row({CsvWriter::cell(static_cast<std::uint64_t>(disks)),
               CsvWriter::cell(cmp.pf.total_joules),
               CsvWriter::cell(cmp.npf.total_joules),
               CsvWriter::cell(cmp.energy_gain()), CsvWriter::cell(ceiling),
               CsvWriter::cell(cmp.pf.response_time_sec.mean()),
               CsvWriter::cell(cmp.pf.power_transitions)});
+    out->add_comparison(format("disks=%zu", disks), cmp);
   }
   std::printf("\nexpected shape (§VII): monotonically increasing gain, "
               "approaching the\nall-disks-asleep ceiling — the paper's "
               "\"this number will increase\" claim.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

@@ -19,11 +19,12 @@
 
 #include "fault/fault_injector.hpp"
 #include "harness.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "fault_tolerance",
       {"faults", "replication", "joules", "dj_measured", "dj_modeled",
        "availability", "failed", "rerouted", "retried", "timed_out",
@@ -44,7 +45,9 @@ int main() {
       core::ClusterConfig cfg = bench::paper_config();
       cfg.replication_degree = repl;
       core::Cluster c(cfg);
-      base_joules = c.run(w).total_joules;
+      const core::RunMetrics base = c.run(w);
+      base_joules = base.total_joules;
+      out->add_run(format("repl=%zu/fault-free", repl), base);
     }
     for (const std::size_t faults : {0u, 1u, 2u, 4u, 8u}) {
       core::ClusterConfig cfg = bench::paper_config();
@@ -66,7 +69,8 @@ int main() {
                   static_cast<unsigned long long>(av.rerouted_requests),
                   static_cast<unsigned long long>(av.retried_requests),
                   static_cast<unsigned long long>(av.writes_stranded));
-      csv->row({CsvWriter::cell(static_cast<std::uint64_t>(faults)),
+      out->add_run(format("repl=%zu/faults=%zu", repl, faults), m);
+      out->row({CsvWriter::cell(static_cast<std::uint64_t>(faults)),
                 CsvWriter::cell(static_cast<std::uint64_t>(repl)),
                 CsvWriter::cell(m.total_joules), CsvWriter::cell(dj),
                 CsvWriter::cell(av.fault_energy_delta),
@@ -87,6 +91,6 @@ int main() {
       "faults, paying reroute traffic and buffer-fallback energy (the\n"
       "modeled dJ column tracks the degraded-serving share of the\n"
       "measured delta).\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

@@ -29,21 +29,22 @@ void print_header() {
               "gain", "paper gain");
 }
 
-void print_point(CsvWriter& csv, const std::string& panel,
+void print_point(bench::BenchOutput& out, const std::string& panel,
                  const bench::SweepPoint& point,
                  const core::PfNpfComparison& cmp) {
   std::printf("%-12s %14.4e %14.4e %9s %12s\n", point.x.c_str(),
               cmp.pf.total_joules, cmp.npf.total_joules,
               bench::pct(cmp.energy_gain()).c_str(), point.paper_note);
-  csv.row({panel, point.x, CsvWriter::cell(cmp.pf.total_joules),
+  out.row({panel, point.x, CsvWriter::cell(cmp.pf.total_joules),
            CsvWriter::cell(cmp.npf.total_joules),
            CsvWriter::cell(cmp.energy_gain()), point.paper_note});
+  out.add_comparison(panel + "/" + point.x, cmp);
 }
 
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "fig3_energy",
       {"panel", "x", "pf_joules", "npf_joules", "gain", "paper_gain"});
 
@@ -101,10 +102,10 @@ int main() {
     print_header();
     for (std::size_t j = 0; j < 4; ++j) {
       const std::size_t idx = p * 4 + j;
-      print_point(*csv, panels[p].panel, points[idx], results[idx]);
+      print_point(*out, panels[p].panel, points[idx], results[idx]);
     }
   }
 
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

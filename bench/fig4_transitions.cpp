@@ -24,7 +24,7 @@ void print_header() {
               "PF wakes", "paper (PF)");
 }
 
-void run_point(CsvWriter& csv, const std::string& panel,
+void run_point(bench::BenchOutput& out, const std::string& panel,
                const std::string& x, const workload::Workload& w,
                const core::ClusterConfig& cfg, const char* paper_note) {
   const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
@@ -33,15 +33,16 @@ void run_point(CsvWriter& csv, const std::string& panel,
               static_cast<unsigned long long>(cmp.npf.power_transitions),
               static_cast<unsigned long long>(cmp.pf.wakeups_on_demand),
               paper_note);
-  csv.row({panel, x, CsvWriter::cell(cmp.pf.power_transitions),
+  out.row({panel, x, CsvWriter::cell(cmp.pf.power_transitions),
            CsvWriter::cell(cmp.npf.power_transitions),
            CsvWriter::cell(cmp.pf.wakeups_on_demand), paper_note});
+  out.add_comparison(panel + "/" + x, cmp);
 }
 
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "fig4_transitions",
       {"panel", "x", "pf_transitions", "npf_transitions",
        "pf_wakeups_on_demand", "paper"});
@@ -52,7 +53,7 @@ int main() {
   const char* paper_a[] = {"~300", "~250", "~150", "~50"};
   int i = 0;
   for (const double mb : {1.0, 10.0, 25.0, 50.0}) {
-    run_point(*csv, "a_data_size", std::to_string(static_cast<int>(mb)),
+    run_point(*out, "a_data_size", std::to_string(static_cast<int>(mb)),
               bench::paper_workload(mb), bench::paper_config(), paper_a[i++]);
   }
 
@@ -63,7 +64,7 @@ int main() {
                            "~16 (whole trace)", "~250"};
   i = 0;
   for (const double mu : {1.0, 10.0, 100.0, 1000.0}) {
-    run_point(*csv, "b_mu", std::to_string(static_cast<int>(mu)),
+    run_point(*out, "b_mu", std::to_string(static_cast<int>(mu)),
               bench::paper_workload(Defaults::kDataMb, mu),
               bench::paper_config(), paper_b[i++]);
   }
@@ -74,7 +75,7 @@ int main() {
   const char* paper_c[] = {"~250", "~200", "~150", "~100"};
   i = 0;
   for (const double ia : {0.0, 350.0, 700.0, 1000.0}) {
-    run_point(*csv, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
+    run_point(*out, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
               bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
               bench::paper_config(), paper_c[i++]);
   }
@@ -86,10 +87,10 @@ int main() {
   i = 0;
   const auto w = bench::paper_workload();
   for (const std::size_t k : {10u, 40u, 70u, 100u}) {
-    run_point(*csv, "d_prefetch_count", std::to_string(k), w,
+    run_point(*out, "d_prefetch_count", std::to_string(k), w,
               bench::paper_config(k), paper_d[i++]);
   }
 
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

@@ -22,7 +22,7 @@ void print_header() {
               "PF p95", "penalty", "paper penalty");
 }
 
-void run_point(CsvWriter& csv, const std::string& panel,
+void run_point(bench::BenchOutput& out, const std::string& panel,
                const std::string& x, const workload::Workload& w,
                const core::ClusterConfig& cfg, const char* paper_note) {
   const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
@@ -30,16 +30,17 @@ void run_point(CsvWriter& csv, const std::string& panel,
               cmp.pf.response_time_sec.mean(),
               cmp.npf.response_time_sec.mean(), cmp.pf.response_p95_sec,
               bench::pct(cmp.response_penalty()).c_str(), paper_note);
-  csv.row({panel, x, CsvWriter::cell(cmp.pf.response_time_sec.mean()),
+  out.row({panel, x, CsvWriter::cell(cmp.pf.response_time_sec.mean()),
            CsvWriter::cell(cmp.npf.response_time_sec.mean()),
            CsvWriter::cell(cmp.pf.response_p95_sec),
            CsvWriter::cell(cmp.response_penalty()), paper_note});
+  out.add_comparison(panel + "/" + x, cmp);
 }
 
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "fig5_response", {"panel", "x", "pf_mean_s", "npf_mean_s", "pf_p95_s",
                         "penalty", "paper"});
 
@@ -49,7 +50,7 @@ int main() {
   const char* paper_a[] = {"121%", "~40%", "4%"};
   int i = 0;
   for (const double mb : {1.0, 10.0, 25.0}) {
-    run_point(*csv, "a_data_size", std::to_string(static_cast<int>(mb)),
+    run_point(*out, "a_data_size", std::to_string(static_cast<int>(mb)),
               bench::paper_workload(mb), bench::paper_config(), paper_a[i++]);
   }
 
@@ -59,7 +60,7 @@ int main() {
   const char* paper_b[] = {"~0%", "~0%", "~0%", "~13%"};
   i = 0;
   for (const double mu : {1.0, 10.0, 100.0, 1000.0}) {
-    run_point(*csv, "b_mu", std::to_string(static_cast<int>(mu)),
+    run_point(*out, "b_mu", std::to_string(static_cast<int>(mu)),
               bench::paper_workload(Defaults::kDataMb, mu),
               bench::paper_config(), paper_b[i++]);
   }
@@ -70,7 +71,7 @@ int main() {
   const char* paper_c[] = {"31%", "~25%", "37% (anomaly)", "16%"};
   i = 0;
   for (const double ia : {0.0, 350.0, 700.0, 1000.0}) {
-    run_point(*csv, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
+    run_point(*out, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
               bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
               bench::paper_config(), paper_c[i++]);
   }
@@ -82,10 +83,10 @@ int main() {
   i = 0;
   const auto w = bench::paper_workload();
   for (const std::size_t k : {10u, 40u, 70u, 100u}) {
-    run_point(*csv, "d_prefetch_count", std::to_string(k), w,
+    run_point(*out, "d_prefetch_count", std::to_string(k), w,
               bench::paper_config(k), paper_d[i++]);
   }
 
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

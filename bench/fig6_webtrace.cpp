@@ -13,7 +13,7 @@
 using namespace eevfs;
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "fig6_webtrace",
       {"variant", "pf_joules", "npf_joules", "gain", "pf_hit_rate",
        "pf_transitions", "paper_gain"});
@@ -52,7 +52,8 @@ int main() {
                 100.0 * cmp.pf.buffer_hit_rate(),
                 static_cast<unsigned long long>(cmp.pf.power_transitions),
                 v.paper);
-    csv->row({v.name, CsvWriter::cell(cmp.pf.total_joules),
+    out->add_comparison(v.name, cmp);
+    out->row({v.name, CsvWriter::cell(cmp.pf.total_joules),
               CsvWriter::cell(cmp.npf.total_joules),
               CsvWriter::cell(cmp.energy_gain()),
               CsvWriter::cell(cmp.pf.buffer_hit_rate()),
@@ -67,6 +68,7 @@ int main() {
     const auto w = workload::generate_webtrace(cfg);
     core::Cluster cluster(bench::paper_config());
     const core::RunMetrics m = cluster.run(w);
+    out->add_run("standby-diagnostic", m);
     Tick standby = 0;
     for (const auto& nm : m.per_node) standby += nm.data_disk_standby_ticks;
     const auto denom = static_cast<double>(m.makespan) * 16.0;
@@ -75,6 +77,6 @@ int main() {
                 100.0 * static_cast<double>(standby) / denom);
   }
 
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

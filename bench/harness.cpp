@@ -49,11 +49,40 @@ std::vector<core::PfNpfComparison> run_sweep(
   });
 }
 
-std::unique_ptr<CsvWriter> open_csv(const std::string& name,
-                                    std::vector<std::string> header) {
+namespace {
+std::string results_path(const std::string& file) {
   std::filesystem::create_directories("bench_results");
-  return std::make_unique<CsvWriter>("bench_results/" + name + ".csv",
-                                     std::move(header));
+  return "bench_results/" + file;
+}
+}  // namespace
+
+BenchOutput::BenchOutput(const std::string& name,
+                         std::vector<std::string> header)
+    : csv_(results_path(name + ".csv"), std::move(header)),
+      report_(name),
+      report_path_(results_path(name + ".run_report.json")) {}
+
+void BenchOutput::finish() {
+  if (finished_) return;
+  finished_ = true;
+  report_.write(report_path_);
+  std::printf("\nCSV: %s\nrun report: %s (schema v%lld, %zu runs)\n",
+              csv_.path().c_str(), report_path_.c_str(),
+              static_cast<long long>(core::kRunReportSchemaVersion),
+              report_.runs());
+}
+
+BenchOutput::~BenchOutput() {
+  try {
+    finish();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run report: %s\n", e.what());
+  }
+}
+
+std::unique_ptr<BenchOutput> open_output(const std::string& name,
+                                         std::vector<std::string> header) {
+  return std::make_unique<BenchOutput>(name, std::move(header));
 }
 
 }  // namespace eevfs::bench

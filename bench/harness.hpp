@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "core/run_report.hpp"
 #include "util/csv.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/webtrace.hpp"
@@ -48,9 +49,58 @@ void banner(const std::string& figure, const std::string& what,
 /// "12.3%" (or "-" when the baseline is zero).
 std::string pct(double fraction);
 
-/// Opens bench_results/<name>.csv (directory created on demand).
-std::unique_ptr<CsvWriter> open_csv(const std::string& name,
-                                    std::vector<std::string> header);
+/// The one output path every bench shares: a CSV of the printed table
+/// (bench_results/<name>.csv) plus the schema-versioned run report
+/// (bench_results/<name>.run_report.json) carrying the full metric
+/// registry of every run.  Call row() for each table line, add_run()
+/// for each RunMetrics behind it, and finish() once at the end.
+class BenchOutput {
+ public:
+  /// Opens both files under bench_results/ (created on demand).
+  BenchOutput(const std::string& name, std::vector<std::string> header);
+
+  /// Appends one CSV row (cell count must match the header).
+  void row(const std::vector<std::string>& cells) { csv_.row(cells); }
+
+  /// Adds one run to the report; `label` must be unique per report
+  /// (sweep-axis value plus variant, e.g. "mu=100/pf").
+  void add_run(const std::string& label, const core::RunMetrics& m) {
+    report_.add_run({.name = label, .config = config_note_}, m);
+  }
+
+  /// Adds both sides of a PF/NPF comparison as "<label>/pf" and
+  /// "<label>/npf".
+  void add_comparison(const std::string& label,
+                      const core::PfNpfComparison& cmp) {
+    add_run(label + "/pf", cmp.pf);
+    add_run(label + "/npf", cmp.npf);
+  }
+
+  /// One-line config description stamped into subsequent add_run calls.
+  void set_config_note(std::string note) { config_note_ = std::move(note); }
+
+  /// Writes the run report and prints both output paths.  Idempotent;
+  /// called by the destructor if the bench forgets.
+  void finish();
+
+  ~BenchOutput();
+  BenchOutput(const BenchOutput&) = delete;
+  BenchOutput& operator=(const BenchOutput&) = delete;
+
+  const std::string& csv_path() const { return csv_.path(); }
+  const std::string& report_path() const { return report_path_; }
+
+ private:
+  CsvWriter csv_;
+  core::RunReportWriter report_;
+  std::string report_path_;
+  std::string config_note_;
+  bool finished_ = false;
+};
+
+/// Opens the bench's outputs (CSV + run report) under bench_results/.
+std::unique_ptr<BenchOutput> open_output(const std::string& name,
+                                         std::vector<std::string> header);
 
 /// One point of a PF/NPF sweep.
 struct SweepPoint {

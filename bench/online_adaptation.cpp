@@ -36,21 +36,23 @@ workload::Workload phase_shift_workload() {
   return merged;
 }
 
-void report(CsvWriter& csv, const char* workload_name, const char* system,
+void report(bench::BenchOutput& out, const char* workload_name,
+            const char* system,
             const core::RunMetrics& m, const core::RunMetrics& npf) {
   std::printf("%-22s %14.4e %8s %9.1f%% %12llu %10.3f\n", system,
               m.total_joules, bench::pct(m.energy_gain_vs(npf)).c_str(),
               100.0 * m.buffer_hit_rate(),
               static_cast<unsigned long long>(m.power_transitions),
               m.response_time_sec.mean());
-  csv.row({workload_name, system, CsvWriter::cell(m.total_joules),
+  out.row({workload_name, system, CsvWriter::cell(m.total_joules),
            CsvWriter::cell(m.energy_gain_vs(npf)),
            CsvWriter::cell(m.buffer_hit_rate()),
            CsvWriter::cell(m.power_transitions),
            CsvWriter::cell(m.response_time_sec.mean())});
+  out.add_run(std::string(workload_name) + "/" + system, m);
 }
 
-void run_suite(CsvWriter& csv, const char* name,
+void run_suite(bench::BenchOutput& out, const char* name,
                const workload::Workload& w) {
   std::printf("\nworkload: %s (%zu requests)\n", name, w.requests.size());
   std::printf("%-22s %14s %8s %10s %12s %10s\n", "system", "energy (J)",
@@ -60,10 +62,10 @@ void run_suite(CsvWriter& csv, const char* name,
     core::Cluster c(baseline::eevfs_npf());
     npf = c.run(w);
   }
-  report(csv, name, "npf", npf, npf);
+  report(out, name, "npf", npf, npf);
   {
     core::Cluster c(baseline::eevfs_pf());
-    report(csv, name, "offline (oracle pop.)", c.run(w), npf);
+    report(out, name, "offline (oracle pop.)", c.run(w), npf);
   }
   for (const double interval : {120.0, 60.0, 30.0, 10.0}) {
     core::ClusterConfig cfg = baseline::eevfs_pf();
@@ -71,26 +73,26 @@ void run_suite(CsvWriter& csv, const char* name,
     cfg.refresh_interval_sec = interval;
     core::Cluster c(cfg);
     const auto label = format("online (refresh %.0fs)", interval);
-    report(csv, name, label.c_str(), c.run(w), npf);
+    report(out, name, label.c_str(), c.run(w), npf);
   }
 }
 
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "online_adaptation", {"workload", "system", "joules", "gain_vs_npf",
                             "hit_rate", "transitions", "resp_mean_s"});
   bench::banner("Online adaptation (extension)",
                 "log-driven popularity vs offline foreknowledge",
                 "K=70; online mode places blind and learns from the log");
 
-  run_suite(*csv, "stationary (MU=1000)", bench::paper_workload());
-  run_suite(*csv, "phase shift (MU 50 -> 700)", phase_shift_workload());
+  run_suite(*out, "stationary (MU=1000)", bench::paper_workload());
+  run_suite(*out, "phase shift (MU 50 -> 700)", phase_shift_workload());
 
   std::printf("\nexpected shape: shorter refresh intervals recover more of "
               "the offline\ngain; after a popularity shift only the online "
               "system keeps its hit rate.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

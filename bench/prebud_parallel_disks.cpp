@@ -7,6 +7,7 @@
 
 #include "harness.hpp"
 #include "prebud/bud_simulator.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 using namespace eevfs::prebud;
@@ -22,7 +23,7 @@ BudStats run(const BudConfig& cfg, BudPolicy policy,
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "prebud_parallel_disks",
       {"axis", "value", "policy", "joules", "gain_vs_always_on",
        "hit_rate", "transitions", "resp_mean_s"});
@@ -46,11 +47,19 @@ int main() {
                 bench::pct(gain).c_str(), 100.0 * s.hit_rate(),
                 static_cast<unsigned long long>(s.power_transitions),
                 s.response_time_sec.mean());
-    csv->row({axis, CsvWriter::cell(value), to_string(policy),
+    out->row({axis, CsvWriter::cell(value), to_string(policy),
               CsvWriter::cell(s.total_joules), CsvWriter::cell(gain),
               CsvWriter::cell(s.hit_rate()),
               CsvWriter::cell(s.power_transitions),
               CsvWriter::cell(s.response_time_sec.mean())});
+    // The BUD substrate has no Cluster/RunMetrics; report the headline
+    // numbers so the run report still covers every sweep point.
+    core::RunMetrics rm;
+    rm.total_joules = s.total_joules;
+    rm.power_transitions = s.power_transitions;
+    rm.response_time_sec = s.response_time_sec;
+    out->add_run(format("%s=%.0f/%s", axis, value, to_string(policy).c_str()),
+                 rm);
   };
 
   // Sweep 1: data disks behind one buffer disk (the EEVFS motivation).
@@ -80,6 +89,6 @@ int main() {
   std::printf("\nexpected shape ([12] / §I): PRE-BUD < DPM-only < always-on "
               "in energy,\nwith the PRE-BUD advantage growing with the "
               "number of data disks and with\nthe look-ahead window.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

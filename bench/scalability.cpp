@@ -7,11 +7,12 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "scalability", {"nodes", "pf_joules", "npf_joules", "gain",
                       "pf_resp_s", "npf_resp_s", "pf_transitions"});
   bench::banner("Scalability (extension)",
@@ -42,7 +43,8 @@ int main() {
                 cmp.pf.response_time_sec.mean(),
                 cmp.npf.response_time_sec.mean(),
                 static_cast<unsigned long long>(cmp.pf.power_transitions));
-    csv->row({CsvWriter::cell(static_cast<std::uint64_t>(nodes)),
+    out->add_comparison(format("nodes=%zu", nodes), cmp);
+    out->row({CsvWriter::cell(static_cast<std::uint64_t>(nodes)),
               CsvWriter::cell(cmp.pf.total_joules),
               CsvWriter::cell(cmp.npf.total_joules),
               CsvWriter::cell(cmp.energy_gain()),
@@ -53,6 +55,6 @@ int main() {
   std::printf("\nexpected shape: the relative gain is stable with node "
               "count (each node\nmanages its own disks; the server only "
               "routes), supporting the paper's\nscalability claim.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

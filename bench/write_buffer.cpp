@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "harness.hpp"
+#include "util/string_util.hpp"
 
 using namespace eevfs;
 
@@ -30,7 +31,7 @@ workload::Workload with_writes(const workload::Workload& base,
 }  // namespace
 
 int main() {
-  auto csv = bench::open_csv(
+  auto out = bench::open_output(
       "write_buffer",
       {"write_fraction", "buffering", "joules", "transitions", "wakeups",
        "resp_mean_s", "writes_buffered", "writes_direct"});
@@ -62,7 +63,10 @@ int main() {
                   m.response_time_sec.mean(),
                   static_cast<unsigned long long>(buffered),
                   static_cast<unsigned long long>(direct));
-      csv->row({CsvWriter::cell(frac), buffering ? "on" : "off",
+      out->add_run(format("writes=%.2f/buffering=%s", frac,
+                          buffering ? "on" : "off"),
+                   m);
+      out->row({CsvWriter::cell(frac), buffering ? "on" : "off",
                 CsvWriter::cell(m.total_joules),
                 CsvWriter::cell(m.power_transitions),
                 CsvWriter::cell(m.wakeups_on_demand),
@@ -73,6 +77,6 @@ int main() {
   std::printf("\nexpected shape: buffering absorbs writes that would "
               "otherwise wake\nsleeping data disks — fewer transitions and "
               "wake-ups as the write\nfraction grows.\n");
-  std::printf("\nCSV: %s\n", csv->path().c_str());
+  out->finish();
   return 0;
 }

@@ -4,13 +4,21 @@
 //   $ ./eevfs_cli --workload synthetic --mu 100 --size-mb 25
 //         --system eevfs_pf --compare eevfs_npf   (one line)
 //   $ ./eevfs_cli --trace /path/to/trace.txt --system maid
+//   $ ./eevfs_cli --trace-out /tmp/run --report /tmp/run_report.json
 //
 // Systems: eevfs_pf, eevfs_npf, maid, pdc, drpm, always_on, oracle.
+//
+// Observability (docs/observability.md): --trace-out <prefix> records the
+// event timeline and writes <prefix>.trace.jsonl (grep), <prefix>.trace.json
+// (load in https://ui.perfetto.dev), and <prefix>.trace.bin (tooling);
+// --report <path> writes the schema-versioned run report.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "baseline/presets.hpp"
 #include "core/cluster.hpp"
+#include "core/run_report.hpp"
 #include "trace/io.hpp"
 #include "util/cli.hpp"
 #include "workload/synthetic.hpp"
@@ -122,6 +130,9 @@ int main(int argc, char** argv) {
   cli.add_flag("online", "learn popularity online (bool)", "false");
   cli.add_flag("refresh-interval", "online refresh seconds", "60");
   cli.add_flag("seed", "workload seed", "42");
+  cli.add_flag("trace-out", "record events; write <prefix>.trace.{jsonl,json,bin}");
+  cli.add_flag("trace-cats", "trace category filter (e.g. disk,power)", "all");
+  cli.add_flag("report", "write a run_report.json to this path");
 
   if (!cli.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n%s", cli.error().c_str(),
@@ -146,6 +157,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     apply_overrides(cli, *cfg);
+    const auto trace_out = cli.get("trace-out");
+    if (trace_out) {
+      cfg->trace.enabled = true;
+      cfg->trace.category_mask =
+          obs::parse_category_mask(cli.get_or("trace-cats", "all"));
+    }
 
     core::RunMetrics baseline;
     bool have_baseline = false;
@@ -167,6 +184,44 @@ int main(int argc, char** argv) {
     const core::RunMetrics m = cluster.run(w);
     print_run(system.c_str(), m, have_baseline ? &baseline : nullptr,
               cfg->num_storage_nodes * cfg->data_disks_per_node);
+
+    if (trace_out) {
+      const obs::Tracer& tracer = cluster.tracer();
+      const struct {
+        const char* suffix;
+        void (obs::Tracer::*write)(std::ostream&) const;
+      } sinks[] = {{".trace.jsonl", &obs::Tracer::write_jsonl},
+                   {".trace.json", &obs::Tracer::write_chrome_trace},
+                   {".trace.bin", &obs::Tracer::write_binary}};
+      for (const auto& sink : sinks) {
+        const std::string path = *trace_out + sink.suffix;
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+          return 1;
+        }
+        (tracer.*sink.write)(out);
+      }
+      std::printf("\ntrace: %s.trace.{jsonl,json,bin} — %zu events "
+                  "(%llu dropped); open the .json in ui.perfetto.dev\n",
+                  trace_out->c_str(), tracer.recorded(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    }
+    if (const auto report_path = cli.get("report")) {
+      core::RunReportWriter report("eevfs_cli");
+      if (have_baseline) {
+        report.add_run({.name = cli.get_or("compare", "baseline"),
+                        .config = w.name},
+                       baseline);
+      }
+      report.add_run({.name = system,
+                      .config = w.name,
+                      .wall_seconds = cluster.wall_seconds()},
+                     m, &cluster.tracer());
+      report.write(*report_path);
+      std::printf("run report: %s (schema v%lld)\n", report_path->c_str(),
+                  static_cast<long long>(core::kRunReportSchemaVersion));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -15,7 +15,15 @@ Cluster::~Cluster() = default;
 
 void Cluster::build(const workload::Workload& workload) {
   sim_ = std::make_unique<sim::Simulator>();
+  registry_ = std::make_unique<obs::Registry>();
+  tracer_ = std::make_unique<obs::Tracer>(config_.trace);
+  // The histograms exist (and are recorded) whether or not tracing is
+  // enabled — RunMetrics must be independent of trace state.
+  hist_queue_wait_ = &registry_->histogram("disk.queue_wait.us");
+  hist_req_latency_ = &registry_->histogram("client.request_latency.us");
+  ev_client_request_ = tracer_->intern("client.request");
   net_ = std::make_unique<net::NetworkFabric>(*sim_);
+  net_->set_observer(tracer_.get());
 
   const auto server_ep = net_->add_endpoint(
       "server", net::mbps_to_bytes_per_sec(config_.server_nic_mbps) *
@@ -55,6 +63,7 @@ void Cluster::build(const workload::Workload& workload) {
     params.io_deadline = seconds_to_ticks(config_.disk_io_deadline_sec);
     nodes_.push_back(
         std::make_unique<StorageNode>(*sim_, *net_, ep, params));
+    nodes_.back()->set_observer(tracer_.get(), hist_queue_wait_);
     raw.push_back(nodes_.back().get());
   }
 
@@ -68,6 +77,7 @@ void Cluster::build(const workload::Workload& workload) {
   }
 
   // Steps 1-4.
+  server_->set_observer(tracer_.get());
   server_->register_nodes(std::move(raw));
   server_->set_replication_degree(config_.replication_degree);
   if (config_.online_popularity) {
@@ -108,6 +118,7 @@ void Cluster::build(const workload::Workload& workload) {
     targets.restart_node = [this](std::size_t node) {
       if (node < nodes_.size()) nodes_[node]->restart();
     };
+    injector_->set_observer(tracer_.get());
     injector_->arm(net_.get(), std::move(targets));
   }
 }
@@ -210,7 +221,16 @@ void Cluster::start_attempt(std::size_t client_idx,
     if (*settled) return;
     *settled = true;
     deadline->cancel();
+    if (tracer_->wants(obs::kCatClient)) {
+      tracer_->complete(
+          issued, t - issued, obs::kCatClient, obs::TraceLevel::kInfo,
+          ev_client_request_,
+          tracer_->intern(format("client%zu", client_idx)),
+          tracer_->intern(to_string(st)), static_cast<std::int64_t>(r.file),
+          static_cast<std::int64_t>(attempt));
+    }
     if (request_ok(st)) {
+      hist_req_latency_->record(static_cast<std::uint64_t>(t - issued));
       clients_[client_idx].record_response(issued, t);
       if (attempt > 0) ++recovered_by_retry_;
       complete_request(client_idx, replay_start);
@@ -335,7 +355,127 @@ void Cluster::finish_run() {
   av.degraded_ticks = server_->degraded_ticks();
   av.recovery_episodes = server_->recovery_episodes();
   av.mttr_sec = server_->mttr_sec();
+  snapshot_counters();
   EEVFS_INFO() << "run finished: " << metrics_.summary();
+}
+
+void Cluster::snapshot_counters() {
+  // Every name below is registered on every run — zero-valued counters
+  // included — so the run-report schema has one stable name universe.
+  // Wall-clock quantities (Simulator::wall_seconds) are deliberately kept
+  // out: the registry snapshot lands in RunMetrics, which must be
+  // reproducible.  docs/observability.md documents each name; the
+  // run_report_smoke target cross-checks that list against this one.
+  obs::Registry& reg = *registry_;
+  reg.counter("sim.events_executed.count").add(sim_->executed_events());
+  reg.gauge("sim.queue_depth_peak.count")
+      .set(static_cast<double>(sim_->max_queue_depth()));
+
+  auto each_disk = [this](auto&& fn) {
+    for (const auto& node : nodes_) {
+      for (std::size_t d = 0; d < node->num_data_disks(); ++d) {
+        fn(node->data_disk(d));
+      }
+      for (std::size_t d = 0; d < node->num_buffer_disks(); ++d) {
+        fn(node->buffer_disk(d));
+      }
+    }
+  };
+  obs::Counter& spin_ups = reg.counter("disk.spin_ups.count");
+  obs::Counter& spin_downs = reg.counter("disk.spin_downs.count");
+  obs::Counter& spin_up_retries = reg.counter("disk.spin_up_retries.count");
+  obs::Counter& demand_spin_ups = reg.counter("disk.demand_spin_ups.count");
+  obs::Counter& media_errors = reg.counter("disk.media_errors.count");
+  obs::Counter& io_completed = reg.counter("disk.requests_completed.count");
+  obs::Counter& io_failed = reg.counter("disk.requests_failed.count");
+  obs::Counter& disk_bytes = reg.counter("disk.bytes_transferred.bytes");
+  each_disk([&](const disk::DiskModel& dm) {
+    spin_ups.add(dm.spin_ups());
+    spin_downs.add(dm.spin_downs());
+    spin_up_retries.add(dm.spin_up_retries());
+    demand_spin_ups.add(dm.demand_spin_ups());
+    media_errors.add(dm.media_errors());
+    io_completed.add(dm.requests_completed());
+    io_failed.add(dm.requests_failed());
+    disk_bytes.add(dm.bytes_transferred());
+  });
+
+  obs::Counter& sleeps = reg.counter("power.sleeps_initiated.count");
+  obs::Counter& wake_marks = reg.counter("power.wake_marks.count");
+  obs::Counter& demand_wakes = reg.counter("power.wakeups_on_demand.count");
+  obs::Counter& pf_rejected = reg.counter("prefetch.rejected_by_gate.count");
+  obs::Counter& evictions = reg.counter("prefetch.evictions.count");
+  obs::Counter& destages = reg.counter("buffer.destages.count");
+  obs::Gauge& backlog_peak = reg.gauge("buffer.destage_backlog_peak.bytes");
+  std::uint64_t writes_buffered = 0, writes_direct = 0;
+  for (const auto& node : nodes_) {
+    sleeps.add(node->power_manager().sleeps_initiated());
+    wake_marks.add(node->power_manager().wake_marks());
+    demand_wakes.add(node->wakeups_on_demand());
+    pf_rejected.add(node->prefetch_plan().rejected_by_gate.size());
+    evictions.add(node->evictions());
+    destages.add(node->destages());
+    // Peak backlog is a per-node high-water mark; the cluster-level
+    // figure is the worst node, not a (meaningless) sum of peaks.
+    backlog_peak.set_max(static_cast<double>(node->destage_backlog_peak()));
+  }
+  for (const NodeMetrics& nm : metrics_.per_node) {
+    writes_buffered += nm.writes_buffered;
+    writes_direct += nm.writes_direct;
+  }
+  reg.counter("prefetch.buffer_hits.count").add(metrics_.buffer_hits);
+  reg.counter("prefetch.data_disk_reads.count").add(metrics_.data_disk_reads);
+  reg.counter("prefetch.bytes_prefetched.bytes").add(metrics_.bytes_prefetched);
+  reg.counter("buffer.writes_buffered.count").add(writes_buffered);
+  reg.counter("buffer.writes_direct.count").add(writes_direct);
+  reg.counter("buffer.writes_stranded.count")
+      .add(metrics_.availability.writes_stranded);
+
+  obs::Counter& msgs_sent = reg.counter("net.messages_sent.count");
+  obs::Counter& msgs_dropped = reg.counter("net.messages_dropped.count");
+  obs::Counter& net_bytes = reg.counter("net.bytes_sent.bytes");
+  for (std::size_t e = 0; e < net_->endpoint_count(); ++e) {
+    const net::EndpointStats& st = net_->stats(e);
+    msgs_sent.add(st.messages_sent);
+    msgs_dropped.add(st.messages_dropped);
+    net_bytes.add(st.bytes_sent);
+  }
+
+  reg.counter("fault.injected.count")
+      .add(injector_ ? injector_->faults_injected() : 0);
+  reg.counter("fault.misaddressed.count")
+      .add(injector_ ? injector_->faults_misaddressed() : 0);
+  reg.counter("fault.messages_dropped.count")
+      .add(injector_ ? injector_->messages_dropped() : 0);
+
+  reg.counter("server.requests_routed.count").add(server_->requests_routed());
+  reg.counter("server.requests_rerouted.count")
+      .add(server_->requests_rerouted());
+  reg.counter("server.requests_failed.count").add(server_->requests_failed());
+  reg.counter("server.failovers.count").add(server_->failovers());
+  reg.counter("server.refreshes.count").add(server_->refreshes_performed());
+  reg.counter("server.heartbeat_recoveries.count")
+      .add(server_->recovery_episodes());
+
+  const AvailabilityMetrics& av = metrics_.availability;
+  reg.counter("node.disk_io_retries.count").add(av.disk_io_retries);
+  reg.counter("node.buffer_fallback_reads.count")
+      .add(av.buffer_fallback_reads);
+  reg.counter("node.buffered_rescues.count").add(av.buffered_rescues);
+  std::uint64_t failed_serves = 0;
+  for (const auto& node : nodes_) failed_serves += node->failed_serves();
+  reg.counter("node.failed_serves.count").add(failed_serves);
+
+  reg.counter("client.requests.count").add(metrics_.requests);
+  reg.counter("client.retries.count").add(client_retries_);
+  reg.counter("client.timeouts.count").add(timed_out_requests_);
+  reg.counter("client.failed_requests.count").add(failed_requests_);
+
+  reg.gauge("energy.total.joules").set(metrics_.total_joules);
+  reg.gauge("energy.disk.joules").set(metrics_.disk_joules);
+  reg.gauge("energy.base.joules").set(metrics_.base_joules);
+
+  metrics_.counters = reg.snapshot();
 }
 
 PfNpfComparison run_pf_npf(const ClusterConfig& config,

@@ -29,6 +29,8 @@
 #include "core/storage_server.hpp"
 #include "fault/fault_injector.hpp"
 #include "net/network.hpp"
+#include "obs/counters.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 #include "workload/synthetic.hpp"
 
@@ -56,6 +58,16 @@ class Cluster {
   /// Null on fault-free runs.
   const fault::FaultInjector* injector() const { return injector_.get(); }
 
+  /// The run's event tracer (configured from config.trace; empty when
+  /// tracing was disabled).  Valid after run(); use its write_jsonl /
+  /// write_chrome_trace / write_binary sinks to export the timeline.
+  const obs::Tracer& tracer() const { return *tracer_; }
+  /// The run's metric registry.  RunMetrics::counters is its snapshot.
+  const obs::Registry& registry() const { return *registry_; }
+  /// Wall-clock seconds the event loop spent executing this run —
+  /// diagnostic only (report meta), never part of RunMetrics.
+  double wall_seconds() const { return sim_ ? sim_->wall_seconds() : 0.0; }
+
  private:
   void build(const workload::Workload& workload);
   void start_replay(const workload::Workload& workload, Tick replay_start);
@@ -66,8 +78,16 @@ class Cluster {
   /// Advances the client's replay chain and the run-completion count.
   void complete_request(std::size_t client_idx, Tick replay_start);
   void finish_run();
+  /// Registers every counter name (zero-valued ones included) and fills
+  /// metrics_.counters with the registry snapshot.
+  void snapshot_counters();
 
   ClusterConfig config_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Histogram* hist_queue_wait_ = nullptr;
+  obs::Histogram* hist_req_latency_ = nullptr;
+  obs::StringId ev_client_request_ = 0;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::NetworkFabric> net_;
   std::unique_ptr<StorageServer> server_;

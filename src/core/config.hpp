@@ -12,6 +12,7 @@
 
 #include "disk/disk_profile.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/tracer.hpp"
 #include "util/units.hpp"
 
 namespace eevfs::core {
@@ -146,6 +147,10 @@ struct ClusterConfig {
   std::size_t heartbeat_miss_threshold = 3;
   /// The fault schedule for this run (empty = fault-free, zero cost).
   fault::FaultPlan fault_plan;
+
+  /// Structured event tracing (src/obs).  Disabled by default; enabling
+  /// it never changes RunMetrics — tests/test_obs.cpp enforces that.
+  obs::TracerConfig trace;
 
   std::uint64_t seed = 1;
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "disk/energy_meter.hpp"
+#include "obs/counters.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -123,6 +124,13 @@ struct RunMetrics {
 
   // --- availability (tentpole: fault injection / degraded mode) --------
   AvailabilityMetrics availability;
+
+  // --- observability ---------------------------------------------------
+  /// Deterministic snapshot of the run's metric registry, sorted by name
+  /// (`component.metric.unit`, see docs/observability.md).  Every name is
+  /// present on every run — zero-valued counters included — and the
+  /// values are identical whether event tracing was enabled or not.
+  std::vector<obs::Sample> counters;
 
   double buffer_hit_rate() const {
     const auto reads = buffer_hits + data_disk_reads;

@@ -42,6 +42,18 @@ PowerManager::PowerManager(sim::Simulator& sim, Params params,
   }
 }
 
+void PowerManager::set_observer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  tracks_.clear();
+  if (!tracer_) return;
+  tracks_.reserve(disks_.size());
+  for (const DiskState& d : disks_) {
+    tracks_.push_back(tracer_->intern(d.disk->label()));
+  }
+  ev_sleep_ = tracer_->intern("power.sleep");
+  ev_wake_mark_ = tracer_->intern("power.wake_mark");
+}
+
 void PowerManager::set_expected_gap(std::size_t disk,
                                     std::optional<Tick> gap) {
   disks_.at(disk).expected_gap = gap;
@@ -180,10 +192,7 @@ void PowerManager::arm_timer_sleep(std::size_t disk) {
             std::max(sim_.now() + state.disk->profile().spin_down_time,
                      sim_.now() + *remaining -
                          state.disk->profile().spin_up_time);
-        state.wake_timer.cancel();
-        state.wake_timer = sim_.schedule_at(wake_at, [this, disk] {
-          disks_[disk].disk->request_spin_up();
-        });
+        mark_wake(disk, wake_at);
       }
       return;
     }
@@ -222,10 +231,21 @@ void PowerManager::handle_hints_idle(std::size_t disk) {
     const Tick wake_at =
         std::max(sim_.now() + d.disk->profile().spin_down_time,
                  *next - d.disk->profile().spin_up_time);
-    d.wake_timer.cancel();
-    d.wake_timer = sim_.schedule_at(wake_at, [this, disk] {
-      disks_[disk].disk->request_spin_up();
-    });
+    mark_wake(disk, wake_at);
+  }
+}
+
+void PowerManager::mark_wake(std::size_t disk, Tick wake_at) {
+  DiskState& d = disks_[disk];
+  d.wake_timer.cancel();
+  d.wake_timer = sim_.schedule_at(wake_at, [this, disk] {
+    disks_[disk].disk->request_spin_up();
+  });
+  ++wake_marks_;
+  if (tracer_ && tracer_->wants(obs::kCatPower)) {
+    tracer_->instant(sim_.now(), obs::kCatPower, obs::TraceLevel::kInfo,
+                     ev_wake_mark_, tracks_[disk], 0,
+                     static_cast<std::int64_t>(wake_at));
   }
 }
 
@@ -233,6 +253,10 @@ bool PowerManager::try_sleep(std::size_t disk) {
   DiskState& d = disks_.at(disk);
   if (!d.disk->request_spin_down()) return false;
   ++sleeps_initiated_;
+  if (tracer_ && tracer_->wants(obs::kCatPower)) {
+    tracer_->instant(sim_.now(), obs::kCatPower, obs::TraceLevel::kInfo,
+                     ev_sleep_, tracks_[disk]);
+  }
   EEVFS_DEBUG() << d.disk->label() << ": power manager sleeping disk at t="
                 << ticks_to_seconds(sim_.now());
   return true;

@@ -27,6 +27,7 @@
 #include "core/config.hpp"
 #include "core/energy_model.hpp"
 #include "disk/disk_model.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace eevfs::core {
@@ -86,8 +87,15 @@ class PowerManager {
   /// restart when badly overdue).
   std::optional<Tick> predicted_remaining(std::size_t disk) const;
 
+  /// Attaches the tracer (may be null): emits power.sleep when a
+  /// spin-down is initiated and power.wake_mark when a proactive wake
+  /// timer is armed, on the managed disk's track.
+  void set_observer(obs::Tracer* tracer);
+
   const EnergyPredictionModel& model() const { return model_; }
   std::uint64_t sleeps_initiated() const { return sleeps_initiated_; }
+  /// Proactive wake timers armed (predictive wake-marking or hints).
+  std::uint64_t wake_marks() const { return wake_marks_; }
 
  private:
   struct DiskState {
@@ -106,6 +114,7 @@ class PowerManager {
   void arm_timer_sleep(std::size_t disk);
   void handle_hints_idle(std::size_t disk);
   bool try_sleep(std::size_t disk);
+  void mark_wake(std::size_t disk, Tick wake_at);
   std::optional<Tick> next_future_access(DiskState& d) const;
 
   sim::Simulator& sim_;
@@ -114,7 +123,13 @@ class PowerManager {
   EnergyPredictionModel breakeven_model_;  // margin = 1 (hints/oracle gate)
   std::vector<DiskState> disks_;
   std::uint64_t sleeps_initiated_ = 0;
+  std::uint64_t wake_marks_ = 0;
   bool started_ = false;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<obs::StringId> tracks_;
+  obs::StringId ev_sleep_ = 0;
+  obs::StringId ev_wake_mark_ = 0;
 };
 
 }  // namespace eevfs::core

@@ -54,6 +54,37 @@ StorageNode::StorageNode(sim::Simulator& sim, net::NetworkFabric& net,
   }
 }
 
+void StorageNode::set_observer(obs::Tracer* tracer,
+                               obs::Histogram* disk_queue_wait_us) {
+  tracer_ = tracer;
+  if (tracer_) {
+    track_ = tracer_->intern(format("node%zu", params_.id));
+    ev_read_ = tracer_->intern("node.read");
+    ev_write_ = tracer_->intern("node.write");
+    ev_prefetch_copy_ = tracer_->intern("node.prefetch_copy");
+    ev_destage_ = tracer_->intern("node.destage");
+  }
+  for (auto& d : data_disks_) d->set_observer(tracer, disk_queue_wait_us);
+  for (auto& b : buffer_disks_) b->set_observer(tracer, disk_queue_wait_us);
+  power_->set_observer(tracer);
+}
+
+StorageNode::ServeCallback StorageNode::trace_serve(obs::StringId op,
+                                                    trace::FileId f,
+                                                    Bytes bytes,
+                                                    ServeCallback cb) {
+  if (!tracer_ || !tracer_->wants(obs::kCatNode)) return cb;
+  const Tick start = sim_.now();
+  return [this, op, f, bytes, start, inner = std::move(cb)](
+             Tick t, RequestStatus st) {
+    tracer_->complete(start, t - start, obs::kCatNode, obs::TraceLevel::kInfo,
+                      op, track_, tracer_->intern(to_string(st)),
+                      static_cast<std::int64_t>(f),
+                      static_cast<std::int64_t>(bytes));
+    inner(t, st);
+  };
+}
+
 void StorageNode::create_file(trace::FileId f, Bytes size) {
   LocalFileMeta lf;
   std::size_t primary = 0;
@@ -225,6 +256,16 @@ void StorageNode::copy_into_buffer(trace::FileId f,
   assert(buffer_);
   const LocalFileMeta& lf = meta_.at(f);
   const Bytes bytes = lf.size;
+  if (tracer_ && tracer_->wants(obs::kCatPrefetch)) {
+    const Tick start = sim_.now();
+    done = [this, f, bytes, start, inner = std::move(done)] {
+      tracer_->complete(start, sim_.now() - start, obs::kCatPrefetch,
+                        obs::TraceLevel::kInfo, ev_prefetch_copy_, track_, 0,
+                        static_cast<std::int64_t>(f),
+                        static_cast<std::int64_t>(bytes));
+      inner();
+    };
+  }
   const auto inserted = buffer_->insert(f, bytes, /*allow_evict=*/false);
   if (!inserted.inserted) {
     // Space accounting said no (planned capacity should prevent this).
@@ -295,6 +336,7 @@ void StorageNode::update_prefetch(const std::vector<trace::FileId>& wanted) {
     if (meta.buffered && !target.contains(f)) {
       buffer_->erase(f);
       meta.buffered = false;
+      ++evictions_;
     }
   }
   // Copy in newly popular files (rank order), skipping ones already
@@ -343,6 +385,7 @@ void StorageNode::on_data_disk_failed(std::size_t d) {
   for (const PendingWrite& w : dropped) {
     if (buffer_) buffer_->release_write(w.bytes);
     ++writes_stranded_;
+    backlog_sub(w.bytes);
   }
   if (!dropped.empty()) {
     EEVFS_DEBUG() << "node " << params_.id << ": disk " << d << " failed, "
@@ -386,6 +429,9 @@ void StorageNode::restart() {
 void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
                              ServeCallback on_result) {
   if (!on_result) on_result = [](Tick, RequestStatus) {};
+  on_result = trace_serve(ev_read_, f,
+                          meta_.find(f) ? meta_.find(f)->size : 0,
+                          std::move(on_result));
   if (!alive_) {
     // Connection refused: fail fast on the next tick, no disk touched.
     ++failed_serves_;
@@ -492,6 +538,7 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
       for (const trace::FileId victim : res.evicted) {
         LocalFileMeta* vmeta = meta_.find(victim);
         if (vmeta != nullptr) vmeta->buffered = false;
+        ++evictions_;
       }
       const auto bd =
           healthy_buffer_disk(buffered_count_ % buffer_disks_.size());
@@ -522,6 +569,7 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
                               net::EndpointId client,
                               ServeCallback on_result) {
   if (!on_result) on_result = [](Tick, RequestStatus) {};
+  on_result = trace_serve(ev_write_, f, bytes, std::move(on_result));
   if (!alive_) {
     ++failed_serves_;
     sim_.schedule_after(1, [this, cb = std::move(on_result)] {
@@ -556,6 +604,7 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
         [this, f, bytes, d, bd = *bd, ack, fail](Tick t, disk::IoStatus st) {
           if (st == disk::IoStatus::kOk) {
             ++writes_buffered_;
+            backlog_add(bytes);
             pending_writes_[d].push_back(PendingWrite{f, bytes, bd});
             ack(t);
             // If the target data disk happens to be spinning and
@@ -623,6 +672,16 @@ void StorageNode::flush_one(std::size_t d, PendingWrite w,
   // Destage = sequential read from the buffer-disk log + random write to
   // the data disk.
   ++destages_in_flight_;
+  if (tracer_ && tracer_->wants(obs::kCatBuffer)) {
+    const Tick start = sim_.now();
+    done = [this, w, start, inner = std::move(done)] {
+      tracer_->complete(start, sim_.now() - start, obs::kCatBuffer,
+                        obs::TraceLevel::kInfo, ev_destage_, track_, 0,
+                        static_cast<std::int64_t>(w.file),
+                        static_cast<std::int64_t>(w.bytes));
+      inner();
+    };
+  }
   disk::DiskRequest read;
   read.bytes = w.bytes;
   read.sequential = true;
@@ -634,6 +693,7 @@ void StorageNode::flush_one(std::size_t d, PendingWrite w,
       // The staged copy is unreadable or its home disks are gone: drop
       // the destage (counted as data loss) so the drain cannot wedge.
       ++writes_stranded_;
+      backlog_sub(w.bytes);
       buffer_->release_write(w.bytes);
       --destages_in_flight_;
       done();
@@ -647,6 +707,8 @@ void StorageNode::flush_one(std::size_t d, PendingWrite w,
               /*notify_power_manager=*/false,
               [this, w, done](Tick, disk::IoStatus wst) {
                 if (wst != disk::IoStatus::kOk) ++writes_stranded_;
+                else ++destages_;
+                backlog_sub(w.bytes);
                 buffer_->release_write(w.bytes);
                 --destages_in_flight_;
                 done();

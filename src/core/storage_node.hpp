@@ -30,6 +30,8 @@
 #include "core/prefetcher.hpp"
 #include "disk/disk_model.hpp"
 #include "net/network.hpp"
+#include "obs/counters.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace eevfs::core {
@@ -137,6 +139,12 @@ class StorageNode {
   /// pending sleep/wake marks so the simulation can drain).
   void shutdown() { power_->stop(); }
 
+  /// Attaches observability to the node and everything it owns (disks,
+  /// power manager).  `tracer` may be null; `disk_queue_wait_us` (may be
+  /// null) is shared across all this node's disks and recorded whether or
+  /// not tracing is enabled.
+  void set_observer(obs::Tracer* tracer, obs::Histogram* disk_queue_wait_us);
+
   /// Snapshot of the node's counters and meters as of sim.now().
   NodeMetrics collect_metrics();
 
@@ -171,6 +179,12 @@ class StorageNode {
   std::uint64_t buffered_rescues() const { return buffered_rescues_; }
   std::uint64_t failed_serves() const { return failed_serves_; }
   std::uint64_t writes_stranded() const { return writes_stranded_; }
+  /// Buffered files dropped (online re-ranking or MAID pressure).
+  std::uint64_t evictions() const { return evictions_; }
+  /// Destages that completed (staged write re-written to a data disk).
+  std::uint64_t destages() const { return destages_; }
+  /// High-water mark of bytes queued or in flight toward data disks.
+  Bytes destage_backlog_peak() const { return destage_backlog_peak_; }
 
  private:
   struct PendingWrite {
@@ -269,7 +283,33 @@ class StorageNode {
   std::uint64_t buffered_rescues_ = 0;
   std::uint64_t failed_serves_ = 0;
   std::uint64_t writes_stranded_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t destages_ = 0;
+  Bytes destage_backlog_ = 0;
+  Bytes destage_backlog_peak_ = 0;
   Joules fault_energy_delta_ = 0.0;
+
+  // observability
+  void backlog_add(Bytes b) {
+    destage_backlog_ += b;
+    if (destage_backlog_ > destage_backlog_peak_) {
+      destage_backlog_peak_ = destage_backlog_;
+    }
+  }
+  void backlog_sub(Bytes b) {
+    destage_backlog_ -= b < destage_backlog_ ? b : destage_backlog_;
+  }
+  /// Wraps `cb` so a node.<op> complete event spanning the serve is
+  /// emitted when it fires; returns `cb` unchanged when not tracing.
+  ServeCallback trace_serve(obs::StringId op, trace::FileId f, Bytes bytes,
+                            ServeCallback cb);
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::StringId track_ = 0;
+  obs::StringId ev_read_ = 0;
+  obs::StringId ev_write_ = 0;
+  obs::StringId ev_prefetch_copy_ = 0;
+  obs::StringId ev_destage_ = 0;
 };
 
 }  // namespace eevfs::core

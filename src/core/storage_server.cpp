@@ -79,6 +79,17 @@ std::vector<std::vector<trace::FileId>> StorageServer::prefetch_candidates(
   return per_node;
 }
 
+void StorageServer::set_observer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_) {
+    track_ = tracer_->intern("server");
+    ev_failover_ = tracer_->intern("server.failover");
+    ev_node_dead_ = tracer_->intern("server.node_dead");
+    ev_node_alive_ = tracer_->intern("server.node_alive");
+    ev_refresh_ = tracer_->intern("server.refresh");
+  }
+}
+
 void StorageServer::begin_online_refresh(std::size_t k, Tick interval) {
   if (interval <= 0) {
     throw std::invalid_argument("StorageServer: refresh interval <= 0");
@@ -96,6 +107,11 @@ void StorageServer::begin_online_refresh(std::size_t k, Tick interval) {
     }
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
       nodes_[n]->update_prefetch(per_node[n]);
+    }
+    if (tracer_ && tracer_->wants(obs::kCatServer)) {
+      tracer_->instant(sim_.now(), obs::kCatServer, obs::TraceLevel::kInfo,
+                       ev_refresh_, track_, 0,
+                       static_cast<std::int64_t>(taken < k ? taken : k));
     }
     begin_online_refresh(k, interval);
   });
@@ -151,6 +167,10 @@ void StorageServer::mark_dead(NodeId n) {
   if (h.dead) return;
   h.dead = true;
   h.dead_since = sim_.now();
+  if (tracer_ && tracer_->wants(obs::kCatServer)) {
+    tracer_->instant(sim_.now(), obs::kCatServer, obs::TraceLevel::kInfo,
+                     ev_node_dead_, track_, 0, static_cast<std::int64_t>(n));
+  }
   EEVFS_DEBUG() << "server: node " << n << " marked dead at t="
                 << ticks_to_seconds(sim_.now());
 }
@@ -162,6 +182,10 @@ void StorageServer::mark_alive(NodeId n) {
   h.missed = 0;
   recovered_dead_ticks_ += sim_.now() - h.dead_since;
   ++recovery_episodes_;
+  if (tracer_ && tracer_->wants(obs::kCatServer)) {
+    tracer_->instant(sim_.now(), obs::kCatServer, obs::TraceLevel::kInfo,
+                     ev_node_alive_, track_, 0, static_cast<std::int64_t>(n));
+  }
   EEVFS_DEBUG() << "server: node " << n << " recovered at t="
                 << ticks_to_seconds(sim_.now());
 }
@@ -242,6 +266,13 @@ void StorageServer::try_replica(const trace::TraceRecord& r,
                 mark_dead(replicas[idx]);
               }
               ++failovers_;
+              if (tracer_ && tracer_->wants(obs::kCatServer)) {
+                tracer_->instant(
+                    t, obs::kCatServer, obs::TraceLevel::kInfo, ev_failover_,
+                    track_, tracer_->intern(to_string(st)),
+                    static_cast<std::int64_t>(r.file),
+                    static_cast<std::int64_t>(replicas[idx]));
+              }
               try_replica(r, client, std::move(replicas), idx + 1,
                           std::move(on_done));
             };

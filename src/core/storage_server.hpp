@@ -91,6 +91,11 @@ class StorageServer {
   void route(const trace::TraceRecord& r, net::EndpointId client,
              RouteCallback on_done);
 
+  /// Attaches the tracer (may be null): emits server.failover,
+  /// server.node_dead / server.node_alive, and server.refresh instants on
+  /// the "server" track.
+  void set_observer(obs::Tracer* tracer);
+
   const PlacementMap& placement() const { return placement_; }
   const ServerMetadata& metadata() const { return metadata_; }
   const trace::AccessLog& request_log() const { return log_; }
@@ -157,6 +162,13 @@ class StorageServer {
   std::uint64_t failovers_ = 0;
   std::uint64_t recovery_episodes_ = 0;
   Tick recovered_dead_ticks_ = 0;  // summed over completed episodes
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::StringId track_ = 0;
+  obs::StringId ev_failover_ = 0;
+  obs::StringId ev_node_dead_ = 0;
+  obs::StringId ev_node_alive_ = 0;
+  obs::StringId ev_refresh_ = 0;
 };
 
 }  // namespace eevfs::core

@@ -26,10 +26,27 @@ void DiskModel::advance_meter() {
   state_entry_ = now;
 }
 
+void DiskModel::set_observer(obs::Tracer* tracer,
+                             obs::Histogram* queue_wait_us) {
+  tracer_ = tracer;
+  queue_wait_us_ = queue_wait_us;
+  if (tracer_) {
+    track_ = tracer_->intern(label_);
+    ev_state_ = tracer_->intern("disk.state");
+  }
+}
+
 void DiskModel::enter_state(PowerState next) {
   advance_meter();
   const PowerState prev = state_;
   state_ = next;
+  if (prev != next && tracer_ && tracer_->wants(obs::kCatDisk)) {
+    std::string detail{to_string(prev)};
+    detail += "->";
+    detail += to_string(next);
+    tracer_->instant(sim_.now(), obs::kCatDisk, obs::TraceLevel::kInfo,
+                     ev_state_, track_, tracer_->intern(detail));
+  }
   if (on_state_change_ && prev != next) on_state_change_(prev, next);
 }
 
@@ -43,6 +60,7 @@ void DiskModel::submit(DiskRequest request) {
     });
     return;
   }
+  request.enqueued = sim_.now();
   queue_.push_back(std::move(request));
   switch (state_) {
     case PowerState::kIdle:
@@ -87,6 +105,7 @@ void DiskModel::begin_spin_up() {
   assert(state_ == PowerState::kStandby);
   enter_state(PowerState::kSpinningUp);
   ++spin_ups_;
+  if (!queue_.empty()) ++demand_spin_ups_;
   // First attempt, plus any injected flakes, plus the profile's
   // deterministic pseudo-random retry stream.
   std::uint32_t attempts = 1 + forced_spin_up_flakes_;
@@ -126,6 +145,9 @@ void DiskModel::start_next_request() {
   assert(state_ == PowerState::kIdle && !queue_.empty());
   enter_state(PowerState::kActive);
   const DiskRequest& req = queue_.front();
+  if (queue_wait_us_) {
+    queue_wait_us_->record(static_cast<std::uint64_t>(sim_.now() - req.enqueued));
+  }
   const Tick service = profile_.service_time(req.bytes, req.sequential);
   pending_event_ = sim_.schedule_after(service, [this] { complete_current(); });
 }

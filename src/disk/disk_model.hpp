@@ -25,6 +25,8 @@
 #include "disk/disk_profile.hpp"
 #include "disk/energy_meter.hpp"
 #include "disk/power_state.hpp"
+#include "obs/counters.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace eevfs::disk {
@@ -49,6 +51,9 @@ struct DiskRequest {
   Bytes bytes = 0;
   bool sequential = false;
   bool is_write = false;
+  /// Set by DiskModel::submit; time the request entered the disk queue so
+  /// queue-wait (including any spin-up stall it sat through) is observable.
+  Tick enqueued = 0;
   /// Invoked when the transfer completes or fails; `completion` ==
   /// sim.now() at the callback.  Check `status` — a failed drive reports
   /// kUnavailable without transferring anything.
@@ -112,12 +117,25 @@ class DiskModel {
   /// Spin-ups that needed a retry (profile.spin_up_retry_prob > 0 or an
   /// injected flake).
   std::uint64_t spin_up_retries() const { return spin_up_retries_; }
+  /// Spin-ups that started with a request already waiting — the disk was
+  /// woken on demand, so a client observed the stall.  Proactive wakes
+  /// (power-manager wake marks) start with an empty queue and are not
+  /// counted; the difference is the power policy's misprediction cost.
+  std::uint64_t demand_spin_ups() const { return demand_spin_ups_; }
   /// Paper's "power state transitions" metric counts both directions.
   std::uint64_t power_transitions() const { return spin_ups_ + spin_downs_; }
   std::uint64_t requests_completed() const { return requests_completed_; }
   std::uint64_t media_errors() const { return media_errors_; }
   std::uint64_t requests_failed() const { return requests_failed_; }
   Bytes bytes_transferred() const { return bytes_transferred_; }
+
+  /// Attaches observability: `tracer` (may be null) receives disk.state
+  /// transition events on this disk's track; `queue_wait_us` (may be
+  /// null) records per-request queue wait — the time between submit()
+  /// and the platters starting the transfer, spin-up stalls included.
+  /// The histogram is recorded regardless of tracer state so metrics are
+  /// identical with tracing on or off.
+  void set_observer(obs::Tracer* tracer, obs::Histogram* queue_wait_us);
 
   /// Fired whenever the disk becomes idle (queue drained or spun up with
   /// nothing to do) — the power manager arms its idle timer here.
@@ -152,6 +170,7 @@ class DiskModel {
   std::uint64_t spin_ups_ = 0;
   std::uint64_t spin_downs_ = 0;
   std::uint64_t spin_up_retries_ = 0;
+  std::uint64_t demand_spin_ups_ = 0;
   std::uint64_t flake_state_ = 0;  // deterministic retry stream
   std::uint32_t forced_spin_up_flakes_ = 0;
   std::uint64_t pending_read_errors_ = 0;
@@ -162,6 +181,11 @@ class DiskModel {
 
   std::function<void()> on_idle_;
   std::function<void(PowerState, PowerState)> on_state_change_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
+  obs::StringId track_ = 0;
+  obs::StringId ev_state_ = 0;
 };
 
 }  // namespace eevfs::disk

@@ -105,6 +105,14 @@ void FaultInjector::arm(net::NetworkFabric* net, Targets targets) {
   }
 }
 
+void FaultInjector::set_observer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_) {
+    track_ = tracer_->intern("fault-injector");
+    ev_inject_ = tracer_->intern("fault.inject");
+  }
+}
+
 void FaultInjector::apply(const FaultSpec& spec) {
   EEVFS_DEBUG() << "fault: " << to_string(spec.kind) << " node=" << spec.node
                 << (spec.kind == FaultKind::kNodeCrash ||
@@ -150,6 +158,12 @@ void FaultInjector::apply(const FaultSpec& spec) {
   }
   ++faults_injected_;
   ++injected_by_kind_[static_cast<std::size_t>(spec.kind)];
+  if (tracer_ && tracer_->wants(obs::kCatFault)) {
+    tracer_->instant(sim_.now(), obs::kCatFault, obs::TraceLevel::kInfo,
+                     ev_inject_, track_, tracer_->intern(to_string(spec.kind)),
+                     static_cast<std::int64_t>(spec.node),
+                     static_cast<std::int64_t>(spec.param));
+  }
 }
 
 }  // namespace eevfs::fault

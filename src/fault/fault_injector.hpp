@@ -23,6 +23,7 @@
 
 #include "disk/disk_model.hpp"
 #include "net/network.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 #include "util/units.hpp"
 
@@ -112,6 +113,10 @@ class FaultInjector {
   /// schedules every fault event.  Call once, before sim.run().
   void arm(net::NetworkFabric* net, Targets targets);
 
+  /// Attaches the tracer (may be null): every applied fault emits a
+  /// fault.inject instant (detail = fault kind, a0 = node, a1 = param).
+  void set_observer(obs::Tracer* tracer);
+
   std::uint64_t faults_injected() const { return faults_injected_; }
   std::uint64_t injected(FaultKind k) const {
     return injected_by_kind_[static_cast<std::size_t>(k)];
@@ -132,6 +137,10 @@ class FaultInjector {
   std::uint64_t faults_misaddressed_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t injected_by_kind_[kNumFaultKinds] = {};
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::StringId track_ = 0;
+  obs::StringId ev_inject_ = 0;
 };
 
 }  // namespace eevfs::fault

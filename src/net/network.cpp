@@ -16,6 +16,22 @@ EndpointId NetworkFabric::add_endpoint(std::string label,
   return endpoints_.size() - 1;
 }
 
+void NetworkFabric::set_observer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_) {
+    ev_send_ = tracer_->intern("net.send");
+    ev_drop_ = tracer_->intern("net.drop");
+  }
+}
+
+obs::StringId NetworkFabric::track_of(EndpointId id) {
+  // Endpoints are registered before the observer, and benches register
+  // thousands of them — intern each label once, on first traced event.
+  Endpoint& e = endpoints_[id];
+  if (e.track == 0 && !e.label.empty()) e.track = tracer_->intern(e.label);
+  return e.track;
+}
+
 void NetworkFabric::send(EndpointId src, EndpointId dst, Bytes bytes,
                          std::function<void(Tick)> on_delivered) {
   if (src >= endpoints_.size() || dst >= endpoints_.size()) {
@@ -26,6 +42,11 @@ void NetworkFabric::send(EndpointId src, EndpointId dst, Bytes bytes,
   bytes = std::max(bytes, kControlMessageBytes);
   if (drop_hook_ && drop_hook_(src, dst, bytes)) {
     ++endpoints_[src].stats.messages_dropped;
+    if (tracer_ && tracer_->wants(obs::kCatNet)) {
+      tracer_->instant(sim_.now(), obs::kCatNet, obs::TraceLevel::kInfo,
+                       ev_drop_, track_of(src), track_of(dst),
+                       static_cast<std::int64_t>(bytes));
+    }
     return;  // on_delivered never fires; timeouts upstream recover
   }
   if (src == dst) {
@@ -54,6 +75,11 @@ void NetworkFabric::send(EndpointId src, EndpointId dst, Bytes bytes,
   ++s.stats.messages_sent;
   s.stats.bytes_sent += bytes;
 
+  if (tracer_ && tracer_->wants(obs::kCatNet, obs::TraceLevel::kDebug)) {
+    tracer_->complete(start, transfer, obs::kCatNet, obs::TraceLevel::kDebug,
+                      ev_send_, track_of(src), track_of(dst),
+                      static_cast<std::int64_t>(bytes));
+  }
   const Tick delivered = tx_done + latency_;
   sim_.schedule_at(delivered, [this, dst, cb = std::move(on_delivered)] {
     ++endpoints_[dst].stats.messages_received;

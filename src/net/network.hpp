@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 #include "util/units.hpp"
 
@@ -62,6 +63,11 @@ class NetworkFabric {
                                       Bytes bytes)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Attaches the tracer (may be null).  net.send complete events span
+  /// the NIC occupancy (kDebug — per-message volume); net.drop instants
+  /// mark fault-hook drops (kInfo).  Track = the source endpoint label.
+  void set_observer(obs::Tracer* tracer);
+
   /// Time `src`'s NIC frees up (>= now when it is transmitting).
   Tick nic_free_at(EndpointId src) const;
 
@@ -77,12 +83,19 @@ class NetworkFabric {
     double nic_bytes_per_sec;
     Tick busy_until = 0;
     EndpointStats stats;
+    obs::StringId track = 0;  // interned label, assigned lazily
   };
+
+  obs::StringId track_of(EndpointId id);
 
   sim::Simulator& sim_;
   Tick latency_;
   std::vector<Endpoint> endpoints_;
   DropHook drop_hook_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::StringId ev_send_ = 0;
+  obs::StringId ev_drop_ = 0;
 };
 
 /// Convenience: converts the paper's megabit-per-second NIC ratings.

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer for the observability sinks
+// (run_report.json, JSONL trace lines, Chrome trace files).
+//
+// Deliberately tiny: objects/arrays are emitted in call order with no
+// buffering of the document tree, keys are the caller's responsibility to
+// keep unique, and doubles are printed with the shortest representation
+// that round-trips — so two runs that produce the same values produce
+// byte-identical files (the golden tests rely on this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eevfs::obs {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Shortest decimal representation of `v` that strtod parses back to
+/// exactly `v`.  Non-finite values (JSON has no literal for them) are
+/// emitted as null by JsonWriter::value(double).
+std::string json_double(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"k":` — must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  /// Emits the separating comma when a sibling value precedes this one.
+  void separate();
+
+  std::string out_;
+  // One entry per open container: true once the container has a child
+  // (so the next sibling needs a comma).
+  std::vector<bool> has_child_;
+  bool after_key_ = false;
+};
+
+}  // namespace eevfs::obs

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +13,7 @@ EventHandle Simulator::schedule_at(Tick at, Callback cb) {
   }
   auto alive = std::make_shared<bool>(true);
   queue_.push(Event{at, next_seq_++, std::move(cb), alive});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   return EventHandle(std::move(alive));
 }
 
@@ -37,6 +39,17 @@ bool Simulator::pop_next(Event& out) {
 }
 
 std::uint64_t Simulator::run(Tick until) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  // Accumulate on every exit path; wall time is diagnostic-only.
+  struct WallGuard {
+    std::chrono::steady_clock::time_point start;
+    double* acc;
+    ~WallGuard() {
+      *acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+    }
+  } guard{wall_start, &wall_seconds_};
   std::uint64_t count = 0;
   Event ev;
   while (pop_next(ev)) {

@@ -65,6 +65,14 @@ class Simulator {
 
   std::uint64_t executed_events() const { return executed_; }
 
+  /// High-water mark of the pending-event queue over the whole run.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
+  /// Wall-clock seconds spent inside run()/step() so far.  Diagnostic
+  /// only — never feed this back into sim state or metrics that must be
+  /// reproducible.
+  double wall_seconds() const { return wall_seconds_; }
+
  private:
   struct Event {
     Tick time;
@@ -85,6 +93,8 @@ class Simulator {
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  double wall_seconds_ = 0.0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 
