@@ -39,13 +39,16 @@ bool Simulator::pop_next(Event& out) {
 }
 
 std::uint64_t Simulator::run(Tick until) {
-  const auto wall_start = std::chrono::steady_clock::now();
+  // Deliberate wall-clock use: wall_seconds() is diagnostic-only meta
+  // (run_report schema keeps it out of result comparisons), so the
+  // determinism lint is waived here — the ONLY place in the tree.
+  const auto wall_start = std::chrono::steady_clock::now();  // eevfs-lint: allow(D1)
   // Accumulate on every exit path; wall time is diagnostic-only.
   struct WallGuard {
-    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point start;  // eevfs-lint: allow(D1)
     double* acc;
     ~WallGuard() {
-      *acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+      *acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -  // eevfs-lint: allow(D1)
                                             start)
                   .count();
     }

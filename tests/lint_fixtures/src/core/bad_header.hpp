@@ -1,0 +1,4 @@
+// Fixture for rule family H (header hygiene): missing #pragma once.
+#include <string>
+using namespace std;
+inline string fixture_greet() { return "hi"; }

@@ -1,0 +1,7 @@
+// Fixture for rule family O (metric naming).  Scanned, never compiled.
+void register_metrics(eevfs::obs::Registry& reg) {
+  reg.counter("BadName");
+  reg.counter("disk.count");
+  reg.gauge("disk.undocumented_thing.count");
+  reg.histogram("ok.metric.count");
+}

@@ -1,0 +1,16 @@
+// Fixture: a fully conformant source file — every rule family passes.
+// Comments and strings may mention rand(), system_clock and
+// unordered_map without tripping the scanner.
+#include "core/clean.hpp"
+
+#include "util/string_util.hpp"
+
+namespace eevfs::lint_fixture {
+
+std::uint64_t add_one(std::uint64_t x) {
+  const char* doc = "call rand() or iterate an unordered_map elsewhere";
+  (void)doc;
+  return x + 1;
+}
+
+}  // namespace eevfs::lint_fixture

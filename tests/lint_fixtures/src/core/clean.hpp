@@ -1,0 +1,12 @@
+// Fixture: a fully conformant header — every rule family passes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace eevfs::lint_fixture {
+
+std::uint64_t add_one(std::uint64_t x);
+
+}  // namespace eevfs::lint_fixture

@@ -1,0 +1,3 @@
+// Fixture for rule H3: the own header must be the FIRST include.
+#include <vector>
+#include "core/own_header.hpp"

@@ -1,0 +1,2 @@
+// Fixture companion header for the H3 (own-header-first) check.
+#pragma once

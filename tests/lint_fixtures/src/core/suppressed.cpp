@@ -1,0 +1,10 @@
+// Fixture for the suppression syntax.  Every violation below is waived
+// except the last one, whose token names the wrong rule family — that
+// one must still be reported (negative control).
+int a = rand();  // eevfs-lint: allow(D1)
+int b = rand();  // eevfs-lint: allow(D)
+// eevfs-lint: allow(all)
+int c = rand();
+// eevfs-lint: allow(L2)
+#include "local_helper.hpp"
+int d = rand();  // eevfs-lint: allow(L)

@@ -1,0 +1,14 @@
+// Fixture for rule family D (determinism).  Scanned by test_lint, never compiled.
+#include <ctime>
+#include <random>
+
+void emit_results() {
+  std::ofstream out("results.csv");
+  std::unordered_map<int, int> hits;
+  int x = rand();
+  srand(42);
+  auto now = std::chrono::system_clock::now();
+  auto t0 = std::chrono::steady_clock::now();
+  std::time(nullptr);
+  (void)out; (void)hits; (void)x; (void)now; (void)t0;
+}

@@ -1,0 +1,6 @@
+// Fixture for rule family L (layering).  util is the bottom layer: it may
+// include nothing but itself, so both project includes below are illegal.
+#include "util/string_util.hpp"
+#include "core/cluster.hpp"
+#include "sim/engine.hpp"
+#include "helpers.hpp"

@@ -1,0 +1,214 @@
+// Tests for tools/eevfs_lint: each rule family (D/L/O/H) has a known-bad
+// fixture under tests/lint_fixtures/ that must produce exact rule IDs at
+// exact file:line positions, a clean fixture that must produce nothing,
+// and a suppression fixture proving `// eevfs-lint: allow(<rule>)` works.
+//
+// The fixtures live under lint_fixtures/src/<module>/ so that module
+// derivation (the component after the last `src/`) behaves exactly as it
+// does in the real tree.  The directory is skipped by whole-tree scans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using eevfs::lint::Finding;
+using eevfs::lint::Options;
+
+const std::string kFixtures = LINT_FIXTURE_DIR;
+
+std::vector<std::pair<int, std::string>> lines_and_rules(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<int, std::string>> out;
+  out.reserve(findings.size());
+  for (const auto& f : findings) out.emplace_back(f.line, f.rule);
+  return out;
+}
+
+Options doc_options() {
+  Options opt;
+  opt.check_docs = true;
+  opt.documented_metrics =
+      eevfs::lint::parse_metrics_doc(kFixtures + "/metrics_doc.md");
+  return opt;
+}
+
+// ------------------------------------------------------------- plumbing
+
+TEST(Lint, RuleCatalogueCoversAllFourFamilies) {
+  std::string families;
+  for (const auto& r : eevfs::lint::rule_catalogue()) {
+    families += r.id[0];
+  }
+  for (const char f : {'D', 'L', 'O', 'H'}) {
+    EXPECT_NE(families.find(f), std::string::npos) << "family " << f;
+  }
+}
+
+TEST(Lint, ModuleOfFindsComponentAfterLastSrc) {
+  EXPECT_EQ(eevfs::lint::module_of("src/core/cluster.cpp"), "core");
+  EXPECT_EQ(eevfs::lint::module_of("/repo/src/util/rng.hpp"), "util");
+  EXPECT_EQ(eevfs::lint::module_of("tests/lint_fixtures/src/sim/x.cpp"),
+            "sim");
+  EXPECT_EQ(eevfs::lint::module_of("tests/test_obs.cpp"), "");
+  EXPECT_EQ(eevfs::lint::module_of("bench/harness.cpp"), "");
+}
+
+TEST(Lint, MetricsDocParserExtractsOnlyWellFormedNames) {
+  const auto names =
+      eevfs::lint::parse_metrics_doc(kFixtures + "/metrics_doc.md");
+  EXPECT_EQ(names, std::set<std::string>{"ok.metric.count"});
+}
+
+TEST(Lint, UnreadableInputsThrow) {
+  EXPECT_THROW(eevfs::lint::parse_metrics_doc(kFixtures + "/nope.md"),
+               std::runtime_error);
+  EXPECT_THROW(eevfs::lint::lint_file(kFixtures + "/nope.cpp", Options{}),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------- rule family D
+
+TEST(Lint, DeterminismFixtureFiresExactRulesAndLines) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/sim/bad_determinism.cpp", Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {2, "D1"},   // #include <ctime>
+      {3, "D3"},   // #include <random>
+      {7, "D2"},   // unordered_map in a result-emitting file
+      {8, "D1"},   // rand()
+      {9, "D1"},   // srand()
+      {10, "D1"},  // system_clock
+      {11, "D1"},  // steady_clock
+      {12, "D1"},  // std::time(nullptr)
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.file, kFixtures + "/src/sim/bad_determinism.cpp");
+  }
+}
+
+// ------------------------------------------------------- rule family L
+
+TEST(Lint, LayeringFixtureRejectsUpwardAndUnqualifiedIncludes) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/util/bad_layering.cpp", Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {4, "L1"},  // util -> core (upward)
+      {5, "L1"},  // util -> sim (upward)
+      {6, "L2"},  // unqualified project include
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+  EXPECT_NE(findings[0].message.find("'util' must not include 'core'"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+// ------------------------------------------------------- rule family O
+
+TEST(Lint, ObservabilityFixtureChecksGrammarAndDocCoverage) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/core/bad_observability.cpp", doc_options());
+  const std::vector<std::pair<int, std::string>> expected = {
+      {3, "O1"},  // "BadName": uppercase, one segment
+      {4, "O1"},  // two segments only
+      {5, "O2"},  // well-formed but undocumented
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+}
+
+TEST(Lint, ObservabilityDocCheckIsOptIn) {
+  Options no_doc;  // check_docs = false: O1 still applies, O2 does not
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/core/bad_observability.cpp", no_doc);
+  const std::vector<std::pair<int, std::string>> expected = {
+      {3, "O1"},
+      {4, "O1"},
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+}
+
+// ------------------------------------------------------- rule family H
+
+TEST(Lint, HeaderFixtureFiresPragmaOnceAndUsingNamespace) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/core/bad_header.hpp", Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {1, "H1"},  // missing #pragma once (reported at the top)
+      {3, "H2"},  // using namespace std
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+}
+
+TEST(Lint, OwnHeaderMustBeFirstInclude) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/core/own_header.cpp", Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {2, "H3"},  // <vector> before "core/own_header.hpp"
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+}
+
+// -------------------------------------------------------- suppressions
+
+TEST(Lint, SuppressionsWaiveFindingsOnlyForMatchingRules) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/core/suppressed.cpp", Options{});
+  // Everything is allowed except the negative control: a D1 violation
+  // carrying an L-family token must still be reported.
+  const std::vector<std::pair<int, std::string>> expected = {
+      {10, "D1"},
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+}
+
+// --------------------------------------------------------- clean files
+
+TEST(Lint, CleanFixturesProduceZeroFindings) {
+  EXPECT_TRUE(
+      eevfs::lint::lint_file(kFixtures + "/src/core/clean.hpp", doc_options())
+          .empty());
+  EXPECT_TRUE(
+      eevfs::lint::lint_file(kFixtures + "/src/core/clean.cpp", doc_options())
+          .empty());
+}
+
+// ------------------------------------------------------ directory walk
+
+TEST(Lint, DirectoryWalkIsDeterministicAndAggregatesAllFixtures) {
+  std::size_t scanned = 0;
+  const auto findings = eevfs::lint::lint_paths(
+      {kFixtures + "/src"}, doc_options(), &scanned);
+  EXPECT_EQ(scanned, 9u);  // every .cpp/.hpp fixture, not metrics_doc.md
+  // 8 (D) + 3 (L) + 3 (O) + 2 (H) + 1 (H3) + 1 (suppression control).
+  EXPECT_EQ(findings.size(), 18u);
+  // Deterministic order: sorted by path, then line, then rule.
+  auto sorted = findings;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.file, a.line, a.rule) <
+                            std::tie(b.file, b.line, b.rule);
+                   });
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(findings[i].file, sorted[i].file);
+    EXPECT_EQ(findings[i].line, sorted[i].line);
+  }
+  // A second run returns the identical result.
+  const auto again =
+      eevfs::lint::lint_paths({kFixtures + "/src"}, doc_options(), nullptr);
+  ASSERT_EQ(again.size(), findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ(again[i].file, findings[i].file);
+    EXPECT_EQ(again[i].line, findings[i].line);
+    EXPECT_EQ(again[i].rule, findings[i].rule);
+    EXPECT_EQ(again[i].message, findings[i].message);
+  }
+}
+
+}  // namespace

@@ -36,23 +36,23 @@ TEST(Registry, CreatesOnFirstUseAndFinds) {
 
 TEST(Registry, NameRegisteredAsOneKindCannotChangeKind) {
   Registry reg;
-  reg.counter("a.b.count");
-  EXPECT_THROW(reg.gauge("a.b.count"), std::logic_error);
-  EXPECT_THROW(reg.histogram("a.b.count"), std::logic_error);
-  reg.gauge("c.d.bytes");
-  EXPECT_THROW(reg.counter("c.d.bytes"), std::logic_error);
+  reg.counter("a.b.count");  // eevfs-lint: allow(O)
+  EXPECT_THROW(reg.gauge("a.b.count"), std::logic_error);  // eevfs-lint: allow(O)
+  EXPECT_THROW(reg.histogram("a.b.count"), std::logic_error);  // eevfs-lint: allow(O)
+  reg.gauge("c.d.bytes");  // eevfs-lint: allow(O)
+  EXPECT_THROW(reg.counter("c.d.bytes"), std::logic_error);  // eevfs-lint: allow(O)
   // Same kind re-lookup returns the same object.
-  reg.counter("a.b.count").add(1);
-  reg.counter("a.b.count").add(1);
+  reg.counter("a.b.count").add(1);  // eevfs-lint: allow(O)
+  reg.counter("a.b.count").add(1);  // eevfs-lint: allow(O)
   EXPECT_EQ(reg.find_counter("a.b.count")->value(), 2u);
 }
 
 TEST(Registry, SnapshotIsSortedAndDeterministic) {
   auto build = [] {
     Registry reg;
-    reg.counter("z.last.count").add(9);
-    reg.histogram("m.middle.us").record(7);
-    reg.gauge("a.first.joules").set(1.0);
+    reg.counter("z.last.count").add(9);  // eevfs-lint: allow(O)
+    reg.histogram("m.middle.us").record(7);  // eevfs-lint: allow(O)
+    reg.gauge("a.first.joules").set(1.0);  // eevfs-lint: allow(O)
     return reg.snapshot();
   };
   const auto a = build();

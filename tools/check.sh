@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# One-shot verification: configure, build, test, lint, and (optionally)
+# sanitizer builds.  Run from anywhere inside the repo.
+#
+#   tools/check.sh              # build + ctest + eevfs-lint + clang-tidy*
+#   tools/check.sh --asan       # ... plus an ASan+UBSan build & test run
+#   tools/check.sh --tsan       # ... plus a TSan build of the thread-pool
+#                               #     stress test (EEVFS_TSAN=ON)
+#   tools/check.sh --no-tidy    # skip clang-tidy even if installed
+#
+# *clang-tidy runs only on files changed vs the merge-base with the
+#  default branch (falls back to all of src/ outside a git checkout), and
+#  is skipped with a notice when the binary is not installed.
+set -euo pipefail
+
+cd "$(git rev-parse --show-toplevel 2>/dev/null || dirname "$0")/."
+
+RUN_ASAN=0
+RUN_TSAN=0
+RUN_TIDY=1
+for arg in "$@"; do
+  case "$arg" in
+    --asan) RUN_ASAN=1 ;;
+    --tsan) RUN_TSAN=1 ;;
+    --no-tidy) RUN_TIDY=0 ;;
+    *) echo "usage: tools/check.sh [--asan] [--tsan] [--no-tidy]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure + build (build/)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build -j "$JOBS"
+
+step "ctest (unit + obs + fault + lint + examples)"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+step "eevfs-lint (whole tree)"
+./build/tools/eevfs_lint/eevfs_lint \
+  --metrics-doc docs/observability.md src bench examples tests tools
+
+if [ "$RUN_TIDY" = 1 ]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    step "clang-tidy (changed files)"
+    BASE="$(git merge-base HEAD origin/main 2>/dev/null \
+            || git merge-base HEAD main 2>/dev/null || true)"
+    if [ -n "$BASE" ]; then
+      CHANGED="$(git diff --name-only "$BASE" -- 'src/*.cpp' 'tools/*.cpp' \
+                 | while read -r f; do [ -f "$f" ] && echo "$f"; done)"
+    else
+      CHANGED="$(find src -name '*.cpp')"
+    fi
+    if [ -n "$CHANGED" ]; then
+      # shellcheck disable=SC2086
+      clang-tidy -p build --quiet $CHANGED
+    else
+      echo "no changed .cpp files; skipping"
+    fi
+  else
+    echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  fi
+fi
+
+if [ "$RUN_ASAN" = 1 ]; then
+  step "ASan+UBSan build (build-asan/)"
+  cmake -B build-asan -S . -DEEVFS_SANITIZE=ON > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [ "$RUN_TSAN" = 1 ]; then
+  step "TSan build of the thread-pool stress test (build-tsan/)"
+  cmake -B build-tsan -S . -DEEVFS_TSAN=ON > /dev/null
+  cmake --build build-tsan --target test_thread_pool_stress -j "$JOBS"
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_thread_pool_stress
+fi
+
+step "all checks passed"

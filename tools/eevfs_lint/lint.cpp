@@ -1,0 +1,691 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace eevfs::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line scrubbing: split each raw line into three synchronized views so the
+// rules can look at the right one.
+//   code          — comments removed AND string/char contents blanked
+//   code_strings  — comments removed, string literals intact (for rule O)
+//   comment       — the comment text (for suppression directives)
+// Block comments and raw strings may span lines; ScrubState carries that.
+// ---------------------------------------------------------------------------
+
+struct ScrubbedLine {
+  std::string code;
+  std::string code_strings;
+  std::string comment;
+};
+
+struct ScrubState {
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+  std::string raw_delim;  // the `)delim"` terminator we are looking for
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+ScrubbedLine scrub_line(const std::string& line, ScrubState& st) {
+  ScrubbedLine out;
+  const std::size_t n = line.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (st.in_block_comment) {
+      const std::size_t end = line.find("*/", i);
+      if (end == std::string::npos) {
+        out.comment += line.substr(i);
+        return out;
+      }
+      out.comment += line.substr(i, end - i);
+      st.in_block_comment = false;
+      i = end + 2;
+      continue;
+    }
+    if (st.in_raw_string) {
+      const std::size_t end = line.find(st.raw_delim, i);
+      if (end == std::string::npos) {
+        out.code_strings += line.substr(i);
+        return out;
+      }
+      out.code_strings += line.substr(i, end - i + st.raw_delim.size());
+      out.code.append(st.raw_delim.size(), '"');
+      st.in_raw_string = false;
+      i = end + st.raw_delim.size();
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+      out.comment += line.substr(i + 2);
+      return out;
+    }
+    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+      st.in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
+        (i == 0 || !is_ident_char(line[i - 1]))) {
+      const std::size_t open = line.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string delim = line.substr(i + 2, open - (i + 2));
+        st.raw_delim = ")" + delim + "\"";
+        out.code += "R\"";
+        out.code_strings += line.substr(i, open - i + 1);
+        st.in_raw_string = true;
+        i = open + 1;
+        continue;
+      }
+    }
+    if (c == '"') {
+      out.code += '"';
+      out.code_strings += '"';
+      ++i;
+      while (i < n && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < n) {
+          out.code_strings += line[i];
+          out.code_strings += line[i + 1];
+          i += 2;
+          continue;
+        }
+        out.code_strings += line[i];
+        ++i;
+      }
+      if (i < n) {  // closing quote (unterminated strings just end the line)
+        out.code += '"';
+        out.code_strings += '"';
+        ++i;
+      }
+      continue;
+    }
+    // Char literal; a ' preceded by an identifier char is a digit
+    // separator (1'000'000), not a literal.
+    if (c == '\'' && (i == 0 || !is_ident_char(line[i - 1]))) {
+      out.code += '\'';
+      out.code_strings += '\'';
+      ++i;
+      while (i < n && line[i] != '\'') {
+        i += (line[i] == '\\' && i + 1 < n) ? std::size_t{2} : std::size_t{1};
+      }
+      if (i < n) {
+        out.code += '\'';
+        out.code_strings += '\'';
+        ++i;
+      }
+      continue;
+    }
+    out.code += c;
+    out.code_strings += c;
+    ++i;
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------------
+// Module DAG.  Key = module, value = modules it may #include (self is
+// always allowed).  This is the single source of truth for rule L1; keep
+// it in sync with docs/static_analysis.md and the target_link_libraries
+// edges in src/*/CMakeLists.txt.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, std::set<std::string>>& layer_deps() {
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"util", {}},
+      {"obs", {"util"}},
+      {"sim", {"util"}},
+      {"trace", {"util"}},
+      {"disk", {"obs", "sim", "util"}},
+      {"net", {"obs", "sim", "util"}},
+      {"workload", {"trace", "util"}},
+      {"fault", {"disk", "net", "obs", "sim", "util"}},
+      {"core",
+       {"disk", "fault", "net", "obs", "sim", "trace", "util", "workload"}},
+      {"prebud",
+       {"core", "disk", "fault", "net", "obs", "sim", "trace", "util",
+        "workload"}},
+      {"baseline",
+       {"core", "disk", "fault", "net", "obs", "sim", "trace", "util",
+        "workload"}},
+  };
+  return kDeps;
+}
+
+// ---------------------------------------------------------------------------
+// Rule D: banned non-deterministic identifiers and includes.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, std::string>& banned_idents() {
+  static const std::map<std::string, std::string> kBanned = {
+      {"rand", "std::rand is ambient global state; use eevfs::Rng "
+               "(util/rng.hpp) with an explicit seed"},
+      {"srand", "std::srand is ambient global state; use eevfs::Rng "
+                "(util/rng.hpp) with an explicit seed"},
+      {"random_device", "std::random_device is a non-deterministic entropy "
+                        "source; seed an eevfs::Rng explicitly"},
+      {"system_clock", "wall clocks break bit-for-bit reproducibility; "
+                       "simulated time comes from sim::Simulator::now()"},
+      {"steady_clock", "wall clocks break bit-for-bit reproducibility; "
+                       "simulated time comes from sim::Simulator::now()"},
+      {"high_resolution_clock",
+       "wall clocks break bit-for-bit reproducibility; simulated time comes "
+       "from sim::Simulator::now()"},
+      {"gettimeofday", "wall-time API; simulated time comes from "
+                       "sim::Simulator::now()"},
+      {"clock_gettime", "wall-time API; simulated time comes from "
+                        "sim::Simulator::now()"},
+      {"timespec_get", "wall-time API; simulated time comes from "
+                       "sim::Simulator::now()"},
+      {"localtime", "calendar/date API depends on host time and timezone"},
+      {"gmtime", "calendar/date API depends on host time and timezone"},
+      {"mktime", "calendar/date API depends on host time and timezone"},
+      {"strftime", "calendar/date API depends on host time and timezone"},
+      {"asctime", "calendar/date API depends on host time and timezone"},
+      {"ctime", "calendar/date API depends on host time and timezone"},
+  };
+  return kBanned;
+}
+
+const std::map<std::string, std::string>& banned_includes() {
+  static const std::map<std::string, std::string> kBanned = {
+      {"<ctime>", "D1"},
+      {"<time.h>", "D1"},
+      {"<sys/time.h>", "D1"},
+      {"<random>", "D3"},
+  };
+  return kBanned;
+}
+
+// Identifiers that mark a file as result-emitting for rule D2.
+const std::set<std::string>& emit_markers() {
+  static const std::set<std::string> kMarkers = {
+      "ofstream",        "fopen",       "fprintf",
+      "fputs",           "fwrite",      "CsvWriter",
+      "JsonWriter",      "RunReportWriter",
+  };
+  return kMarkers;
+}
+
+const std::set<std::string>& unordered_containers() {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kUnordered;
+}
+
+/// All identifier tokens in `code` with their start offsets.
+std::vector<std::pair<std::size_t, std::string>> identifiers(
+    const std::string& code) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::size_t i = 0;
+  const std::size_t n = code.size();
+  while (i < n) {
+    if (is_ident_char(code[i]) &&
+        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
+      const std::size_t start = i;
+      while (i < n && is_ident_char(code[i])) ++i;
+      out.emplace_back(start, code.substr(start, i - start));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// `time` is only banned as a free-function call: `time(`, `std::time(`,
+/// `::time(` — never a member access (`ev.time`, `rec.time()`).
+bool is_banned_time_call(const std::string& code, std::size_t start,
+                         std::size_t end) {
+  std::size_t j = end;
+  while (j < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[j])) != 0) {
+    ++j;
+  }
+  if (j >= code.size() || code[j] != '(') return false;
+  std::size_t k = start;
+  while (k > 0 &&
+         std::isspace(static_cast<unsigned char>(code[k - 1])) != 0) {
+    --k;
+  }
+  if (k >= 1 && code[k - 1] == '.') return false;
+  if (k >= 2 && code[k - 2] == '-' && code[k - 1] == '>') return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rule O: metric-name literals.
+// ---------------------------------------------------------------------------
+
+/// component.metric.unit: at least three lowercase dot-separated segments,
+/// each [a-z][a-z0-9_]*.
+bool valid_metric_name(const std::string& name) {
+  std::size_t segments = 0;
+  std::size_t i = 0;
+  const std::size_t n = name.size();
+  while (i < n) {
+    if (name[i] < 'a' || name[i] > 'z') return false;
+    ++i;
+    while (i < n && ((name[i] >= 'a' && name[i] <= 'z') ||
+                     (name[i] >= '0' && name[i] <= '9') || name[i] == '_')) {
+      ++i;
+    }
+    ++segments;
+    if (i == n) break;
+    if (name[i] != '.') return false;
+    ++i;
+    if (i == n) return false;  // trailing dot
+  }
+  return segments >= 3;
+}
+
+/// Finds `counter("...")` / `gauge("...")` / `histogram("...")` call sites
+/// and returns the string literals.  Only literal-first-argument calls are
+/// checked; computed names can't be validated statically.
+std::vector<std::string> metric_literals(const std::string& code_strings) {
+  std::vector<std::string> out;
+  for (const auto& [pos, ident] : identifiers(code_strings)) {
+    if (ident != "counter" && ident != "gauge" && ident != "histogram") {
+      continue;
+    }
+    std::size_t j = pos + ident.size();
+    while (j < code_strings.size() &&
+           std::isspace(static_cast<unsigned char>(code_strings[j])) != 0) {
+      ++j;
+    }
+    if (j >= code_strings.size() || code_strings[j] != '(') continue;
+    ++j;
+    while (j < code_strings.size() &&
+           std::isspace(static_cast<unsigned char>(code_strings[j])) != 0) {
+      ++j;
+    }
+    if (j >= code_strings.size() || code_strings[j] != '"') continue;
+    ++j;
+    std::string lit;
+    while (j < code_strings.size() && code_strings[j] != '"') {
+      lit += code_strings[j];
+      ++j;
+    }
+    if (j < code_strings.size()) out.push_back(std::move(lit));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+/// Rule tokens from `// eevfs-lint: allow(D1, L)` in a comment, uppercased
+/// ("ALL" allows everything).
+std::set<std::string> allow_tokens(const std::string& comment) {
+  std::set<std::string> out;
+  const std::string key = "eevfs-lint:";
+  std::size_t at = comment.find(key);
+  while (at != std::string::npos) {
+    std::size_t j = at + key.size();
+    while (j < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[j])) != 0) {
+      ++j;
+    }
+    if (comment.compare(j, 6, "allow(") == 0) {
+      j += 6;
+      const std::size_t close = comment.find(')', j);
+      if (close != std::string::npos) {
+        std::string token;
+        for (std::size_t k = j; k <= close; ++k) {
+          const char c = comment[k];
+          if (c == ',' || c == ')' || c == ' ') {
+            if (!token.empty()) out.insert(token);
+            token.clear();
+          } else {
+            token += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+          }
+        }
+      }
+    }
+    at = comment.find(key, at + key.size());
+  }
+  return out;
+}
+
+bool suppressed(const std::set<std::string>& tokens, const std::string& rule) {
+  return tokens.count("ALL") != 0 || tokens.count(rule) != 0 ||
+         tokens.count(rule.substr(0, 1)) != 0;
+}
+
+std::string include_target(const std::string& code) {
+  const std::string t = trim(code);
+  if (t.compare(0, 1, "#") != 0) return {};
+  std::size_t j = 1;
+  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])) != 0) {
+    ++j;
+  }
+  if (t.compare(j, 7, "include") != 0) return {};
+  j += 7;
+  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])) != 0) {
+    ++j;
+  }
+  if (j >= t.size()) return {};
+  if (t[j] == '<') {
+    const std::size_t close = t.find('>', j);
+    if (close == std::string::npos) return {};
+    return t.substr(j, close - j + 1);  // "<chrono>"
+  }
+  if (t[j] == '"') {
+    const std::size_t close = t.find('"', j + 1);
+    if (close == std::string::npos) return {};
+    return t.substr(j, close - j + 1);  // "\"util/rng.hpp\""
+  }
+  return {};
+}
+
+bool is_header(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "banned non-deterministic API (wall clocks, std::rand, "
+             "random_device, date/time functions, <ctime>)"},
+      {"D2", "unordered_map/unordered_set used in a file that emits "
+             "results; iteration order is unspecified — emit sorted"},
+      {"D3", "<random> is banned everywhere: distributions are "
+             "implementation-defined; use util/rng samplers"},
+      {"L1", "include edge violates the module DAG (upward or cross-layer "
+             "dependency)"},
+      {"L2", "project include in src/ must be module-qualified "
+             "(\"<module>/<file>.hpp\")"},
+      {"O1", "metric name literal must match component.metric.unit "
+             "(>= 3 lowercase dot-separated segments)"},
+      {"O2", "metric name literal is not documented in the metrics "
+             "reference (docs/observability.md)"},
+      {"H1", "header is missing #pragma once"},
+      {"H2", "`using namespace` in a header leaks into every includer"},
+      {"H3", "a .cpp must include its own header first (proves the header "
+             "is self-contained)"},
+  };
+  return kRules;
+}
+
+std::set<std::string> parse_metrics_doc(const std::filesystem::path& doc) {
+  std::ifstream in(doc);
+  if (!in) {
+    throw std::runtime_error("eevfs-lint: cannot read metrics doc: " +
+                             doc.string());
+  }
+  std::set<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t open = line.find('`');
+    while (open != std::string::npos) {
+      const std::size_t close = line.find('`', open + 1);
+      if (close == std::string::npos) break;
+      const std::string span = line.substr(open + 1, close - open - 1);
+      if (valid_metric_name(span)) names.insert(span);
+      open = line.find('`', close + 1);
+    }
+  }
+  return names;
+}
+
+std::string module_of(const std::filesystem::path& file) {
+  const auto parts = [&] {
+    std::vector<std::string> v;
+    for (const auto& p : file) v.push_back(p.string());
+    return v;
+  }();
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "src" && i + 2 < parts.size()) {
+      return parts[i + 1];
+    }
+  }
+  return {};
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& file,
+                               const Options& opt) {
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("eevfs-lint: cannot read file: " + file.string());
+  }
+  std::vector<std::string> raw;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    raw.push_back(line);
+  }
+
+  ScrubState st;
+  std::vector<ScrubbedLine> lines;
+  lines.reserve(raw.size());
+  for (const auto& l : raw) lines.push_back(scrub_line(l, st));
+
+  const std::string mod = module_of(file);
+  const bool header = is_header(file);
+
+  // Pass 1: file-level facts — emit markers (D2) and #pragma once (H1).
+  bool has_pragma_once = false;
+  std::string emit_marker;
+  int emit_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string t = trim(lines[i].code);
+    if (t.compare(0, 7, "#pragma") == 0 &&
+        t.find("once") != std::string::npos) {
+      has_pragma_once = true;
+    }
+    if (emit_marker.empty()) {
+      for (const auto& [pos, ident] : identifiers(lines[i].code)) {
+        (void)pos;
+        if (emit_markers().count(ident) != 0) {
+          emit_marker = ident;
+          emit_line = static_cast<int>(i) + 1;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Finding> found;
+  const auto add = [&](std::size_t idx, const char* rule, std::string msg) {
+    found.push_back(Finding{file.generic_string(), static_cast<int>(idx) + 1,
+                            rule, std::move(msg)});
+  };
+
+  if (header && !has_pragma_once && !raw.empty()) {
+    add(0, "H1", "header is missing #pragma once");
+  }
+
+  bool first_include_seen = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+
+    // --- includes: D1/D3 banned headers, L1/L2 layering, H3 order ---
+    // (parsed from the strings-intact view: the include path IS a string)
+    const std::string inc = include_target(lines[i].code_strings);
+    if (!inc.empty()) {
+      if (const auto it = banned_includes().find(inc);
+          it != banned_includes().end()) {
+        add(i, it->second.c_str(),
+            "#include " + inc + " is banned: " +
+                (it->second == "D3"
+                     ? std::string("<random> distributions are "
+                                   "implementation-defined; use util/rng")
+                     : std::string("wall-time/date APIs break determinism; "
+                                   "use sim::Simulator::now()")));
+      }
+      if (inc.front() == '"') {
+        const std::string path = inc.substr(1, inc.size() - 2);
+        const std::size_t slash = path.find('/');
+        const std::string first =
+            slash == std::string::npos ? "" : path.substr(0, slash);
+        const bool first_is_module = layer_deps().count(first) != 0;
+        if (!mod.empty()) {
+          if (!first_is_module) {
+            add(i, "L2",
+                "project include \"" + path +
+                    "\" must be module-qualified (\"<module>/<file>.hpp\")");
+          } else if (first != mod &&
+                     layer_deps().at(mod).count(first) == 0) {
+            add(i, "L1",
+                "module '" + mod + "' must not include '" + first +
+                    "' (allowed: self" +
+                    [&] {
+                      std::string s;
+                      for (const auto& d : layer_deps().at(mod)) {
+                        s += ", " + d;
+                      }
+                      return s;
+                    }() +
+                    "); see docs/static_analysis.md for the module DAG");
+          }
+        }
+      }
+      if (!first_include_seen && !mod.empty() && !header) {
+        const std::filesystem::path own =
+            file.parent_path() / (file.stem().string() + ".hpp");
+        std::error_code ec;
+        if (std::filesystem::exists(own, ec)) {
+          const std::string expect = mod + "/" + file.stem().string() + ".hpp";
+          if (inc != "\"" + expect + "\"") {
+            add(i, "H3",
+                "first include must be this file's own header \"" + expect +
+                    "\" (keeps the header self-contained)");
+          }
+        }
+      }
+      first_include_seen = true;
+    }
+
+    // --- identifier-based rules (skipped on include directives: the
+    // header itself was already judged above, and `<ctime>` would
+    // otherwise double-report as the identifier `ctime`) ---
+    for (const auto& [pos, ident] :
+         inc.empty() ? identifiers(code)
+                     : std::vector<std::pair<std::size_t, std::string>>{}) {
+      if (const auto it = banned_idents().find(ident);
+          it != banned_idents().end()) {
+        add(i, "D1", ident + ": " + it->second);
+      } else if (ident == "time" &&
+                 is_banned_time_call(code, pos, pos + ident.size())) {
+        add(i, "D1",
+            "time(): wall-time API; simulated time comes from "
+            "sim::Simulator::now()");
+      } else if (!emit_marker.empty() &&
+                 unordered_containers().count(ident) != 0) {
+        add(i, "D2",
+            ident + " in a result-emitting file (uses " + emit_marker +
+                " at line " + std::to_string(emit_line) +
+                "): iteration order is unspecified; use std::map or sort "
+                "keys before emitting");
+      }
+    }
+
+    // --- H2: using namespace in headers ---
+    if (header) {
+      const std::size_t un = code.find("using namespace");
+      if (un != std::string::npos &&
+          (un == 0 || !is_ident_char(code[un - 1]))) {
+        add(i, "H2",
+            "`using namespace` in a header leaks into every includer; "
+            "qualify names instead");
+      }
+    }
+
+    // --- O1/O2: metric-name literals ---
+    for (const auto& name : metric_literals(lines[i].code_strings)) {
+      if (!valid_metric_name(name)) {
+        add(i, "O1",
+            "metric name \"" + name +
+                "\" does not match component.metric.unit (>= 3 lowercase "
+                "dot-separated segments)");
+      } else if (opt.check_docs && opt.documented_metrics.count(name) == 0) {
+        add(i, "O2",
+            "metric name \"" + name +
+                "\" is not documented in the metrics reference; add it to "
+                "docs/observability.md");
+      }
+    }
+  }
+
+  // Apply suppressions: tokens on the finding's line, or on the directly
+  // preceding line when that line is comment-only.
+  std::vector<Finding> kept;
+  for (auto& f : found) {
+    const std::size_t idx = static_cast<std::size_t>(f.line - 1);
+    std::set<std::string> tokens = allow_tokens(lines[idx].comment);
+    if (idx > 0 && trim(lines[idx - 1].code).empty()) {
+      const auto above = allow_tokens(lines[idx - 1].comment);
+      tokens.insert(above.begin(), above.end());
+    }
+    if (!suppressed(tokens, f.rule)) kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return kept;
+}
+
+std::vector<Finding> lint_paths(
+    const std::vector<std::filesystem::path>& paths, const Options& opt,
+    std::size_t* files_scanned) {
+  std::vector<std::filesystem::path> files;
+  const auto lintable = [](const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+  };
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (std::filesystem::recursive_directory_iterator it(p, ec), end;
+           it != end; it.increment(ec)) {
+        if (ec) break;
+        if (it->is_directory() &&
+            it->path().filename() == "lint_fixtures") {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              return a.generic_string() < b.generic_string();
+            });
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> out;
+  for (const auto& f : files) {
+    auto one = lint_file(f, opt);
+    out.insert(out.end(), std::make_move_iterator(one.begin()),
+               std::make_move_iterator(one.end()));
+  }
+  if (files_scanned != nullptr) *files_scanned = files.size();
+  return out;
+}
+
+}  // namespace eevfs::lint

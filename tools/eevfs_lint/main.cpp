@@ -1,0 +1,90 @@
+// eevfs-lint command-line driver.
+//
+//   eevfs_lint [--metrics-doc docs/observability.md] [--list-rules]
+//              [--quiet] <file-or-dir>...
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: eevfs_lint [--metrics-doc <path>] [--list-rules] "
+               "[--quiet] <file-or-dir>...\n"
+               "  Lints .cpp/.cc/.hpp/.h files for EEVFS project "
+               "invariants (determinism,\n"
+               "  layering, observability naming, header hygiene).\n"
+               "  Suppress a finding with: // eevfs-lint: allow(<rule>)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eevfs::lint::Options opt;
+  std::vector<std::filesystem::path> paths;
+  std::string metrics_doc;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& r : eevfs::lint::rule_catalogue()) {
+        std::printf("%-4s %s\n", r.id, r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--metrics-doc") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      metrics_doc = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "eevfs-lint: unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    if (!metrics_doc.empty()) {
+      opt.documented_metrics = eevfs::lint::parse_metrics_doc(metrics_doc);
+      opt.check_docs = true;
+    }
+    std::size_t scanned = 0;
+    const auto findings = eevfs::lint::lint_paths(paths, opt, &scanned);
+    for (const auto& f : findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "eevfs-lint: %zu finding(s) in %zu file(s)\n",
+                   findings.size(), scanned);
+    }
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
