@@ -9,7 +9,8 @@
 
 using namespace eevfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "ablation_hints", {"mu", "policy", "joules", "gain_vs_npf",
                          "transitions", "wakeups", "resp_mean_s"});

@@ -70,7 +70,8 @@ void run_suite(bench::BenchOutput& out, const char* workload_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "ablation_policies", {"workload", "system", "joules", "gain_vs_npf",
                             "transitions", "resp_mean_s", "hit_rate"});

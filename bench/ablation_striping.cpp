@@ -10,7 +10,8 @@
 
 using namespace eevfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "ablation_striping",
       {"data_mb", "stripe_width", "pf_joules", "gain_vs_npf", "resp_mean_s",

@@ -8,7 +8,8 @@
 
 using namespace eevfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "ablation_threshold",
       {"axis", "value", "pf_joules", "gain_vs_npf", "transitions",

@@ -7,13 +7,15 @@
 // n grows, so the relative gain should rise toward the all-data-disks-
 // asleep ceiling.
 #include <cstdio>
+#include <iterator>
 
 #include "harness.hpp"
 #include "util/string_util.hpp"
 
 using namespace eevfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "disks_per_node",
       {"data_disks", "pf_joules", "npf_joules", "gain", "ceiling",
@@ -31,10 +33,17 @@ int main() {
   std::printf("%-11s %14s %14s %8s %9s %10s %12s\n", "data disks",
               "PF (J)", "NPF (J)", "gain", "ceiling", "resp (s)",
               "transitions");
-  for (const std::size_t disks : {1u, 2u, 4u, 8u, 16u}) {
-    core::ClusterConfig cfg = bench::paper_config();
-    cfg.data_disks_per_node = disks;
-    const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
+  const std::size_t disk_counts[] = {1u, 2u, 4u, 8u, 16u};
+  const auto results =
+      bench::run_cells(std::size(disk_counts), [&](std::size_t i) {
+        core::ClusterConfig cfg = bench::paper_config();
+        cfg.data_disks_per_node = disk_counts[i];
+        return core::run_pf_npf(cfg, w);
+      });
+  for (std::size_t i = 0; i < std::size(disk_counts); ++i) {
+    const std::size_t disks = disk_counts[i];
+    const core::PfNpfComparison& cmp = results[i];
+    const core::ClusterConfig cfg = bench::paper_config();
     // Theoretical ceiling: all data disks idle->standby for the full run.
     const double node_idle =
         cfg.node_base_watts + 9.5 * static_cast<double>(disks + 1);

@@ -23,7 +23,8 @@
 
 using namespace eevfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "fault_tolerance",
       {"faults", "replication", "joules", "dj_measured", "dj_modeled",
@@ -38,50 +39,67 @@ int main() {
   std::printf("%-7s %-5s %14s %12s %12s %7s %7s %9s %9s %9s\n", "faults",
               "repl", "joules", "dJ meas", "dJ model", "avail", "failed",
               "rerouted", "retried", "stranded");
+
+  // One cell per (replication, fault-count) point, plus the fault-free
+  // reference run of each replication degree.  Cells are independent
+  // simulations, so the whole grid fans out across the runner.
+  struct Cell {
+    std::size_t repl;
+    std::size_t faults;
+    bool is_base;  // fault-free reference (reported, not tabulated)
+  };
+  std::vector<Cell> cells;
   for (const std::size_t repl : {std::size_t{1}, std::size_t{2}}) {
-    // Fault-free reference for this replication degree.
-    double base_joules = 0.0;
-    {
-      core::ClusterConfig cfg = bench::paper_config();
-      cfg.replication_degree = repl;
-      core::Cluster c(cfg);
-      const core::RunMetrics base = c.run(w);
-      base_joules = base.total_joules;
-      out->add_run(format("repl=%zu/fault-free", repl), base);
-    }
+    cells.push_back({repl, 0, /*is_base=*/true});
     for (const std::size_t faults : {0u, 1u, 2u, 4u, 8u}) {
-      core::ClusterConfig cfg = bench::paper_config();
-      cfg.replication_degree = repl;
-      if (faults > 0) {
-        cfg.fault_plan = fault::random_data_disk_failures(
-            /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
-            cfg.data_disks_per_node, faults);
-      }
-      core::Cluster c(cfg);
-      const core::RunMetrics m = c.run(w);
-      const auto& av = m.availability;
-      const double dj = m.total_joules - base_joules;
-      std::printf("%-7zu %-5zu %14.4e %12.3e %12.3e %7s %7llu %9llu %9llu "
-                  "%9llu\n",
-                  faults, repl, m.total_joules, dj, av.fault_energy_delta,
-                  bench::pct(av.availability(m.requests)).c_str(),
-                  static_cast<unsigned long long>(av.failed_requests),
-                  static_cast<unsigned long long>(av.rerouted_requests),
-                  static_cast<unsigned long long>(av.retried_requests),
-                  static_cast<unsigned long long>(av.writes_stranded));
-      out->add_run(format("repl=%zu/faults=%zu", repl, faults), m);
-      out->row({CsvWriter::cell(static_cast<std::uint64_t>(faults)),
-                CsvWriter::cell(static_cast<std::uint64_t>(repl)),
-                CsvWriter::cell(m.total_joules), CsvWriter::cell(dj),
-                CsvWriter::cell(av.fault_energy_delta),
-                CsvWriter::cell(av.availability(m.requests)),
-                CsvWriter::cell(av.failed_requests),
-                CsvWriter::cell(av.rerouted_requests),
-                CsvWriter::cell(av.retried_requests),
-                CsvWriter::cell(av.timed_out_requests),
-                CsvWriter::cell(av.writes_stranded),
-                CsvWriter::cell(av.mttr_sec)});
+      cells.push_back({repl, faults, /*is_base=*/false});
     }
+  }
+  const auto results = bench::run_cells(cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    core::ClusterConfig cfg = bench::paper_config();
+    cfg.replication_degree = cell.repl;
+    if (!cell.is_base && cell.faults > 0) {
+      cfg.fault_plan = fault::random_data_disk_failures(
+          /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
+          cfg.data_disks_per_node, cell.faults);
+    }
+    core::Cluster c(cfg);
+    return c.run(w);
+  });
+
+  double base_joules = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const core::RunMetrics& m = results[i];
+    if (cell.is_base) {
+      base_joules = m.total_joules;
+      out->add_run(format("repl=%zu/fault-free", cell.repl), m);
+      continue;
+    }
+    const auto& av = m.availability;
+    const double dj = m.total_joules - base_joules;
+    std::printf("%-7zu %-5zu %14.4e %12.3e %12.3e %7s %7llu %9llu %9llu "
+                "%9llu\n",
+                cell.faults, cell.repl, m.total_joules, dj,
+                av.fault_energy_delta,
+                bench::pct(av.availability(m.requests)).c_str(),
+                static_cast<unsigned long long>(av.failed_requests),
+                static_cast<unsigned long long>(av.rerouted_requests),
+                static_cast<unsigned long long>(av.retried_requests),
+                static_cast<unsigned long long>(av.writes_stranded));
+    out->add_run(format("repl=%zu/faults=%zu", cell.repl, cell.faults), m);
+    out->row({CsvWriter::cell(static_cast<std::uint64_t>(cell.faults)),
+              CsvWriter::cell(static_cast<std::uint64_t>(cell.repl)),
+              CsvWriter::cell(m.total_joules), CsvWriter::cell(dj),
+              CsvWriter::cell(av.fault_energy_delta),
+              CsvWriter::cell(av.availability(m.requests)),
+              CsvWriter::cell(av.failed_requests),
+              CsvWriter::cell(av.rerouted_requests),
+              CsvWriter::cell(av.retried_requests),
+              CsvWriter::cell(av.timed_out_requests),
+              CsvWriter::cell(av.writes_stranded),
+              CsvWriter::cell(av.mttr_sec)});
   }
   std::printf(
       "\nexpected shape: unreplicated availability falls with every lost\n"

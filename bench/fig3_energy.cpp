@@ -43,7 +43,8 @@ void print_point(bench::BenchOutput& out, const std::string& panel,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "fig3_energy",
       {"panel", "x", "pf_joules", "npf_joules", "gain", "paper_gain"});

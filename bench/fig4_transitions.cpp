@@ -10,6 +10,10 @@
 //   (c) transitions decrease as inter-arrival delay grows;
 //   (d) K=10 produces the maximum of all tests — 447 — matching its
 //       minimal 3 % energy gain; few transitions at K >= 40.
+//
+// All 16 sweep points run through the parallel cell runner (one
+// self-contained simulator pair per point); output order is
+// deterministic and byte-identical to --serial.
 #include <cstdio>
 
 #include "harness.hpp"
@@ -24,71 +28,85 @@ void print_header() {
               "PF wakes", "paper (PF)");
 }
 
-void run_point(bench::BenchOutput& out, const std::string& panel,
-               const std::string& x, const workload::Workload& w,
-               const core::ClusterConfig& cfg, const char* paper_note) {
-  const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
-  std::printf("%-12s %12llu %12llu %10llu %14s\n", x.c_str(),
+void print_point(bench::BenchOutput& out, const std::string& panel,
+                 const bench::SweepPoint& point,
+                 const core::PfNpfComparison& cmp) {
+  std::printf("%-12s %12llu %12llu %10llu %14s\n", point.x.c_str(),
               static_cast<unsigned long long>(cmp.pf.power_transitions),
               static_cast<unsigned long long>(cmp.npf.power_transitions),
               static_cast<unsigned long long>(cmp.pf.wakeups_on_demand),
-              paper_note);
-  out.row({panel, x, CsvWriter::cell(cmp.pf.power_transitions),
+              point.paper_note);
+  out.row({panel, point.x, CsvWriter::cell(cmp.pf.power_transitions),
            CsvWriter::cell(cmp.npf.power_transitions),
-           CsvWriter::cell(cmp.pf.wakeups_on_demand), paper_note});
-  out.add_comparison(panel + "/" + x, cmp);
+           CsvWriter::cell(cmp.pf.wakeups_on_demand), point.paper_note});
+  out.add_comparison(panel + "/" + point.x, cmp);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "fig4_transitions",
       {"panel", "x", "pf_transitions", "npf_transitions",
        "pf_wakeups_on_demand", "paper"});
 
-  bench::banner("Fig. 4(a)", "power state transitions vs data size (MB)",
-                "MU=1000, K=70, inter-arrival=700ms");
-  print_header();
+  std::vector<bench::SweepPoint> points;
   const char* paper_a[] = {"~300", "~250", "~150", "~50"};
   int i = 0;
   for (const double mb : {1.0, 10.0, 25.0, 50.0}) {
-    run_point(*out, "a_data_size", std::to_string(static_cast<int>(mb)),
-              bench::paper_workload(mb), bench::paper_config(), paper_a[i++]);
+    points.push_back({std::to_string(static_cast<int>(mb)),
+                      bench::paper_config(), bench::paper_workload(mb),
+                      paper_a[i++]});
   }
-
-  bench::banner("Fig. 4(b)", "transitions vs popularity rate (MU)",
-                "data=10MB, K=70, inter-arrival=700ms");
-  print_header();
   const char* paper_b[] = {"~16 (whole trace)", "~16 (whole trace)",
                            "~16 (whole trace)", "~250"};
   i = 0;
   for (const double mu : {1.0, 10.0, 100.0, 1000.0}) {
-    run_point(*out, "b_mu", std::to_string(static_cast<int>(mu)),
-              bench::paper_workload(Defaults::kDataMb, mu),
-              bench::paper_config(), paper_b[i++]);
+    points.push_back({std::to_string(static_cast<int>(mu)),
+                      bench::paper_config(),
+                      bench::paper_workload(Defaults::kDataMb, mu),
+                      paper_b[i++]});
   }
-
-  bench::banner("Fig. 4(c)", "transitions vs inter-arrival delay (ms)",
-                "data=10MB, K=70, MU=1000");
-  print_header();
   const char* paper_c[] = {"~250", "~200", "~150", "~100"};
   i = 0;
   for (const double ia : {0.0, 350.0, 700.0, 1000.0}) {
-    run_point(*out, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
-              bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
-              bench::paper_config(), paper_c[i++]);
+    points.push_back(
+        {std::to_string(static_cast<int>(ia)), bench::paper_config(),
+         bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
+         paper_c[i++]});
   }
-
-  bench::banner("Fig. 4(d)", "transitions vs number of files to prefetch",
-                "data=10MB, MU=1000, inter-arrival=700ms");
-  print_header();
   const char* paper_d[] = {"447 (maximum)", "~100", "~250", "~50"};
   i = 0;
-  const auto w = bench::paper_workload();
   for (const std::size_t k : {10u, 40u, 70u, 100u}) {
-    run_point(*out, "d_prefetch_count", std::to_string(k), w,
-              bench::paper_config(k), paper_d[i++]);
+    points.push_back({std::to_string(k), bench::paper_config(k),
+                      bench::paper_workload(), paper_d[i++]});
+  }
+
+  const auto results = bench::run_sweep(points);
+
+  const struct {
+    const char* title;
+    const char* what;
+    const char* fixed;
+    const char* panel;
+  } panels[] = {
+      {"Fig. 4(a)", "power state transitions vs data size (MB)",
+       "MU=1000, K=70, inter-arrival=700ms", "a_data_size"},
+      {"Fig. 4(b)", "transitions vs popularity rate (MU)",
+       "data=10MB, K=70, inter-arrival=700ms", "b_mu"},
+      {"Fig. 4(c)", "transitions vs inter-arrival delay (ms)",
+       "data=10MB, K=70, MU=1000", "c_inter_arrival"},
+      {"Fig. 4(d)", "transitions vs number of files to prefetch",
+       "data=10MB, MU=1000, inter-arrival=700ms", "d_prefetch_count"},
+  };
+  for (std::size_t p = 0; p < 4; ++p) {
+    bench::banner(panels[p].title, panels[p].what, panels[p].fixed);
+    print_header();
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t idx = p * 4 + j;
+      print_point(*out, panels[p].panel, points[idx], results[idx]);
+    }
   }
 
   out->finish();

@@ -8,6 +8,9 @@
 //       come from the buffer disk); visible penalty at MU = 1000;
 //   (c) 31 % at 0 ms, a 37 % anomaly at 700 ms, 16 % at 1000 ms;
 //   (d) penalty tracks the number of transitions (largest near K=10).
+//
+// All 15 sweep points run through the parallel cell runner; output
+// order is deterministic and byte-identical to --serial.
 #include <cstdio>
 
 #include "harness.hpp"
@@ -22,69 +25,85 @@ void print_header() {
               "PF p95", "penalty", "paper penalty");
 }
 
-void run_point(bench::BenchOutput& out, const std::string& panel,
-               const std::string& x, const workload::Workload& w,
-               const core::ClusterConfig& cfg, const char* paper_note) {
-  const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
-  std::printf("%-12s %10.3f %10.3f %10.3f %10s %14s\n", x.c_str(),
+void print_point(bench::BenchOutput& out, const std::string& panel,
+                 const bench::SweepPoint& point,
+                 const core::PfNpfComparison& cmp) {
+  std::printf("%-12s %10.3f %10.3f %10.3f %10s %14s\n", point.x.c_str(),
               cmp.pf.response_time_sec.mean(),
               cmp.npf.response_time_sec.mean(), cmp.pf.response_p95_sec,
-              bench::pct(cmp.response_penalty()).c_str(), paper_note);
-  out.row({panel, x, CsvWriter::cell(cmp.pf.response_time_sec.mean()),
+              bench::pct(cmp.response_penalty()).c_str(), point.paper_note);
+  out.row({panel, point.x, CsvWriter::cell(cmp.pf.response_time_sec.mean()),
            CsvWriter::cell(cmp.npf.response_time_sec.mean()),
            CsvWriter::cell(cmp.pf.response_p95_sec),
-           CsvWriter::cell(cmp.response_penalty()), paper_note});
-  out.add_comparison(panel + "/" + x, cmp);
+           CsvWriter::cell(cmp.response_penalty()), point.paper_note});
+  out.add_comparison(panel + "/" + point.x, cmp);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "fig5_response", {"panel", "x", "pf_mean_s", "npf_mean_s", "pf_p95_s",
                         "penalty", "paper"});
 
-  bench::banner("Fig. 5(a)", "response time vs data size (MB)",
-                "MU=1000, K=70, inter-arrival=700ms; paper omits 50MB");
-  print_header();
+  std::vector<bench::SweepPoint> points;
   const char* paper_a[] = {"121%", "~40%", "4%"};
   int i = 0;
   for (const double mb : {1.0, 10.0, 25.0}) {
-    run_point(*out, "a_data_size", std::to_string(static_cast<int>(mb)),
-              bench::paper_workload(mb), bench::paper_config(), paper_a[i++]);
+    points.push_back({std::to_string(static_cast<int>(mb)),
+                      bench::paper_config(), bench::paper_workload(mb),
+                      paper_a[i++]});
   }
-
-  bench::banner("Fig. 5(b)", "response time vs popularity rate (MU)",
-                "data=10MB, K=70, inter-arrival=700ms");
-  print_header();
   const char* paper_b[] = {"~0%", "~0%", "~0%", "~13%"};
   i = 0;
   for (const double mu : {1.0, 10.0, 100.0, 1000.0}) {
-    run_point(*out, "b_mu", std::to_string(static_cast<int>(mu)),
-              bench::paper_workload(Defaults::kDataMb, mu),
-              bench::paper_config(), paper_b[i++]);
+    points.push_back({std::to_string(static_cast<int>(mu)),
+                      bench::paper_config(),
+                      bench::paper_workload(Defaults::kDataMb, mu),
+                      paper_b[i++]});
   }
-
-  bench::banner("Fig. 5(c)", "response time vs inter-arrival delay (ms)",
-                "data=10MB, K=70, MU=1000");
-  print_header();
   const char* paper_c[] = {"31%", "~25%", "37% (anomaly)", "16%"};
   i = 0;
   for (const double ia : {0.0, 350.0, 700.0, 1000.0}) {
-    run_point(*out, "c_inter_arrival", std::to_string(static_cast<int>(ia)),
-              bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
-              bench::paper_config(), paper_c[i++]);
+    points.push_back(
+        {std::to_string(static_cast<int>(ia)), bench::paper_config(),
+         bench::paper_workload(Defaults::kDataMb, Defaults::kMu, ia),
+         paper_c[i++]});
   }
-
-  bench::banner("Fig. 5(d)", "response time vs number of files to prefetch",
-                "data=10MB, MU=1000, inter-arrival=700ms");
-  print_header();
   const char* paper_d[] = {"large (447 trans)", "~30%", "~35%", "~20%"};
   i = 0;
-  const auto w = bench::paper_workload();
   for (const std::size_t k : {10u, 40u, 70u, 100u}) {
-    run_point(*out, "d_prefetch_count", std::to_string(k), w,
-              bench::paper_config(k), paper_d[i++]);
+    points.push_back({std::to_string(k), bench::paper_config(k),
+                      bench::paper_workload(), paper_d[i++]});
+  }
+
+  const auto results = bench::run_sweep(points);
+
+  const struct {
+    const char* title;
+    const char* what;
+    const char* fixed;
+    const char* panel;
+    std::size_t first, count;
+  } panels[] = {
+      {"Fig. 5(a)", "response time vs data size (MB)",
+       "MU=1000, K=70, inter-arrival=700ms; paper omits 50MB",
+       "a_data_size", 0, 3},
+      {"Fig. 5(b)", "response time vs popularity rate (MU)",
+       "data=10MB, K=70, inter-arrival=700ms", "b_mu", 3, 4},
+      {"Fig. 5(c)", "response time vs inter-arrival delay (ms)",
+       "data=10MB, K=70, MU=1000", "c_inter_arrival", 7, 4},
+      {"Fig. 5(d)", "response time vs number of files to prefetch",
+       "data=10MB, MU=1000, inter-arrival=700ms", "d_prefetch_count", 11, 4},
+  };
+  for (const auto& panel : panels) {
+    bench::banner(panel.title, panel.what, panel.fixed);
+    print_header();
+    for (std::size_t j = 0; j < panel.count; ++j) {
+      const std::size_t idx = panel.first + j;
+      print_point(*out, panel.panel, points[idx], results[idx]);
+    }
   }
 
   out->finish();

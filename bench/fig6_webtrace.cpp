@@ -7,12 +7,14 @@
 // delay to avoid server queueing; we synthesise a trace with the same
 // exploited skew (see workload/webtrace.hpp for the substitution note).
 #include <cstdio>
+#include <iterator>
 
 #include "harness.hpp"
 
 using namespace eevfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "fig6_webtrace",
       {"variant", "pf_joules", "npf_joules", "gain", "pf_hit_rate",
@@ -38,14 +40,17 @@ int main() {
       {"webtrace (ws=100)", 100, 0.98, "-"},
       {"webtrace (alpha=0.7)", 60, 0.70, "-"},
   };
-  for (const Variant& v : variants) {
+  const auto results = bench::run_cells(std::size(variants), [&](std::size_t i) {
     workload::WebTraceConfig cfg;
     cfg.num_requests = 1000;
-    cfg.working_set = v.working_set;
-    cfg.zipf_alpha = v.alpha;
-    const auto w = workload::generate_webtrace(cfg);
-    const core::PfNpfComparison cmp =
-        core::run_pf_npf(bench::paper_config(), w);
+    cfg.working_set = variants[i].working_set;
+    cfg.zipf_alpha = variants[i].alpha;
+    return core::run_pf_npf(bench::paper_config(),
+                            workload::generate_webtrace(cfg));
+  });
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
+    const Variant& v = variants[i];
+    const core::PfNpfComparison& cmp = results[i];
     std::printf("%-22s %14.4e %14.4e %8s %8.1f%% %11llu %10s\n", v.name,
                 cmp.pf.total_joules, cmp.npf.total_joules,
                 bench::pct(cmp.energy_gain()).c_str(),

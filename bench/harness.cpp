@@ -1,12 +1,45 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "util/string_util.hpp"
-#include "util/thread_pool.hpp"
 
 namespace eevfs::bench {
+
+namespace {
+RunnerOptions g_runner_options;
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--serial] [--jobs N]\n"
+               "  --serial   run sweep cells in order on one thread\n"
+               "  --jobs N   parallel worker count (default: one per "
+               "hardware thread)\n",
+               argv0);
+  std::exit(2);
+}
+}  // namespace
+
+const RunnerOptions& runner_options() { return g_runner_options; }
+
+void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--serial") == 0) {
+      g_runner_options.serial = true;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long jobs = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') usage_and_exit(argv[0]);
+      g_runner_options.jobs = static_cast<std::size_t>(jobs);
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+}
 
 workload::Workload paper_workload(double data_mb, double mu,
                                   double inter_arrival_ms,
@@ -43,8 +76,7 @@ std::string pct(double fraction) {
 
 std::vector<core::PfNpfComparison> run_sweep(
     const std::vector<SweepPoint>& points) {
-  ThreadPool pool;
-  return pool.map_indexed(points.size(), [&](std::size_t i) {
+  return run_cells(points.size(), [&](std::size_t i) {
     return core::run_pf_npf(points[i].config, points[i].workload);
   });
 }

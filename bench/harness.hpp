@@ -7,18 +7,39 @@
 // re-plotting.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/run_report.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/webtrace.hpp"
 
 namespace eevfs::bench {
+
+/// How run_cells() executes a sweep.  Every bench accepts the same two
+/// flags (parsed by init()):
+///   --serial   run cells in order on the calling thread (the reference
+///              path the parallel runner must match byte for byte)
+///   --jobs N   worker-thread count for the parallel path
+///              (default 0 = one per hardware thread)
+struct RunnerOptions {
+  bool serial = false;
+  std::size_t jobs = 0;
+};
+
+/// The process-wide runner options (defaults until init() parses argv).
+const RunnerOptions& runner_options();
+
+/// Parses the shared bench flags from argv (see RunnerOptions); prints
+/// usage and exits on anything unrecognised.  Call first in main().
+void init(int argc, char** argv);
 
 /// Table II defaults (§V-B): 1000 files, 1000 requests, 10 MB files,
 /// MU = 1000, 700 ms inter-arrival, prefetch 70, 5 s idle threshold.
@@ -110,10 +131,33 @@ struct SweepPoint {
   const char* paper_note = "";
 };
 
-/// Runs every point's PF and NPF clusters in parallel (each Simulator is
-/// self-contained, so sweep points are embarrassingly parallel — one
-/// worker per hardware thread) and returns the comparisons in input
-/// order.  Deterministic: results are identical to a serial run.
+/// The parallel scenario runner: executes `fn(cell)` for every cell
+/// index in [0, n) and returns the results ordered by cell index.  Each
+/// cell must be a self-contained simulation (one Simulator per cell, no
+/// shared mutable state), which makes the sweep embarrassingly parallel
+/// across the fixed-size util::ThreadPool.  Under --serial the cells run
+/// in index order on the calling thread; because results are collected
+/// before anything is printed or written, CSV and run-report output are
+/// byte-identical between the two paths (enforced by the bench_det_*
+/// ctest comparisons).
+template <typename Fn>
+auto run_cells(std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  const RunnerOptions& opt = runner_options();
+  if (opt.serial || opt.jobs == 1 || n <= 1) {
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+    return out;
+  }
+  ThreadPool pool(opt.jobs);
+  return pool.map_indexed(n, fn);
+}
+
+/// Runs every point's PF and NPF clusters through run_cells() and
+/// returns the comparisons in input order.  Deterministic: results are
+/// identical to a serial run.
 std::vector<core::PfNpfComparison> run_sweep(
     const std::vector<SweepPoint>& points);
 

@@ -79,7 +79,8 @@ void run_suite(bench::BenchOutput& out, const char* name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "online_adaptation", {"workload", "system", "joules", "gain_vs_npf",
                             "hit_rate", "transitions", "resp_mean_s"});

@@ -1,0 +1,198 @@
+// Perf smoke: engine throughput (events/sec) and wall time per
+// canonical scenario, emitted as BENCH_perf.json for the CI
+// perf-regression gate (tools/perf_compare.py; see docs/perf.md).
+//
+// This is the one binary in the tree whose OUTPUT is wall-clock derived
+// and therefore not reproducible across machines — every other bench and
+// test is bit-deterministic.  The regression gate compares runs from the
+// same machine only; CI runs it warn-only on shared runners.
+//
+// Scenarios are small on purpose (a few hundred ms each): the point is a
+// stable relative signal on engine hot-path changes, not a load test.
+// Each scenario runs `--repeats N` times (default 3) and reports the
+// best run — min wall, max events/sec — which is the standard noise
+// filter for short benchmarks.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "harness.hpp"
+#include "obs/json.hpp"
+#include "sim/engine.hpp"
+
+using namespace eevfs;
+
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+};
+
+// Perf smoke measures real elapsed time; its output is explicitly
+// machine-local (see file comment), hence the determinism-lint waiver.
+double now_ms() {
+  const auto t =
+      std::chrono::steady_clock::now().time_since_epoch();  // eevfs-lint: allow(D1)
+  return std::chrono::duration<double, std::milli>(t).count();
+}
+
+/// Runs `fn` (which returns the executed-event count) `repeats` times
+/// and keeps the fastest run.
+template <typename Fn>
+ScenarioResult best_of(const std::string& name, int repeats, Fn&& fn) {
+  ScenarioResult best;
+  best.name = name;
+  for (int r = 0; r < repeats; ++r) {
+    const double t0 = now_ms();
+    const std::uint64_t events = fn();
+    const double wall = now_ms() - t0;
+    if (r == 0 || wall < best.wall_ms) {
+      best.events = events;
+      best.wall_ms = wall;
+      best.events_per_sec =
+          wall > 0.0 ? 1000.0 * static_cast<double>(events) / wall : 0.0;
+    }
+  }
+  return best;
+}
+
+std::uint64_t run_cluster(const core::ClusterConfig& cfg,
+                          const workload::Workload& w) {
+  core::Cluster cluster(cfg);
+  (void)cluster.run(w);
+  return cluster.executed_events();
+}
+
+/// Engine-only churn: no cluster model, just schedule/cancel/fire at
+/// queue depths the cluster runs never reach.  Most sensitive scenario
+/// to event-pool and heap changes.
+std::uint64_t run_engine_churn() {
+  sim::Simulator sim;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(200000);
+  for (int wave = 0; wave < 20; ++wave) {
+    handles.clear();
+    const Tick base = sim.now();
+    for (std::uint32_t i = 0; i < 10000; ++i) {
+      handles.push_back(
+          sim.schedule_at(base + 1 + (i * 7919u) % 10000u, [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 3) handles[i].cancel();
+    sim.run(base + 10001);
+  }
+  return sim.executed_events();
+}
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--repeats N] [--git-rev SHA] [--out PATH]\n"
+               "  --repeats N    runs per scenario, best kept (default 3)\n"
+               "  --git-rev SHA  recorded in the JSON (default: unknown)\n"
+               "  --out PATH     output path (default: BENCH_perf.json)\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 3;
+  std::string git_rev = "unknown";
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--git-rev") == 0 && i + 1 < argc) {
+      git_rev = argv[++i];
+    } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+
+  bench::banner("Perf smoke", "engine events/sec per canonical scenario",
+                "wall-clock derived — machine-local, not reproducible");
+
+  std::vector<ScenarioResult> results;
+
+  results.push_back(best_of("engine_churn", repeats, [] {
+    return run_engine_churn();
+  }));
+
+  // 10x the paper request count: the cluster scenarios need tens of
+  // milliseconds of event-loop work each for a stable reading.
+  const auto paper_w = bench::paper_workload(
+      bench::Defaults::kDataMb, bench::Defaults::kMu,
+      bench::Defaults::kInterArrivalMs, 10 * bench::Defaults::kRequests);
+  results.push_back(best_of("paper_pf", repeats, [&] {
+    return run_cluster(bench::paper_config(), paper_w);
+  }));
+  results.push_back(best_of("paper_npf", repeats, [&] {
+    core::ClusterConfig cfg = bench::paper_config();
+    cfg.enable_prefetch = false;
+    return run_cluster(cfg, paper_w);
+  }));
+
+  workload::WebTraceConfig wcfg;
+  wcfg.num_requests = 10000;
+  const auto web_w = workload::generate_webtrace(wcfg);
+  results.push_back(best_of("webtrace", repeats, [&] {
+    return run_cluster(bench::paper_config(), web_w);
+  }));
+
+  results.push_back(best_of("fault_replicated", repeats, [&] {
+    core::ClusterConfig cfg = bench::paper_config();
+    cfg.replication_degree = 2;
+    cfg.fault_plan = fault::random_data_disk_failures(
+        /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
+        cfg.data_disks_per_node, /*count=*/4);
+    return run_cluster(cfg, paper_w);
+  }));
+
+  std::printf("%-18s %14s %10s %14s\n", "scenario", "events", "wall ms",
+              "events/sec");
+  for (const auto& r : results) {
+    std::printf("%-18s %14llu %10.2f %14.3e\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                r.events_per_sec);
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("eevfs-perf-smoke/1");
+  w.key("git_rev").value(git_rev);
+  w.key("repeats").value(static_cast<std::int64_t>(repeats));
+  w.key("results").begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.key("scenario").value(r.name);
+    w.key("events").value(r.events);
+    w.key("wall_ms").value(r.wall_ms);
+    w.key("events_per_sec").value(r.events_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << w.str() << "\n";
+  out.close();
+  std::printf("\nperf report: %s (rev %s)\n", out_path.c_str(),
+              git_rev.c_str());
+  return 0;
+}

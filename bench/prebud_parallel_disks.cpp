@@ -22,7 +22,8 @@ BudStats run(const BudConfig& cfg, BudPolicy policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "prebud_parallel_disks",
       {"axis", "value", "policy", "joules", "gain_vs_always_on",

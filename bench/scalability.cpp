@@ -5,13 +5,15 @@
 // and file count held proportional, and checks that the energy gain and
 // response time hold.
 #include <cstdio>
+#include <iterator>
 
 #include "harness.hpp"
 #include "util/string_util.hpp"
 
 using namespace eevfs;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "scalability", {"nodes", "pf_joules", "npf_joules", "gain",
                       "pf_resp_s", "npf_resp_s", "pf_transitions"});
@@ -21,22 +23,29 @@ int main() {
 
   std::printf("%-7s %14s %14s %8s %10s %10s %12s\n", "nodes", "PF (J)",
               "NPF (J)", "gain", "PF resp", "NPF resp", "transitions");
-  for (const std::size_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    const double scale = static_cast<double>(nodes) / 8.0;
-    workload::SyntheticConfig wcfg;
-    wcfg.num_files = static_cast<std::size_t>(1000 * scale) + 8;
-    wcfg.num_requests = static_cast<std::size_t>(1000 * scale) + 8;
-    wcfg.mean_data_size_mb = 10.0;
-    wcfg.mu = 1000.0 * scale + 1.0;
-    // Keep the per-node arrival rate constant.
-    wcfg.inter_arrival_ms = 700.0 / scale;
-    const auto w = workload::generate_synthetic(wcfg);
-
-    core::ClusterConfig cfg = bench::paper_config(
-        static_cast<std::size_t>(70 * scale) + 1);
-    cfg.num_storage_nodes = nodes;
-    cfg.num_clients = std::max<std::size_t>(1, nodes / 2);
-    const core::PfNpfComparison cmp = core::run_pf_npf(cfg, w);
+  const std::size_t node_counts[] = {1u, 2u, 4u, 8u, 16u, 32u, 64u};
+  // Workload generation scales with the node count, so it happens inside
+  // the cell (it is seeded and self-contained — still deterministic).
+  const auto results =
+      bench::run_cells(std::size(node_counts), [&](std::size_t i) {
+        const std::size_t nodes = node_counts[i];
+        const double scale = static_cast<double>(nodes) / 8.0;
+        workload::SyntheticConfig wcfg;
+        wcfg.num_files = static_cast<std::size_t>(1000 * scale) + 8;
+        wcfg.num_requests = static_cast<std::size_t>(1000 * scale) + 8;
+        wcfg.mean_data_size_mb = 10.0;
+        wcfg.mu = 1000.0 * scale + 1.0;
+        // Keep the per-node arrival rate constant.
+        wcfg.inter_arrival_ms = 700.0 / scale;
+        core::ClusterConfig cfg = bench::paper_config(
+            static_cast<std::size_t>(70 * scale) + 1);
+        cfg.num_storage_nodes = nodes;
+        cfg.num_clients = std::max<std::size_t>(1, nodes / 2);
+        return core::run_pf_npf(cfg, workload::generate_synthetic(wcfg));
+      });
+  for (std::size_t i = 0; i < std::size(node_counts); ++i) {
+    const std::size_t nodes = node_counts[i];
+    const core::PfNpfComparison& cmp = results[i];
     std::printf("%-7zu %14.4e %14.4e %8s %10.3f %10.3f %12llu\n", nodes,
                 cmp.pf.total_joules, cmp.npf.total_joules,
                 bench::pct(cmp.energy_gain()).c_str(),

@@ -55,7 +55,8 @@ void print_profile(const char* role, const disk::DiskProfile& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::banner("Table I", "testbed configuration (modelled vs measured)",
                 "");
   std::printf("%-22s %-10s %9s %28s %24s\n", "node", "disk", "capacity",

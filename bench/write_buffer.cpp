@@ -30,7 +30,8 @@ workload::Workload with_writes(const workload::Workload& base,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto out = bench::open_output(
       "write_buffer",
       {"write_fraction", "buffering", "joules", "transitions", "wakeups",

@@ -1,0 +1,126 @@
+// Move-only callable wrapper used by the event engine's hot path.
+//
+// std::function heap-allocates any capture bigger than two pointers,
+// which for the simulator means one allocation per scheduled event
+// (callbacks capture `this` plus request state).  InlineCallback keeps
+// captures up to kInlineBytes in an inline buffer — schedule/fire is
+// allocation-free for every callback in the tree — and falls back to a
+// single heap allocation for oversized or throwing-move callables, so
+// it accepts exactly what std::function accepts.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace eevfs::sim {
+
+class InlineCallback {
+ public:
+  /// Sized for the fattest hot-path capture (disk transfer completions:
+  /// this + request + completion ticket) with room to spare.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): converts like std::function
+  InlineCallback(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = vtable<InlineOps<Fn>>();
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = vtable<HeapOps<Fn>>();
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  /// Destroys the stored callable (no-op when empty).
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Relocates src's callable into dst (raw storage) and leaves src
+    /// destroyed; noexcept by construction (see the inline/heap split).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  /// Callable constructed directly in the inline buffer.
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* obj(void* storage) {
+      return std::launder(reinterpret_cast<Fn*>(storage));
+    }
+    static void invoke(void* storage) { (*obj(storage))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) Fn(std::move(*obj(src)));
+      obj(src)->~Fn();
+    }
+    static void destroy(void* storage) { obj(storage)->~Fn(); }
+  };
+
+  /// Oversized callable: the buffer holds an owning Fn*.
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& ptr(void* storage) {
+      return *std::launder(reinterpret_cast<Fn**>(storage));
+    }
+    static void invoke(void* storage) { (*ptr(storage))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) Fn*(ptr(src));
+    }
+    static void destroy(void* storage) { delete ptr(storage); }
+  };
+
+  template <typename Ops>
+  static const VTable* vtable() {
+    static constexpr VTable vt{&Ops::invoke, &Ops::relocate, &Ops::destroy};
+    return &vt;
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace eevfs::sim

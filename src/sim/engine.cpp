@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
@@ -11,10 +12,20 @@ EventHandle Simulator::schedule_at(Tick at, Callback cb) {
   if (at < now_) {
     throw std::logic_error("Simulator::schedule_at: time in the past");
   }
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{at, next_seq_++, std::move(cb), alive});
-  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
-  return EventHandle(std::move(alive));
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Record& rec = pool_[slot];
+  rec.callback = std::move(cb);
+  heap_.push_back(QueueItem{at, next_seq_++, slot, rec.gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > max_queue_depth_) max_queue_depth_ = heap_.size();
+  return EventHandle(this, slot, rec.gen);
 }
 
 EventHandle Simulator::schedule_after(Tick delay, Callback cb) {
@@ -24,16 +35,35 @@ EventHandle Simulator::schedule_after(Tick delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-bool Simulator::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the event is moved out via const_cast
-    // which is safe because pop() follows immediately.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (*ev.alive) {
-      out = std::move(ev);
-      return true;
+void Simulator::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+void Simulator::release(std::uint32_t slot) {
+  Record& rec = pool_[slot];
+  rec.callback.reset();
+  ++rec.gen;  // every outstanding ticket for this slot is now stale
+  free_.push_back(slot);
+}
+
+void Simulator::do_cancel(std::uint32_t slot, std::uint32_t gen) {
+  if (pool_[slot].gen != gen) return;  // fired, cancelled, or recycled
+  release(slot);  // the heap entry is skipped lazily via its stale gen
+}
+
+bool Simulator::claim_next(Tick* time, Callback* cb) {
+  while (!heap_.empty()) {
+    if (stale_top()) {
+      pop_top();
+      continue;
     }
+    const QueueItem top = heap_.front();
+    pop_top();
+    *time = top.time;
+    *cb = std::move(pool_[top.slot].callback);
+    release(top.slot);
+    return true;
   }
   return false;
 }
@@ -41,7 +71,8 @@ bool Simulator::pop_next(Event& out) {
 std::uint64_t Simulator::run(Tick until) {
   // Deliberate wall-clock use: wall_seconds() is diagnostic-only meta
   // (run_report schema keeps it out of result comparisons), so the
-  // determinism lint is waived here — the ONLY place in the tree.
+  // determinism lint is waived here — the only engine-side use in the
+  // tree (bench/perf_smoke.cpp carries the other waivers).
   const auto wall_start = std::chrono::steady_clock::now();  // eevfs-lint: allow(D1)
   // Accumulate on every exit path; wall time is diagnostic-only.
   struct WallGuard {
@@ -54,20 +85,24 @@ std::uint64_t Simulator::run(Tick until) {
     }
   } guard{wall_start, &wall_seconds_};
   std::uint64_t count = 0;
-  Event ev;
-  while (pop_next(ev)) {
-    if (until >= 0 && ev.time > until) {
-      // Put it back untouched: schedule a fresh entry preserving order.
-      // (seq is preserved so relative ordering with equal-time events is
-      // unchanged.)
-      queue_.push(std::move(ev));
+  Callback cb;
+  while (!heap_.empty()) {
+    if (stale_top()) {
+      pop_top();
+      continue;
+    }
+    const Tick at = heap_.front().time;
+    if (until >= 0 && at > until) {
       now_ = until;
       return count;
     }
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    *ev.alive = false;  // mark fired before running: handle.pending() is false inside the callback
-    ev.callback();
+    const std::uint32_t slot = heap_.front().slot;
+    pop_top();
+    cb = std::move(pool_[slot].callback);
+    release(slot);  // before invoking: handle.pending() is false inside
+    assert(at >= now_);
+    now_ = at;
+    cb();
     ++executed_;
     ++count;
   }
@@ -76,12 +111,12 @@ std::uint64_t Simulator::run(Tick until) {
 }
 
 bool Simulator::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  assert(ev.time >= now_);
-  now_ = ev.time;
-  *ev.alive = false;
-  ev.callback();
+  Tick at = 0;
+  Callback cb;
+  if (!claim_next(&at, &cb)) return false;
+  assert(at >= now_);
+  now_ = at;
+  cb();
   ++executed_;
   return true;
 }

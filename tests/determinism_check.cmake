@@ -1,0 +1,49 @@
+# Runs one bench binary twice — forced-serial and forced-parallel — in
+# scratch working directories and requires the CSV, run_report.json, and
+# stdout to be byte-identical.  The parallel cell runner may only change
+# how work is scheduled, never what it produces.
+#
+# Invoked as:
+#   cmake -DBENCH_EXE=<path> -DBENCH_NAME=<name> -DWORK_DIR=<dir>
+#         -P determinism_check.cmake
+foreach(var BENCH_EXE BENCH_NAME WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "determinism_check.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(serial_dir "${WORK_DIR}/serial")
+set(parallel_dir "${WORK_DIR}/parallel")
+file(REMOVE_RECURSE "${serial_dir}" "${parallel_dir}")
+file(MAKE_DIRECTORY "${serial_dir}" "${parallel_dir}")
+
+execute_process(COMMAND "${BENCH_EXE}" --serial
+                WORKING_DIRECTORY "${serial_dir}"
+                OUTPUT_FILE "${serial_dir}/stdout.txt"
+                RESULT_VARIABLE rc_serial)
+if(NOT rc_serial EQUAL 0)
+  message(FATAL_ERROR "${BENCH_NAME} --serial exited with ${rc_serial}")
+endif()
+
+execute_process(COMMAND "${BENCH_EXE}" --jobs 4
+                WORKING_DIRECTORY "${parallel_dir}"
+                OUTPUT_FILE "${parallel_dir}/stdout.txt"
+                RESULT_VARIABLE rc_parallel)
+if(NOT rc_parallel EQUAL 0)
+  message(FATAL_ERROR "${BENCH_NAME} --jobs 4 exited with ${rc_parallel}")
+endif()
+
+foreach(rel
+        "stdout.txt"
+        "bench_results/${BENCH_NAME}.csv"
+        "bench_results/${BENCH_NAME}.run_report.json")
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                  "${serial_dir}/${rel}" "${parallel_dir}/${rel}"
+                  RESULT_VARIABLE rc_cmp)
+  if(NOT rc_cmp EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH_NAME}: serial and parallel runs diverge in ${rel}")
+  endif()
+endforeach()
+
+message(STATUS "${BENCH_NAME}: serial and --jobs 4 outputs byte-identical")

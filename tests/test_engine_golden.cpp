@@ -1,0 +1,201 @@
+// Engine-rework golden test: the event-engine internals may change
+// (pooled slots, inline callbacks, a different heap), but every cluster
+// scenario must produce bit-identical RunMetrics.  The expected digests
+// below were captured from the pre-rework engine (shared_ptr<bool>
+// liveness + std::priority_queue) and pin the full metric surface —
+// paper metrics, availability accounting, and the complete registry
+// counter snapshot — for one representative configuration per bench
+// family (fig3/4/5 defaults and sweeps, fig6 webtrace, fault_tolerance,
+// online_adaptation, ablation_striping, ablation_policies/MAID).
+//
+// If a digest changes, the engine rework altered simulation results:
+// diff the printed digest text against the old engine before even
+// thinking about re-capturing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "fault/fault_injector.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/webtrace.hpp"
+
+namespace eevfs::core {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void field(std::string& out, const char* name, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%.17g\n", name, v);
+  out += buf;
+}
+
+void field(std::string& out, const char* name, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%llu\n", name,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Every deterministic field of RunMetrics, rendered exactly.
+std::string digest_text(const RunMetrics& m) {
+  std::string out;
+  field(out, "total_joules", m.total_joules);
+  field(out, "disk_joules", m.disk_joules);
+  field(out, "base_joules", m.base_joules);
+  field(out, "power_transitions", m.power_transitions);
+  field(out, "spin_ups", m.spin_ups);
+  field(out, "spin_downs", m.spin_downs);
+  field(out, "makespan", static_cast<std::uint64_t>(m.makespan));
+  field(out, "prefetch_duration",
+        static_cast<std::uint64_t>(m.prefetch_duration));
+  field(out, "requests", m.requests);
+  field(out, "buffer_hits", m.buffer_hits);
+  field(out, "data_disk_reads", m.data_disk_reads);
+  field(out, "wakeups_on_demand", m.wakeups_on_demand);
+  field(out, "bytes_served", static_cast<std::uint64_t>(m.bytes_served));
+  field(out, "bytes_prefetched",
+        static_cast<std::uint64_t>(m.bytes_prefetched));
+  field(out, "resp_count", static_cast<std::uint64_t>(m.response_time_sec.count()));
+  field(out, "resp_mean", m.response_time_sec.mean());
+  field(out, "resp_min", m.response_time_sec.min());
+  field(out, "resp_max", m.response_time_sec.max());
+  field(out, "resp_p95", m.response_p95_sec);
+  field(out, "resp_p99", m.response_p99_sec);
+  const AvailabilityMetrics& av = m.availability;
+  field(out, "av_faults", av.faults_injected);
+  field(out, "av_failed", av.failed_requests);
+  field(out, "av_timed_out", av.timed_out_requests);
+  field(out, "av_retried", av.retried_requests);
+  field(out, "av_rerouted", av.rerouted_requests);
+  field(out, "av_client_retries", av.client_retries);
+  field(out, "av_io_retries", av.disk_io_retries);
+  field(out, "av_buffer_fallback", av.buffer_fallback_reads);
+  field(out, "av_rescues", av.buffered_rescues);
+  field(out, "av_stranded", av.writes_stranded);
+  field(out, "av_degraded_ticks", static_cast<std::uint64_t>(av.degraded_ticks));
+  field(out, "av_recoveries", av.recovery_episodes);
+  field(out, "av_mttr", av.mttr_sec);
+  field(out, "av_energy_delta", av.fault_energy_delta);
+  for (const obs::Sample& s : m.counters) {
+    out += s.name;
+    out += ':';
+    out += to_string(s.kind);
+    field(out, "/value", s.value);
+    field(out, "/count", s.count);
+    field(out, "/mean", s.mean);
+    field(out, "/p50", s.p50);
+    field(out, "/p95", s.p95);
+    field(out, "/p99", s.p99);
+    field(out, "/min", s.min);
+    field(out, "/max", s.max);
+  }
+  return out;
+}
+
+workload::Workload paper_workload(double mu = 1000.0,
+                                  double inter_arrival_ms = 700.0) {
+  workload::SyntheticConfig cfg;
+  cfg.num_files = 1000;
+  cfg.num_requests = 1000;
+  cfg.mean_data_size_mb = 10.0;
+  cfg.mu = mu;
+  cfg.inter_arrival_ms = inter_arrival_ms;
+  cfg.seed = 42;
+  return workload::generate_synthetic(cfg);
+}
+
+/// Runs the scenario and checks the digest hash; on mismatch dumps the
+/// digest text so it can be diffed against the pre-rework engine.
+void expect_golden(const char* name, const ClusterConfig& cfg,
+                   const workload::Workload& w, std::uint64_t expected) {
+  Cluster cluster(cfg);
+  const RunMetrics m = cluster.run(w);
+  const std::string text = digest_text(m);
+  const std::uint64_t h = fnv1a(text);
+  EXPECT_EQ(h, expected) << name << ": RunMetrics digest changed.\n"
+                         << "actual hash: " << h << "ull\n--- digest ---\n"
+                         << text;
+}
+
+TEST(EngineGolden, PaperDefaultsPf) {
+  expect_golden("defaults/pf", ClusterConfig{}, paper_workload(),
+                2043215466585304593ull);
+}
+
+TEST(EngineGolden, PaperDefaultsNpf) {
+  ClusterConfig cfg;
+  cfg.enable_prefetch = false;
+  expect_golden("defaults/npf", cfg, paper_workload(), 2065949375347484321ull);
+}
+
+TEST(EngineGolden, LowMuSweepCell) {
+  expect_golden("mu=10/pf", ClusterConfig{}, paper_workload(10.0), 16090404298527230445ull);
+}
+
+TEST(EngineGolden, ZeroInterArrivalSweepCell) {
+  expect_golden("ia=0/pf", ClusterConfig{}, paper_workload(1000.0, 0.0),
+                3608818495188534180ull);
+}
+
+TEST(EngineGolden, SmallPrefetchSetSweepCell) {
+  ClusterConfig cfg;
+  cfg.prefetch_file_count = 10;
+  expect_golden("k=10/pf", cfg, paper_workload(), 13956714150829467091ull);
+}
+
+TEST(EngineGolden, WebTrace) {
+  workload::WebTraceConfig wcfg;
+  expect_golden("web/pf", ClusterConfig{},
+                workload::generate_webtrace(wcfg), 1428452544784812697ull);
+}
+
+TEST(EngineGolden, FaultsUnreplicated) {
+  ClusterConfig cfg;
+  cfg.fault_plan = fault::random_data_disk_failures(
+      /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
+      cfg.data_disks_per_node, /*count=*/4);
+  expect_golden("faults=4/repl=1", cfg, paper_workload(), 2900822600899425207ull);
+}
+
+TEST(EngineGolden, FaultsReplicated) {
+  ClusterConfig cfg;
+  cfg.replication_degree = 2;
+  cfg.fault_plan = fault::random_data_disk_failures(
+      /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
+      cfg.data_disks_per_node, /*count=*/4);
+  expect_golden("faults=4/repl=2", cfg, paper_workload(), 9919072393399096017ull);
+}
+
+TEST(EngineGolden, OnlineAdaptation) {
+  ClusterConfig cfg;
+  cfg.online_popularity = true;
+  expect_golden("online/pf", cfg, paper_workload(), 348258173038738281ull);
+}
+
+TEST(EngineGolden, StripedPlacement) {
+  ClusterConfig cfg;
+  cfg.stripe_width = 2;
+  expect_golden("stripe=2/pf", cfg, paper_workload(), 1103413860493221095ull);
+}
+
+TEST(EngineGolden, MaidBaseline) {
+  ClusterConfig cfg;
+  cfg.cache_policy = CachePolicy::kLruOnMiss;
+  cfg.power_policy = PowerPolicy::kIdleTimer;
+  cfg.enable_prefetch = false;
+  expect_golden("maid", cfg, paper_workload(), 4265843183521726881ull);
+}
+
+}  // namespace
+}  // namespace eevfs::core

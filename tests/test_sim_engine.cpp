@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace eevfs::sim {
@@ -150,6 +153,145 @@ TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
   });
   sim.run();
   EXPECT_EQ(when, 42);
+}
+
+TEST(Simulator, CancelOfRecycledSlotIsNoop) {
+  Simulator sim;
+  int first = 0, second = 0;
+  EventHandle a = sim.schedule_at(1, [&] { ++first; });
+  sim.run();  // `a` fired; its slot returns to the free list
+  EXPECT_EQ(first, 1);
+  // The recycled slot is handed to a new event with a bumped generation.
+  EventHandle b = sim.schedule_at(2, [&] { ++second; });
+  a.cancel();  // stale ticket: must NOT cancel b
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  sim.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, CancelledSlotRecyclesBeforePop) {
+  Simulator sim;
+  bool cancelled_fired = false, reuse_fired = false;
+  EventHandle a = sim.schedule_at(10, [&] { cancelled_fired = true; });
+  a.cancel();  // releases the slot while its heap entry is still queued
+  EventHandle b = sim.schedule_at(5, [&] { reuse_fired = true; });
+  a.cancel();  // double-cancel on a reused slot: generation makes it inert
+  EXPECT_TRUE(b.pending());
+  sim.run();
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_TRUE(reuse_fired);
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(Simulator, PoolIsBoundedByQueueDepth) {
+  Simulator sim;
+  // Schedule/run in waves: slots must be recycled, not grown per event.
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_after(i, [] {});
+    }
+    sim.run();
+  }
+  EXPECT_EQ(sim.executed_events(), 500u);
+  EXPECT_LE(sim.pool_slots(), sim.max_queue_depth());
+  EXPECT_LE(sim.max_queue_depth(), 10u);
+}
+
+TEST(Simulator, ScheduleInsideCallbackWhilePoolGrows) {
+  // Callbacks that schedule bursts force pool reallocation mid-fire; the
+  // engine must have no live references into the pool across invoke.
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(0, [&] {
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(1 + i % 7, [&] { ++fired; });
+    }
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(Simulator, CancelInsideOwnCallbackIsNoop) {
+  Simulator sim;
+  EventHandle h;
+  int count = 0;
+  h = sim.schedule_at(3, [&] {
+    ++count;
+    h.cancel();  // slot already released before invoke; must be inert
+  });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  // The slot freed by the no-op cancel must still be usable.
+  sim.schedule_after(1, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, InterleavedCancelStressKeepsOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(
+        sim.schedule_at((i * 13) % 50, [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 3) handles[i].cancel();
+  sim.run();
+  EXPECT_EQ(order.size(), 1000u - 334u);
+  // Survivors must still fire in (time, seq) order.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const int a = order[i - 1], b = order[i];
+    const int ta = (a * 13) % 50, tb = (b * 13) % 50;
+    EXPECT_TRUE(ta < tb || (ta == tb && a < b)) << a << " vs " << b;
+  }
+}
+
+TEST(InlineCallback, LargeCaptureFallsBackToHeap) {
+  // A capture bigger than the inline buffer must still work (single
+  // heap allocation, owned and freed by the wrapper).
+  Simulator sim;
+  std::array<std::uint64_t, 32> big{};
+  big.fill(7);
+  std::uint64_t sum = 0;
+  sim.schedule_at(1, [big, &sum] {
+    for (const auto v : big) sum += v;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 32u * 7u);
+}
+
+TEST(InlineCallback, MoveTransfersAndEmptiesSource) {
+  int calls = 0;
+  InlineCallback a = [&calls] { ++calls; };
+  InlineCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+  InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineCallback, DestroysCaptureExactlyOnce) {
+  int alive = 0;
+  struct Probe {
+    int* alive;
+    explicit Probe(int* a) : alive(a) { ++*alive; }
+    Probe(const Probe& o) : alive(o.alive) { ++*alive; }
+    Probe(Probe&& o) noexcept : alive(o.alive) { ++*alive; }
+    ~Probe() { --*alive; }
+    void operator()() const {}
+  };
+  {
+    InlineCallback cb{Probe(&alive)};
+    EXPECT_GT(alive, 0);
+    InlineCallback moved = std::move(cb);
+    moved();
+  }
+  EXPECT_EQ(alive, 0);
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {

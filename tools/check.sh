@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
 # One-shot verification: configure, build, test, lint, and (optionally)
-# sanitizer builds.  Run from anywhere inside the repo.
+# sanitizer builds and the perf smoke.  Run from anywhere inside the
+# repo.  CI (.github/workflows/ci.yml) drives every job through this
+# script so a green local run means a green pipeline.
 #
 #   tools/check.sh              # build + ctest + eevfs-lint + clang-tidy*
 #   tools/check.sh --asan       # ... plus an ASan+UBSan build & test run
 #   tools/check.sh --tsan       # ... plus a TSan build of the thread-pool
 #                               #     stress test (EEVFS_TSAN=ON)
+#   tools/check.sh --perf       # ... plus bench/perf_smoke: emits
+#                               #     build/BENCH_perf.json and, when a
+#                               #     committed BENCH_perf.json baseline
+#                               #     exists, runs tools/perf_compare.py
+#                               #     (warn-only; see docs/perf.md)
+#   tools/check.sh --build-type Debug   # configure with another build type
 #   tools/check.sh --no-tidy    # skip clang-tidy even if installed
 #
 # *clang-tidy runs only on files changed vs the merge-base with the
@@ -18,24 +26,37 @@ cd "$(git rev-parse --show-toplevel 2>/dev/null || dirname "$0")/."
 RUN_ASAN=0
 RUN_TSAN=0
 RUN_TIDY=1
-for arg in "$@"; do
-  case "$arg" in
+RUN_PERF=0
+BUILD_TYPE=Release
+while [ $# -gt 0 ]; do
+  case "$1" in
     --asan) RUN_ASAN=1 ;;
     --tsan) RUN_TSAN=1 ;;
+    --perf) RUN_PERF=1 ;;
     --no-tidy) RUN_TIDY=0 ;;
-    *) echo "usage: tools/check.sh [--asan] [--tsan] [--no-tidy]" >&2; exit 2 ;;
+    --build-type)
+      shift
+      [ $# -gt 0 ] || { echo "--build-type needs a value" >&2; exit 2; }
+      BUILD_TYPE="$1"
+      ;;
+    *)
+      echo "usage: tools/check.sh [--asan] [--tsan] [--perf]" \
+           "[--build-type TYPE] [--no-tidy]" >&2
+      exit 2
+      ;;
   esac
+  shift
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 step() { printf '\n== %s ==\n' "$*"; }
 
-step "configure + build (build/)"
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+step "configure + build (build/, $BUILD_TYPE)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" > /dev/null
 cmake --build build -j "$JOBS"
 
-step "ctest (unit + obs + fault + lint + examples)"
+step "ctest (unit + obs + fault + lint + determinism + examples)"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 step "eevfs-lint (whole tree)"
@@ -76,6 +97,20 @@ if [ "$RUN_TSAN" = 1 ]; then
   cmake -B build-tsan -S . -DEEVFS_TSAN=ON > /dev/null
   cmake --build build-tsan --target test_thread_pool_stress -j "$JOBS"
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_thread_pool_stress
+fi
+
+if [ "$RUN_PERF" = 1 ]; then
+  step "perf smoke (build/BENCH_perf.json)"
+  GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  ./build/bench/perf_smoke --repeats 3 --git-rev "$GIT_REV" \
+    --out build/BENCH_perf.json
+  if [ -f BENCH_perf.json ]; then
+    step "perf regression check vs committed baseline (warn-only)"
+    python3 tools/perf_compare.py --baseline BENCH_perf.json \
+      --current build/BENCH_perf.json --warn-only
+  else
+    echo "no committed BENCH_perf.json baseline; skipping comparison"
+  fi
 fi
 
 step "all checks passed"

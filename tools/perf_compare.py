@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json files and fail on throughput regression.
+
+Usage:
+    tools/perf_compare.py --baseline BENCH_perf.json \
+        --current build/BENCH_perf.json [--threshold 0.20] [--warn-only]
+
+Exit status: 0 when every scenario's events_per_sec is within
+`threshold` (default 20%) of the baseline, 1 otherwise.  With
+--warn-only, regressions are printed but the exit status stays 0 —
+CI uses this on shared runners, where wall-clock noise makes a hard
+gate flaky (see docs/perf.md).
+
+Scenarios present in only one file are reported and, for a scenario
+missing from --current, treated as a regression (a deleted scenario
+must come with a baseline refresh).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "eevfs-perf-smoke/1":
+        raise SystemExit(f"{path}: unknown schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max allowed fractional drop in events_per_sec "
+                         "(default 0.20)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_rows = {r["scenario"]: r for r in base["results"]}
+    cur_rows = {r["scenario"]: r for r in cur["results"]}
+
+    print(f"baseline: {args.baseline} (rev {base.get('git_rev', '?')})")
+    print(f"current:  {args.current} (rev {cur.get('git_rev', '?')})")
+    print(f"{'scenario':<18} {'baseline ev/s':>14} {'current ev/s':>14} "
+          f"{'delta':>8}  verdict")
+
+    failed = []
+    for name, b in base_rows.items():
+        c = cur_rows.get(name)
+        if c is None:
+            print(f"{name:<18} {b['events_per_sec']:>14.3e} "
+                  f"{'missing':>14} {'-':>8}  REGRESSION (scenario gone)")
+            failed.append(name)
+            continue
+        b_eps = b["events_per_sec"]
+        c_eps = c["events_per_sec"]
+        delta = (c_eps - b_eps) / b_eps if b_eps > 0 else 0.0
+        regressed = delta < -args.threshold
+        verdict = "REGRESSION" if regressed else "ok"
+        print(f"{name:<18} {b_eps:>14.3e} {c_eps:>14.3e} "
+              f"{delta:>+7.1%}  {verdict}")
+        if regressed:
+            failed.append(name)
+    for name in cur_rows:
+        if name not in base_rows:
+            print(f"{name:<18} {'(new)':>14} "
+                  f"{cur_rows[name]['events_per_sec']:>14.3e} {'-':>8}  ok")
+
+    if failed:
+        kind = "warning" if args.warn_only else "error"
+        print(f"\n{kind}: {len(failed)} scenario(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failed)}")
+        if not args.warn_only:
+            return 1
+    else:
+        print(f"\nok: no scenario regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
