@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
       "fault_tolerance",
       {"faults", "replication", "joules", "dj_measured", "dj_modeled",
        "availability", "failed", "rerouted", "retried", "timed_out",
-       "writes_stranded", "mttr_s"});
+       "writes_stranded", "lost_acked", "mttr_s"});
   bench::banner("Fault tolerance (extension)",
                 "injected data-disk failures vs energy and availability",
                 "MU=1000, K=70, inter-arrival=700ms; faults uniform in "
@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
               CsvWriter::cell(av.retried_requests),
               CsvWriter::cell(av.timed_out_requests),
               CsvWriter::cell(av.writes_stranded),
+              CsvWriter::cell(av.lost_acked_writes),
               CsvWriter::cell(av.mttr_sec)});
   }
   std::printf(

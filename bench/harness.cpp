@@ -54,6 +54,25 @@ workload::Workload paper_workload(double data_mb, double mu,
   return workload::generate_synthetic(cfg);
 }
 
+workload::Workload with_writes(const workload::Workload& base,
+                               double write_fraction) {
+  workload::Workload w;
+  w.name = base.name + "+writes";
+  w.file_sizes = base.file_sizes;
+  std::size_t i = 0;
+  const auto period = write_fraction > 0.0
+                          ? static_cast<std::size_t>(1.0 / write_fraction)
+                          : std::size_t{0};
+  trace::Trace mixed;
+  for (const auto& r : base.requests.records()) {
+    trace::TraceRecord copy = r;
+    if (period > 0 && ++i % period == 0) copy.op = trace::Op::kWrite;
+    mixed.append(copy);
+  }
+  w.requests = std::move(mixed);
+  return w;
+}
+
 core::ClusterConfig paper_config(std::size_t prefetch_count) {
   core::ClusterConfig cfg;  // defaults model Table I
   cfg.prefetch_file_count = prefetch_count;

@@ -58,6 +58,11 @@ workload::Workload paper_workload(double data_mb = Defaults::kDataMb,
                                       Defaults::kInterArrivalMs,
                                   std::size_t requests = Defaults::kRequests);
 
+/// `base` with every (1/write_fraction)-th request turned into a write —
+/// the shared write-mixed workload of write_buffer and crash_recovery.
+workload::Workload with_writes(const workload::Workload& base,
+                               double write_fraction);
+
 /// The paper's testbed cluster (8 nodes, 2 data + 1 buffer disk each).
 core::ClusterConfig paper_config(std::size_t prefetch_count =
                                      Defaults::kPrefetch);

@@ -9,27 +9,6 @@
 
 using namespace eevfs;
 
-namespace {
-
-workload::Workload with_writes(const workload::Workload& base,
-                               double write_fraction) {
-  workload::Workload w;
-  w.name = base.name + "+writes";
-  w.file_sizes = base.file_sizes;
-  std::size_t i = 0;
-  const auto period = static_cast<std::size_t>(1.0 / write_fraction);
-  trace::Trace mixed;
-  for (const auto& r : base.requests.records()) {
-    trace::TraceRecord copy = r;
-    if (period > 0 && ++i % period == 0) copy.op = trace::Op::kWrite;
-    mixed.append(copy);
-  }
-  w.requests = std::move(mixed);
-  return w;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   bench::init(argc, argv);
   auto out = bench::open_output(
@@ -45,7 +24,7 @@ int main(int argc, char** argv) {
               "buffered");
   const auto base = bench::paper_workload();
   for (const double frac : {0.1, 0.25, 0.5}) {
-    const auto w = with_writes(base, frac);
+    const auto w = bench::with_writes(base, frac);
     for (const bool buffering : {true, false}) {
       core::ClusterConfig cfg = bench::paper_config();
       cfg.write_buffering = buffering;

@@ -5,6 +5,8 @@
 //         --system eevfs_pf --compare eevfs_npf   (one line)
 //   $ ./eevfs_cli --trace /path/to/trace.txt --system maid
 //   $ ./eevfs_cli --trace-out /tmp/run --report /tmp/run_report.json
+//   $ ./eevfs_cli --chaos-seed 7 --replication 2 --journal commit
+//   $ ./eevfs_cli --chaos-plan faults.txt --journal off
 //
 // Systems: eevfs_pf, eevfs_npf, maid, pdc, drpm, always_on, oracle.
 //
@@ -14,11 +16,13 @@
 // --report <path> writes the schema-versioned run report.
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "baseline/presets.hpp"
 #include "core/cluster.hpp"
 #include "core/run_report.hpp"
+#include "fault/fault_injector.hpp"
 #include "trace/io.hpp"
 #include "util/cli.hpp"
 #include "workload/synthetic.hpp"
@@ -51,6 +55,36 @@ void apply_overrides(const CliParser& cli, core::ClusterConfig& cfg) {
       cli.get_double("refresh-interval", cfg.refresh_interval_sec);
   cfg.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.journal_mode =
+      disk::parse_journal_mode(cli.get_or("journal", to_string(
+                                                         cfg.journal_mode)));
+  cfg.replication_degree = static_cast<std::size_t>(cli.get_int(
+      "replication", static_cast<std::int64_t>(cfg.replication_degree)));
+}
+
+// Chaos flags: --chaos-plan replays an explicit fault schedule from a
+// text file (see fault::parse_fault_plan for the grammar); --chaos-seed
+// derives a random crash/restart schedule over the workload's duration.
+// Both runs stay fully deterministic — same plan/seed, same timeline.
+void apply_chaos(const CliParser& cli, core::ClusterConfig& cfg,
+                 double horizon_sec) {
+  if (const auto path = cli.get("chaos-plan")) {
+    std::ifstream in(*path);
+    if (!in) {
+      throw std::invalid_argument("cannot open chaos plan: " + *path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    cfg.fault_plan = fault::parse_fault_plan(text.str());
+    return;
+  }
+  if (const auto seed = cli.get("chaos-seed")) {
+    cfg.fault_plan = fault::random_crash_schedule(
+        static_cast<std::uint64_t>(std::stoull(*seed)), horizon_sec,
+        cfg.num_storage_nodes,
+        static_cast<std::size_t>(cli.get_int("chaos-crashes", 2)),
+        cli.get_double("chaos-downtime", 30.0));
+  }
 }
 
 workload::Workload build_workload(const CliParser& cli) {
@@ -106,6 +140,15 @@ void print_run(const char* name, const core::RunMetrics& m,
   std::printf("  makespan %.1f s, duty cycles %.2f per disk-hour\n",
               ticks_to_seconds(m.makespan),
               m.duty_cycles_per_disk_hour(num_data_disks));
+  if (m.recovery.episodes > 0 || m.availability.lost_acked_writes > 0) {
+    std::printf("  recoveries %llu, mttr %.3f s, replayed %llu, "
+                "lost acked %llu\n",
+                static_cast<unsigned long long>(m.recovery.episodes),
+                m.recovery.mean_mttr_sec(),
+                static_cast<unsigned long long>(m.recovery.replayed_writes),
+                static_cast<unsigned long long>(
+                    m.availability.lost_acked_writes));
+  }
 }
 
 }  // namespace
@@ -130,6 +173,12 @@ int main(int argc, char** argv) {
   cli.add_flag("online", "learn popularity online (bool)", "false");
   cli.add_flag("refresh-interval", "online refresh seconds", "60");
   cli.add_flag("seed", "workload seed", "42");
+  cli.add_flag("journal", "write journal: off | commit | checkpoint");
+  cli.add_flag("replication", "copies of every file", "1");
+  cli.add_flag("chaos-seed", "random node crash/restart schedule seed");
+  cli.add_flag("chaos-crashes", "crash count with --chaos-seed", "2");
+  cli.add_flag("chaos-downtime", "seconds down with --chaos-seed", "30");
+  cli.add_flag("chaos-plan", "fault schedule file (overrides --chaos-seed)");
   cli.add_flag("trace-out", "record events; write <prefix>.trace.{jsonl,json,bin}");
   cli.add_flag("trace-cats", "trace category filter (e.g. disk,power)", "all");
   cli.add_flag("report", "write a run_report.json to this path");
@@ -157,6 +206,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     apply_overrides(cli, *cfg);
+    apply_chaos(cli, *cfg, ticks_to_seconds(w.requests.duration()));
     const auto trace_out = cli.get("trace-out");
     if (trace_out) {
       cfg->trace.enabled = true;
@@ -173,6 +223,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       apply_overrides(cli, *base_cfg);
+      apply_chaos(cli, *base_cfg, ticks_to_seconds(w.requests.duration()));
       core::Cluster cluster(*base_cfg);
       baseline = cluster.run(w);
       have_baseline = true;

@@ -21,6 +21,12 @@ void Cluster::build(const workload::Workload& workload) {
   // enabled — RunMetrics must be independent of trace state.
   hist_queue_wait_ = &registry_->histogram("disk.queue_wait.us");
   hist_req_latency_ = &registry_->histogram("client.request_latency.us");
+  // Recovery-phase histograms are part of the stable name universe too:
+  // registered on every run, zero-sample on fault-free ones.
+  recovery_hists_.mttr_us = &registry_->histogram("recovery.mttr.us");
+  recovery_hists_.replay_us = &registry_->histogram("recovery.replay_time.us");
+  recovery_hists_.resync_us = &registry_->histogram("recovery.resync_time.us");
+  recovery_hists_.rewarm_us = &registry_->histogram("recovery.rewarm_time.us");
   ev_client_request_ = tracer_->intern("client.request");
   net_ = std::make_unique<net::NetworkFabric>(*sim_);
   net_->set_observer(tracer_.get());
@@ -61,6 +67,10 @@ void Cluster::build(const workload::Workload& workload) {
     params.max_io_retries = config_.max_disk_io_retries;
     params.io_retry_backoff = milliseconds_to_ticks(config_.disk_io_backoff_ms);
     params.io_deadline = seconds_to_ticks(config_.disk_io_deadline_sec);
+    params.journal.mode = config_.journal_mode;
+    params.journal.header_bytes =
+        static_cast<Bytes>(config_.journal_header_kb * 1024.0);
+    params.journal.checkpoint_every = config_.journal_checkpoint_every;
     nodes_.push_back(
         std::make_unique<StorageNode>(*sim_, *net_, ep, params));
     nodes_.back()->set_observer(tracer_.get(), hist_queue_wait_);
@@ -101,6 +111,12 @@ void Cluster::build(const workload::Workload& workload) {
   if (!config_.fault_plan.empty()) {
     injector_ =
         std::make_unique<fault::FaultInjector>(*sim_, config_.fault_plan);
+    std::vector<StorageNode*> node_ptrs;
+    node_ptrs.reserve(nodes_.size());
+    for (auto& n : nodes_) node_ptrs.push_back(n.get());
+    recovery_ = std::make_unique<RecoveryManager>(
+        *sim_, *server_, std::move(node_ptrs), config_.recovery_rewarm);
+    recovery_->set_observer(tracer_.get(), recovery_hists_);
     fault::FaultInjector::Targets targets;
     targets.disk_of = [this](std::size_t node, bool buffer_disk,
                              std::size_t d) -> disk::DiskModel* {
@@ -113,10 +129,15 @@ void Cluster::build(const workload::Workload& workload) {
       return d < sn.num_data_disks() ? &sn.mutable_data_disk(d) : nullptr;
     };
     targets.crash_node = [this](std::size_t node) {
-      if (node < nodes_.size()) nodes_[node]->crash();
+      if (node >= nodes_.size()) return;
+      nodes_[node]->crash();
+      recovery_->on_crash(node);
     };
     targets.restart_node = [this](std::size_t node) {
-      if (node < nodes_.size()) nodes_[node]->restart();
+      // The recovery manager owns the restart lifecycle: it brings the
+      // node back and then runs journal replay -> replica resync ->
+      // prefetch re-warm, timing each phase.
+      if (node < nodes_.size()) recovery_->on_restart(node);
     };
     injector_->set_observer(tracer_.get());
     injector_->arm(net_.get(), std::move(targets));
@@ -142,6 +163,9 @@ RunMetrics Cluster::run(const workload::Workload& workload) {
       prefetching
           ? server_->prefetch_candidates(config_.prefetch_file_count)
           : std::vector<std::vector<trace::FileId>>(nodes_.size());
+  // The recovery pipeline re-warms the same slices after a crash wipes a
+  // node's buffer index (empty slices in NPF/online mode: no-op phase).
+  if (recovery_) recovery_->set_rewarm_candidates(candidates);
 
   auto barrier = std::make_shared<std::size_t>(nodes_.size());
   sim_->schedule_at(0, [this, &workload, candidates, barrier] {
@@ -337,6 +361,7 @@ void Cluster::finish_run() {
     av.buffer_fallback_reads += nm.buffer_fallback_reads;
     av.buffered_rescues += nm.buffered_rescues;
     av.writes_stranded += nm.writes_stranded;
+    av.lost_acked_writes += nm.lost_acked_writes;
     av.fault_energy_delta += nm.fault_energy_delta;
     metrics_.per_node.push_back(std::move(nm));
   }
@@ -355,6 +380,7 @@ void Cluster::finish_run() {
   av.degraded_ticks = server_->degraded_ticks();
   av.recovery_episodes = server_->recovery_episodes();
   av.mttr_sec = server_->mttr_sec();
+  if (recovery_) metrics_.recovery = recovery_->metrics();
   snapshot_counters();
   EEVFS_INFO() << "run finished: " << metrics_.summary();
 }
@@ -447,6 +473,31 @@ void Cluster::snapshot_counters() {
       .add(injector_ ? injector_->faults_misaddressed() : 0);
   reg.counter("fault.messages_dropped.count")
       .add(injector_ ? injector_->messages_dropped() : 0);
+  reg.counter("fault.lost_acked_writes.count")
+      .add(metrics_.availability.lost_acked_writes);
+
+  const RecoveryMetrics& rec = metrics_.recovery;
+  reg.counter("recovery.episodes.count").add(rec.episodes);
+  reg.counter("recovery.replayed_writes.count").add(rec.replayed_writes);
+  reg.counter("recovery.resynced_files.count").add(rec.resynced_files);
+  reg.counter("recovery.rewarmed_files.count").add(rec.rewarmed_files);
+  reg.counter("recovery.episodes_abandoned.count")
+      .add(recovery_ ? recovery_->episodes_abandoned() : 0);
+
+  std::uint64_t j_appends = 0, j_checkpoints = 0, j_truncated = 0;
+  std::uint64_t j_scan_bytes = 0;
+  for (const auto& node : nodes_) {
+    if (const disk::WriteJournal* j = node->journal()) {
+      j_appends += j->appends();
+      j_checkpoints += j->checkpoints();
+      j_truncated += j->truncated_records();
+      j_scan_bytes += j->replay_scan_bytes();
+    }
+  }
+  reg.counter("journal.appends.count").add(j_appends);
+  reg.counter("journal.checkpoints.count").add(j_checkpoints);
+  reg.counter("journal.truncated_records.count").add(j_truncated);
+  reg.counter("journal.replay_scan.bytes").add(j_scan_bytes);
 
   reg.counter("server.requests_routed.count").add(server_->requests_routed());
   reg.counter("server.requests_rerouted.count")

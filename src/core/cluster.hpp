@@ -25,6 +25,7 @@
 #include "core/client.hpp"
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "core/recovery_manager.hpp"
 #include "core/storage_node.hpp"
 #include "core/storage_server.hpp"
 #include "fault/fault_injector.hpp"
@@ -57,6 +58,8 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   /// Null on fault-free runs.
   const fault::FaultInjector* injector() const { return injector_.get(); }
+  /// Null on fault-free runs (armed alongside the injector).
+  const RecoveryManager* recovery() const { return recovery_.get(); }
 
   /// The run's event tracer (configured from config.trace; empty when
   /// tracing was disabled).  Valid after run(); use its write_jsonl /
@@ -99,6 +102,8 @@ class Cluster {
   std::vector<std::unique_ptr<StorageNode>> nodes_;
   std::vector<Client> clients_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  RecoveryManager::Histograms recovery_hists_;
 
   std::size_t responses_outstanding_ = 0;
   bool all_issued_ = false;

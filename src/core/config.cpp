@@ -112,6 +112,14 @@ void ClusterConfig::validate() const {
         "ClusterConfig: network drops require request_timeout_sec > 0 "
         "(dropped requests would strand the run)");
   }
+  if (journal_header_kb <= 0.0) {
+    throw std::invalid_argument(
+        "ClusterConfig: journal_header_kb must be positive");
+  }
+  if (journal_checkpoint_every == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: journal_checkpoint_every must be >= 1");
+  }
 }
 
 }  // namespace eevfs::core

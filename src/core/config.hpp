@@ -11,6 +11,7 @@
 #include <string>
 
 #include "disk/disk_profile.hpp"
+#include "disk/write_journal.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/tracer.hpp"
 #include "util/units.hpp"
@@ -147,6 +148,25 @@ struct ClusterConfig {
   std::size_t heartbeat_miss_threshold = 3;
   /// The fault schedule for this run (empty = fault-free, zero cost).
   fault::FaultPlan fault_plan;
+
+  // --- durability / crash recovery (robustness extension) --------------
+  /// Write-ahead journal for the buffer-disk write buffer: a commit
+  /// header is appended to the log after the payload lands and before the
+  /// write is acked, so a crash-stopped node can rebuild its destage
+  /// queue on restart.  kOff reproduces the lossy pre-journal behaviour
+  /// (acked buffered writes die with the node's RAM index); kCommit
+  /// truncates the log only when it drains; kCheckpoint adds a durable
+  /// checkpoint record every `journal_checkpoint_every` destages, paying
+  /// steady-state I/O for a shorter replay.
+  disk::JournalMode journal_mode = disk::JournalMode::kCommit;
+  /// Size of one journal commit-header append, in KB.
+  double journal_header_kb = 4.0;
+  /// Destages between durable checkpoints (kCheckpoint only).
+  std::size_t journal_checkpoint_every = 8;
+  /// Recovery pipeline: after journal replay + replica resync, re-copy
+  /// the node's prefetch slice back onto the buffer disk (the crash wiped
+  /// the RAM index, so every buffered file was lost to the cache).
+  bool recovery_rewarm = true;
 
   /// Structured event tracing (src/obs).  Disabled by default; enabling
   /// it never changes RunMetrics — tests/test_obs.cpp enforces that.

@@ -42,6 +42,17 @@ std::string RunMetrics::summary() const {
         static_cast<unsigned long long>(availability.retried_requests),
         static_cast<unsigned long long>(availability.rerouted_requests));
   }
+  if (recovery.episodes > 0 || availability.lost_acked_writes > 0) {
+    s += format(
+        ", recoveries=%llu mttr=%.3f s replayed=%llu resynced=%llu "
+        "rewarmed=%llu lost_acked=%llu",
+        static_cast<unsigned long long>(recovery.episodes),
+        recovery.mean_mttr_sec(),
+        static_cast<unsigned long long>(recovery.replayed_writes),
+        static_cast<unsigned long long>(recovery.resynced_files),
+        static_cast<unsigned long long>(recovery.rewarmed_files),
+        static_cast<unsigned long long>(availability.lost_acked_writes));
+  }
   return s;
 }
 

@@ -52,6 +52,12 @@ struct AvailabilityMetrics {
   std::uint64_t buffer_fallback_reads = 0;  // buffer disk dead -> data disks
   std::uint64_t buffered_rescues = 0;    // data disk dead -> buffered copy
   std::uint64_t writes_stranded = 0;     // destages dropped on a dead disk
+  /// Acknowledged buffered writes lost to a node crash (the RAM index of
+  /// the write buffer died with the node and no journal could rebuild
+  /// it).  Distinct from writes_stranded: stranding is degraded-mode
+  /// destage loss on a dead *disk*; this is crash-stop loss of the
+  /// *node*.  Zero whenever the write journal is on.
+  std::uint64_t lost_acked_writes = 0;
   Tick degraded_ticks = 0;               // any node marked dead by health
   std::uint64_t recovery_episodes = 0;   // dead -> alive transitions seen
   double mttr_sec = 0.0;                 // mean time to recovery
@@ -92,11 +98,35 @@ struct NodeMetrics {
   std::uint64_t buffered_rescues = 0;
   std::uint64_t failed_serves = 0;
   std::uint64_t writes_stranded = 0;
+  std::uint64_t lost_acked_writes = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_replayed = 0;
   std::uint64_t disks_failed = 0;
   Joules fault_energy_delta = 0.0;
 
   Joules total_joules() const { return disk_joules + base_joules; }
   std::uint64_t power_transitions() const { return spin_ups + spin_downs; }
+};
+
+/// Crash-recovery accounting for one run (all zeros when no node-crash
+/// faults were scheduled).  Per-phase sim-time totals are summed over the
+/// completed recovery episodes; the per-episode distribution lands in the
+/// recovery.*.us histograms of RunMetrics::counters.
+struct RecoveryMetrics {
+  std::uint64_t episodes = 0;          // completed restart pipelines
+  std::uint64_t replayed_writes = 0;   // journal records re-queued
+  std::uint64_t resynced_files = 0;    // files re-pulled from replicas
+  std::uint64_t rewarmed_files = 0;    // prefetch copies restored
+  Tick replay_ticks = 0;
+  Tick resync_ticks = 0;
+  Tick rewarm_ticks = 0;
+  Tick mttr_ticks = 0;                 // crash -> pipeline-complete, summed
+
+  double mean_mttr_sec() const {
+    return episodes == 0 ? 0.0
+                         : ticks_to_seconds(mttr_ticks) /
+                               static_cast<double>(episodes);
+  }
 };
 
 struct RunMetrics {
@@ -124,6 +154,9 @@ struct RunMetrics {
 
   // --- availability (tentpole: fault injection / degraded mode) --------
   AvailabilityMetrics availability;
+
+  // --- crash recovery (robustness extension) ---------------------------
+  RecoveryMetrics recovery;
 
   // --- observability ---------------------------------------------------
   /// Deterministic snapshot of the run's metric registry, sorted by name

@@ -1,0 +1,190 @@
+#include "core/recovery_manager.hpp"
+
+#include "util/logging.hpp"
+
+namespace eevfs::core {
+
+RecoveryManager::RecoveryManager(sim::Simulator& sim, StorageServer& server,
+                                 std::vector<StorageNode*> nodes,
+                                 bool rewarm_enabled)
+    : sim_(sim),
+      server_(server),
+      nodes_(std::move(nodes)),
+      rewarm_enabled_(rewarm_enabled) {
+  state_.assign(nodes_.size(), NodeState{});
+  rewarm_candidates_.assign(nodes_.size(), {});
+  ep_replayed_.assign(nodes_.size(), 0);
+  ep_resynced_.assign(nodes_.size(), 0);
+  ep_replay_ticks_.assign(nodes_.size(), 0);
+  ep_resync_ticks_.assign(nodes_.size(), 0);
+}
+
+void RecoveryManager::set_rewarm_candidates(
+    std::vector<std::vector<trace::FileId>> per_node) {
+  rewarm_candidates_ = std::move(per_node);
+  rewarm_candidates_.resize(nodes_.size());
+}
+
+void RecoveryManager::set_observer(obs::Tracer* tracer, Histograms hists) {
+  tracer_ = tracer;
+  hists_ = hists;
+  if (tracer_) {
+    track_ = tracer_->intern("recovery");
+    ev_begin_ = tracer_->intern("recovery.begin");
+    ev_replay_ = tracer_->intern("recovery.replay");
+    ev_resync_ = tracer_->intern("recovery.resync");
+    ev_rewarm_ = tracer_->intern("recovery.rewarm");
+    ev_complete_ = tracer_->intern("recovery.complete");
+  }
+}
+
+void RecoveryManager::trace_instant(obs::StringId ev, NodeId n,
+                                    std::int64_t value) {
+  if (tracer_ && tracer_->wants(obs::kCatRecovery)) {
+    tracer_->instant(sim_.now(), obs::kCatRecovery, obs::TraceLevel::kInfo, ev,
+                     track_, 0, static_cast<std::int64_t>(n), value);
+  }
+}
+
+void RecoveryManager::on_crash(NodeId n) {
+  if (n >= state_.size()) return;
+  NodeState& st = state_[n];
+  ++st.generation;  // invalidates any pipeline still in flight
+  st.crash_time = sim_.now();
+  if (st.recovering) {
+    ++abandoned_;
+    st.recovering = false;
+  }
+}
+
+void RecoveryManager::on_restart(NodeId n) {
+  if (n >= state_.size()) return;
+  StorageNode* node = nodes_[n];
+  if (node->alive()) return;
+  NodeState& st = state_[n];
+  const std::uint64_t gen = st.generation;
+  st.recovering = true;
+  node->restart();
+  trace_instant(ev_begin_, n, 0);
+  const Tick t0 = sim_.now();
+  node->replay_journal([this, n, gen, t0](std::size_t replayed) {
+    if (gen != state_[n].generation) return;
+    ep_replayed_[n] = replayed;
+    ep_replay_ticks_[n] = sim_.now() - t0;
+    trace_instant(ev_replay_, n, static_cast<std::int64_t>(replayed));
+    begin_resync(n, gen, replayed, sim_.now());
+  });
+}
+
+void RecoveryManager::begin_resync(NodeId n, std::uint64_t gen,
+                                   std::size_t /*replayed*/,
+                                   Tick replay_done) {
+  // The server hands over (and forgets) the files whose latest write
+  // landed elsewhere while this node was out.
+  std::vector<trace::FileId> files = server_.take_stale_files(n);
+  resync_next(n, gen, std::move(files), 0, 0, replay_done);
+}
+
+void RecoveryManager::resync_next(NodeId n, std::uint64_t gen,
+                                  std::vector<trace::FileId> files,
+                                  std::size_t idx, std::size_t ok,
+                                  Tick resync_start) {
+  if (gen != state_[n].generation) return;
+  if (idx >= files.size()) {
+    ep_resynced_[n] = ok;
+    ep_resync_ticks_[n] = sim_.now() - resync_start;
+    trace_instant(ev_resync_, n, static_cast<std::int64_t>(ok));
+    begin_rewarm(n, gen, sim_.now());
+    return;
+  }
+  StorageNode* node = nodes_[n];
+  const trace::FileId f = files[idx];
+  StorageNode* source = source_for(n, f);
+  if (source == nullptr) {
+    // Every other replica is down too; the copy stays stale.  The server
+    // routes reads to the freshest replica it can reach, so this is a
+    // durability gap only while the outage lasts.
+    resync_next(n, gen, std::move(files), idx + 1, ok, resync_start);
+    return;
+  }
+  // Pull the file image over the fabric from the healthy replica, then
+  // write it down onto the local stripe set.  Serial on purpose: recovery
+  // traffic should trickle, not storm a cluster that is already degraded.
+  source->serve_read(
+      f, node->endpoint(),
+      [this, n, gen, f, files = std::move(files), idx, ok,
+       resync_start](Tick, RequestStatus st) mutable {
+        if (gen != state_[n].generation) return;
+        if (!request_ok(st)) {
+          resync_next(n, gen, std::move(files), idx + 1, ok, resync_start);
+          return;
+        }
+        nodes_[n]->resync_write(
+            f, [this, n, gen, files = std::move(files), idx, ok,
+                resync_start](Tick, bool wrote) mutable {
+              if (gen != state_[n].generation) return;
+              resync_next(n, gen, std::move(files), idx + 1,
+                          ok + (wrote ? 1 : 0), resync_start);
+            });
+      });
+}
+
+void RecoveryManager::begin_rewarm(NodeId n, std::uint64_t gen,
+                                   Tick rewarm_start) {
+  if (!rewarm_enabled_) {
+    finish_episode(n, gen, 0, rewarm_start);
+    return;
+  }
+  nodes_[n]->rewarm_prefetch(
+      rewarm_candidates_[n],
+      [this, n, gen, rewarm_start](std::size_t rewarmed) {
+        if (gen != state_[n].generation) return;
+        trace_instant(ev_rewarm_, n, static_cast<std::int64_t>(rewarmed));
+        finish_episode(n, gen, rewarmed, rewarm_start);
+      });
+}
+
+void RecoveryManager::finish_episode(NodeId n, std::uint64_t gen,
+                                     std::size_t rewarmed, Tick rewarm_start) {
+  NodeState& st = state_[n];
+  if (gen != st.generation) return;
+  st.recovering = false;
+  const Tick mttr = sim_.now() - st.crash_time;
+  const Tick rewarm_ticks = sim_.now() - rewarm_start;
+  ++metrics_.episodes;
+  metrics_.replayed_writes += ep_replayed_[n];
+  metrics_.resynced_files += ep_resynced_[n];
+  metrics_.rewarmed_files += rewarmed;
+  metrics_.replay_ticks += ep_replay_ticks_[n];
+  metrics_.resync_ticks += ep_resync_ticks_[n];
+  metrics_.rewarm_ticks += rewarm_ticks;
+  metrics_.mttr_ticks += mttr;
+  if (hists_.mttr_us) hists_.mttr_us->record(static_cast<std::uint64_t>(mttr));
+  if (hists_.replay_us) {
+    hists_.replay_us->record(static_cast<std::uint64_t>(ep_replay_ticks_[n]));
+  }
+  if (hists_.resync_us) {
+    hists_.resync_us->record(static_cast<std::uint64_t>(ep_resync_ticks_[n]));
+  }
+  if (hists_.rewarm_us) {
+    hists_.rewarm_us->record(static_cast<std::uint64_t>(rewarm_ticks));
+  }
+  trace_instant(ev_complete_, n, static_cast<std::int64_t>(mttr));
+  EEVFS_DEBUG() << "node " << n << ": recovery complete at t="
+                << ticks_to_seconds(sim_.now()) << " (mttr="
+                << ticks_to_seconds(mttr) << "s, replayed="
+                << ep_replayed_[n] << ", resynced=" << ep_resynced_[n]
+                << ", rewarmed=" << rewarmed << ")";
+}
+
+StorageNode* RecoveryManager::source_for(NodeId n, trace::FileId f) const {
+  const auto entry = server_.mutable_metadata().lookup(f);
+  if (!entry) return nullptr;
+  for (const NodeId r : entry->replicas) {
+    if (r == n || r >= nodes_.size()) continue;
+    if (nodes_[r]->alive() && !server_.node_dead(r)) return nodes_[r];
+  }
+  return nullptr;
+}
+
+}  // namespace eevfs::core

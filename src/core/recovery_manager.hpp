@@ -1,0 +1,115 @@
+// Recovery pipeline for crash-stopped storage nodes (robustness
+// extension).  A crash kills a node's service process: the RAM-held
+// buffer index, destage queue, and journal marks die with it, while the
+// platters survive.  When the fault schedule restarts the node, this
+// manager drives the rejoin lifecycle:
+//
+//   phase 1  journal replay  — scan the buffer-disk log, re-queue every
+//                              acked-but-undestaged write (idempotent)
+//   phase 2  replica resync  — pull files whose latest write landed on a
+//                              failover replica while the node was out
+//   phase 3  prefetch re-warm — re-copy the node's prefetch slice onto
+//                              the buffer disk (optional, config-gated)
+//
+// Each phase is timed on the simulation clock; per-episode durations land
+// in the recovery.*.us histograms and the totals in RunMetrics::recovery.
+// MTTR here is crash-to-pipeline-complete — the node serves requests
+// again right after restart() (degraded: cold cache, stale files), so
+// this is "time to fully healed", a stricter bar than the server's
+// heartbeat-observed dead time.
+//
+// A node that crashes again mid-recovery abandons the episode: every
+// continuation carries the generation it started under and no-ops when a
+// newer crash bumped it.  The next restart begins a fresh pipeline (the
+// journal still holds anything the dead one did not finish).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/storage_node.hpp"
+#include "core/storage_server.hpp"
+#include "obs/counters.hpp"
+#include "obs/tracer.hpp"
+#include "sim/engine.hpp"
+
+namespace eevfs::core {
+
+class RecoveryManager {
+ public:
+  /// Per-episode duration histograms (microsecond samples); any pointer
+  /// may be null.  Registered by the owner so the metric name universe
+  /// stays in one place (Cluster::build).
+  struct Histograms {
+    obs::Histogram* mttr_us = nullptr;
+    obs::Histogram* replay_us = nullptr;
+    obs::Histogram* resync_us = nullptr;
+    obs::Histogram* rewarm_us = nullptr;
+  };
+
+  RecoveryManager(sim::Simulator& sim, StorageServer& server,
+                  std::vector<StorageNode*> nodes, bool rewarm_enabled);
+
+  /// The per-node prefetch slices (rank order) phase 3 restores; empty
+  /// when prefetching is off.
+  void set_rewarm_candidates(std::vector<std::vector<trace::FileId>> per_node);
+
+  void set_observer(obs::Tracer* tracer, Histograms hists);
+
+  /// Fault-injector hooks.  on_crash stamps the episode clock and
+  /// invalidates any recovery already running for `n`; on_restart brings
+  /// the node back and runs the three-phase pipeline.
+  void on_crash(NodeId n);
+  void on_restart(NodeId n);
+
+  const RecoveryMetrics& metrics() const { return metrics_; }
+  /// Episodes abandoned because the node crashed again mid-recovery.
+  std::uint64_t episodes_abandoned() const { return abandoned_; }
+
+ private:
+  struct NodeState {
+    Tick crash_time = 0;
+    /// Bumped at every crash; stale pipeline continuations compare.
+    std::uint64_t generation = 0;
+    bool recovering = false;
+  };
+
+  void begin_resync(NodeId n, std::uint64_t gen, std::size_t replayed,
+                    Tick replay_done);
+  void resync_next(NodeId n, std::uint64_t gen,
+                   std::vector<trace::FileId> files, std::size_t idx,
+                   std::size_t ok, Tick resync_start);
+  void begin_rewarm(NodeId n, std::uint64_t gen, Tick rewarm_start);
+  void finish_episode(NodeId n, std::uint64_t gen, std::size_t rewarmed,
+                      Tick rewarm_start);
+  /// First alive replica of `f` other than `n`, or null.
+  StorageNode* source_for(NodeId n, trace::FileId f) const;
+  void trace_instant(obs::StringId ev, NodeId n, std::int64_t value);
+
+  sim::Simulator& sim_;
+  StorageServer& server_;
+  std::vector<StorageNode*> nodes_;
+  bool rewarm_enabled_ = true;
+  std::vector<std::vector<trace::FileId>> rewarm_candidates_;
+  std::vector<NodeState> state_;
+
+  RecoveryMetrics metrics_;
+  std::uint64_t abandoned_ = 0;
+  // Scratch carried across one node's phases (indexed like state_).
+  std::vector<std::size_t> ep_replayed_;
+  std::vector<std::size_t> ep_resynced_;
+  std::vector<Tick> ep_replay_ticks_;
+  std::vector<Tick> ep_resync_ticks_;
+
+  Histograms hists_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::StringId track_ = 0;
+  obs::StringId ev_begin_ = 0;
+  obs::StringId ev_replay_ = 0;
+  obs::StringId ev_resync_ = 0;
+  obs::StringId ev_rewarm_ = 0;
+  obs::StringId ev_complete_ = 0;
+};
+
+}  // namespace eevfs::core

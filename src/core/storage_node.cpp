@@ -32,7 +32,13 @@ StorageNode::StorageNode(sim::Simulator& sim, net::NetworkFabric& net,
                static_cast<Bytes>(buffer_disks_.size());
   }
   if (!buffer_disks_.empty()) {
+    buffer_capacity_ = capacity;
     buffer_ = std::make_unique<BufferManager>(capacity);
+    std::vector<disk::DiskModel*> media;
+    media.reserve(buffer_disks_.size());
+    for (auto& b : buffer_disks_) media.push_back(b.get());
+    journal_ = std::make_unique<disk::WriteJournal>(sim_, params_.journal,
+                                                    std::move(media));
   }
 
   std::vector<disk::DiskModel*> managed;
@@ -194,14 +200,17 @@ void StorageNode::submit_with_retry(
     Tick issued, std::size_t attempt,
     std::function<void(Tick, disk::IoStatus)> done,
     std::size_t power_managed_disk) {
+  const std::uint64_t ep = epoch_;
   disk::DiskRequest req;
   req.bytes = bytes;
   req.sequential = sequential;
   req.is_write = is_write;
   req.on_complete = [this, target, bytes, sequential, is_write, issued,
-                     attempt, done = std::move(done)](
+                     attempt, ep, done = std::move(done)](
                         Tick t, disk::IoStatus st) mutable {
-    if (st == disk::IoStatus::kMediaError &&
+    // A crashed process issues no retries; the final status falls
+    // through to `done`, whose own epoch guard drops the state effects.
+    if (ep == epoch_ && st == disk::IoStatus::kMediaError &&
         attempt < params_.max_io_retries) {
       // Exponential backoff, bounded by the per-I/O deadline.
       const Tick backoff = params_.io_retry_backoff
@@ -278,9 +287,17 @@ void StorageNode::copy_into_buffer(trace::FileId f,
     sim_.schedule_after(0, std::move(done));
     return;
   }
+  // `done` is control flow (prefetch barriers wait on it) and must fire
+  // even if the node crashes mid-copy; the state effects are what the
+  // epoch guard drops.
+  const std::uint64_t ep = epoch_;
   stripe_io(lf, bytes, /*is_write=*/false, /*notify_power_manager=*/false,
-            [this, f, bytes, done = std::move(done)](Tick,
-                                                     disk::IoStatus read_st) {
+            [this, f, bytes, ep, done = std::move(done)](
+                Tick, disk::IoStatus read_st) {
+              if (ep != epoch_) {
+                done();
+                return;
+              }
               const auto bd =
                   healthy_buffer_disk(buffered_count_ % buffer_disks_.size());
               if (read_st != disk::IoStatus::kOk || !bd) {
@@ -293,8 +310,12 @@ void StorageNode::copy_into_buffer(trace::FileId f,
               write.bytes = bytes;
               write.sequential = true;  // buffer disks are log-structured
               write.is_write = true;
-              write.on_complete = [this, f, bytes, bd = *bd,
+              write.on_complete = [this, f, bytes, ep, bd = *bd,
                                    done](Tick, disk::IoStatus write_st) {
+                if (ep != epoch_) {
+                  done();
+                  return;
+                }
                 if (write_st != disk::IoStatus::kOk) {
                   buffer_->erase(f);
                   done();
@@ -385,6 +406,7 @@ void StorageNode::on_data_disk_failed(std::size_t d) {
   for (const PendingWrite& w : dropped) {
     if (buffer_) buffer_->release_write(w.bytes);
     ++writes_stranded_;
+    retire_destage(w);
     backlog_sub(w.bytes);
   }
   if (!dropped.empty()) {
@@ -415,15 +437,154 @@ Joules StorageNode::degraded_read_energy_estimate(Bytes bytes) const {
 }
 
 void StorageNode::crash() {
+  if (!alive_) return;
   alive_ = false;
+  ++epoch_;
+  // Every open serve dies with the process: settle each with a typed
+  // connection-reset on the next tick.  The disk I/O it was waiting on
+  // still completes at media level, but the stale epoch drops its
+  // effects on node state.
+  auto open = std::move(open_serves_);
+  open_serves_.clear();
+  for (auto& [id, cb] : open) {
+    ++failed_serves_;
+    sim_.schedule_after(1, [this, cb = std::move(cb)] {
+      cb(sim_.now(), RequestStatus::kNodeUnavailable);
+    });
+  }
+  // Acked writes still parked on the buffer disk: without a journal the
+  // RAM index was the only map of the parking lot — they are lost.
+  if (!journal_ || !journal_->enabled()) {
+    lost_acked_writes_ += undestaged_acked_;
+  }
+  undestaged_acked_ = 0;
+  for (auto& q : pending_writes_) q.clear();
+  flush_in_progress_.assign(data_disks_.size(), false);
+  destages_in_flight_ = 0;
+  destage_backlog_ = 0;
+  live_lsns_.clear();
+  copies_in_flight_.clear();
+  if (journal_) journal_->crash();
+  // The buffer-manager index is RAM: rebuild it empty and forget every
+  // buffered flag.  The platter bytes survive but are unreachable
+  // without the index — re-warm re-copies what matters.
+  if (buffer_) {
+    buffer_ = std::make_unique<BufferManager>(buffer_capacity_);
+    for (auto& [f, m] : meta_) m.buffered = false;
+  }
+  // Data-disk power management keeps running: the crash kills the file
+  // service, not the shelf — firmware DPM stays powered.
+  notify_flush_waiters();
   EEVFS_DEBUG() << "node " << params_.id << ": crashed at t="
                 << ticks_to_seconds(sim_.now());
 }
 
 void StorageNode::restart() {
+  if (alive_) return;
   alive_ = true;
   EEVFS_DEBUG() << "node " << params_.id << ": restarted at t="
                 << ticks_to_seconds(sim_.now());
+}
+
+void StorageNode::replay_journal(std::function<void(std::size_t)> done) {
+  if (!done) done = [](std::size_t) {};
+  if (!alive_ || !journal_ || !journal_->enabled() || !buffer_) {
+    sim_.schedule_after(0, [done = std::move(done)] { done(0); });
+    return;
+  }
+  const std::uint64_t ep = epoch_;
+  journal_->replay([this, ep, done = std::move(done)](
+                       Tick, disk::IoStatus st,
+                       std::vector<disk::JournalRecord> records) {
+    if (ep != epoch_) return;  // re-crashed mid-scan; next restart retries
+    if (st != disk::IoStatus::kOk) {
+      // Log disk unreadable: the records stay durable in the journal for
+      // a later replay attempt; nothing to re-queue now.
+      done(0);
+      return;
+    }
+    std::size_t replayed = 0;
+    for (const disk::JournalRecord& rec : records) {
+      if (live_lsns_.contains(rec.lsn)) continue;  // idempotent re-replay
+      const trace::FileId f = rec.file;
+      if (meta_.find(f) == nullptr) continue;
+      if (!buffer_->reserve_write(rec.bytes)) {
+        // No room to re-stage (cannot happen on a fresh index); leave
+        // the record durable rather than dropping it silently.
+        continue;
+      }
+      live_lsns_.insert(rec.lsn);
+      pending_writes_[rec.data_disk].push_back(
+          PendingWrite{f, rec.bytes, rec.buffer_disk, rec.lsn});
+      backlog_add(rec.bytes);
+      ++undestaged_acked_;
+      ++replayed;
+    }
+    journal_replayed_ += replayed;
+    // Spinning disks can start destaging right away; sleeping ones pick
+    // the queue up on their next wake (or the end-of-run drain).
+    for (std::size_t d = 0; d < data_disks_.size(); ++d) {
+      if (disk::is_spun_up(data_disks_[d]->state())) maybe_flush(d);
+    }
+    done(replayed);
+  });
+}
+
+void StorageNode::resync_write(trace::FileId f,
+                               std::function<void(Tick, bool)> done) {
+  if (!done) done = [](Tick, bool) {};
+  const LocalFileMeta* m = meta_.find(f);
+  if (!alive_ || m == nullptr || !stripe_set_alive(*m)) {
+    sim_.schedule_after(1, [this, done = std::move(done)] {
+      done(sim_.now(), false);
+    });
+    return;
+  }
+  const std::uint64_t ep = epoch_;
+  stripe_io(*m, m->size, /*is_write=*/true, /*notify_power_manager=*/true,
+            [this, ep, done = std::move(done)](Tick t, disk::IoStatus st) {
+              if (ep != epoch_) return;  // re-crashed: episode abandoned
+              done(t, st == disk::IoStatus::kOk);
+            });
+}
+
+void StorageNode::rewarm_prefetch(
+    const std::vector<trace::FileId>& candidates,
+    std::function<void(std::size_t)> done) {
+  if (!done) done = [](std::size_t) {};
+  if (!alive_ || !buffer_ ||
+      params_.cache_policy != CachePolicy::kPrefetch) {
+    sim_.schedule_after(0, [done = std::move(done)] { done(0); });
+    return;
+  }
+  std::vector<trace::FileId> todo;
+  for (const trace::FileId f : candidates) {
+    const LocalFileMeta* m = meta_.find(f);
+    if (m != nullptr && !m->buffered && !copies_in_flight_.contains(f) &&
+        stripe_set_alive(*m)) {
+      todo.push_back(f);
+    }
+  }
+  if (todo.empty()) {
+    sim_.schedule_after(0, [done = std::move(done)] { done(0); });
+    return;
+  }
+  const std::uint64_t ep = epoch_;
+  auto outstanding = std::make_shared<std::size_t>(todo.size());
+  auto copied = std::make_shared<std::size_t>(0);
+  auto shared_done =
+      std::make_shared<std::function<void(std::size_t)>>(std::move(done));
+  for (const trace::FileId f : todo) {
+    copies_in_flight_.insert(f);
+    copy_into_buffer(f, [this, f, ep, outstanding, copied, shared_done] {
+      if (ep == epoch_) {
+        copies_in_flight_.erase(f);
+        const LocalFileMeta* m = meta_.find(f);
+        if (m != nullptr && m->buffered) ++*copied;
+      }
+      if (--*outstanding == 0) (*shared_done)(*copied);
+    });
+  }
 }
 
 void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
@@ -448,15 +609,21 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
   LocalFileMeta& meta = *found;
   const Bytes bytes = meta.size;
 
+  // Register the serve so a crash can settle it; capture the epoch so a
+  // disk completion that outlives the process mutates nothing.
+  on_result = guard_serve(std::move(on_result));
+  const std::uint64_t ep = epoch_;
   auto shared_result =
       std::make_shared<ServeCallback>(std::move(on_result));
-  auto ship = [this, client, bytes, shared_result](Tick) {
+  auto ship = [this, ep, client, bytes, shared_result](Tick) {
+    if (ep != epoch_) return;
     bytes_served_ += bytes;
     net_.send(self_, client, bytes, [shared_result](Tick t) {
       (*shared_result)(t, RequestStatus::kOk);
     });
   };
-  auto fail = [this, shared_result](Tick t) {
+  auto fail = [this, ep, shared_result](Tick t) {
+    if (ep != epoch_) return;
     ++failed_serves_;
     (*shared_result)(t, RequestStatus::kDiskUnavailable);
   };
@@ -473,8 +640,9 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
       fault_energy_delta_ -= degraded_read_energy_estimate(bytes);
     }
     buffer_->touch(f);
-    read_via_buffer(f, bytes, [this, f, ship, fail](Tick t,
-                                                    disk::IoStatus st) {
+    read_via_buffer(f, bytes, [this, f, ep, ship, fail](Tick t,
+                                                        disk::IoStatus st) {
+      if (ep != epoch_) return;
       if (st == disk::IoStatus::kOk) {
         ship(t);
         return;
@@ -521,8 +689,9 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
   const bool maid_copy =
       buffer_ && params_.cache_policy == CachePolicy::kLruOnMiss;
   stripe_io(meta, bytes, /*is_write=*/false, /*notify_power_manager=*/true,
-            [this, disks, f, maid_copy, ship = std::move(ship),
+            [this, disks, f, ep, maid_copy, ship = std::move(ship),
              fail = std::move(fail)](Tick t, disk::IoStatus st) {
+    if (ep != epoch_) return;
     if (st != disk::IoStatus::kOk) {
       fail(t);
       return;
@@ -548,7 +717,8 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
         copy.bytes = meta_.at(f).size;
         copy.sequential = true;
         copy.is_write = true;
-        copy.on_complete = [this, f, bd = *bd](Tick, disk::IoStatus cst) {
+        copy.on_complete = [this, f, ep, bd = *bd](Tick, disk::IoStatus cst) {
+          if (ep != epoch_) return;
           if (cst != disk::IoStatus::kOk) {
             buffer_->erase(f);
             return;
@@ -583,14 +753,18 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
                            std::to_string(f));
   }
   const std::size_t d = wmeta->disks.front();  // primary stripe disk
+  on_result = guard_serve(std::move(on_result));
+  const std::uint64_t ep = epoch_;
   auto shared_result =
       std::make_shared<ServeCallback>(std::move(on_result));
-  auto ack = [this, client, shared_result](Tick) {
+  auto ack = [this, ep, client, shared_result](Tick) {
+    if (ep != epoch_) return;
     net_.send(self_, client, net::kControlMessageBytes, [shared_result](Tick t) {
       (*shared_result)(t, RequestStatus::kOk);
     });
   };
-  auto fail = [this, shared_result](Tick t) {
+  auto fail = [this, ep, shared_result](Tick t) {
+    if (ep != epoch_) return;
     ++failed_serves_;
     (*shared_result)(t, RequestStatus::kDiskUnavailable);
   };
@@ -601,32 +775,39 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
     submit_with_retry(
         buffer_disks_[*bd].get(), bytes, /*sequential=*/true,
         /*is_write=*/true, sim_.now(), 0,
-        [this, f, bytes, d, bd = *bd, ack, fail](Tick t, disk::IoStatus st) {
+        [this, f, bytes, d, ep, bd = *bd, ack, fail](Tick t,
+                                                     disk::IoStatus st) {
+          if (ep != epoch_) return;
           if (st == disk::IoStatus::kOk) {
-            ++writes_buffered_;
-            backlog_add(bytes);
-            pending_writes_[d].push_back(PendingWrite{f, bytes, bd});
-            ack(t);
-            // If the target data disk happens to be spinning and
-            // unloaded, the destage can start right away.
-            if (disk::is_spun_up(data_disks_[d]->state())) maybe_flush(d);
+            if (journal_ && journal_->enabled()) {
+              // Append-before-ack: the client hears nothing until the
+              // commit header is durable on the buffer-disk log.
+              journal_->append(
+                  f, bytes, bd, d,
+                  [this, f, bytes, d, ep, bd, ack, fail](
+                      Tick t2, disk::IoStatus jst, std::uint64_t lsn) {
+                    if (ep != epoch_) return;
+                    if (jst == disk::IoStatus::kOk) {
+                      finish_buffered_write(f, bytes, d, bd, lsn, t2, ack);
+                      return;
+                    }
+                    // Commit header failed: the payload is on the log but
+                    // not provably recoverable — don't ack a write the
+                    // journal can't replay; go direct instead.
+                    buffer_->release_write(bytes);
+                    direct_write_fallback(f, bytes, ack, fail);
+                  });
+              return;
+            }
+            // journal=off ablation: legacy lossy behaviour, ack as soon
+            // as the payload lands.
+            finish_buffered_write(f, bytes, d, bd, /*lsn=*/0, t, ack);
             return;
           }
           // The buffer-log append failed: release the reservation and
           // fall back to a direct stripe write.
           buffer_->release_write(bytes);
-          LocalFileMeta& m = meta_.at(f);
-          if (!stripe_set_alive(m)) {
-            fail(t);
-            return;
-          }
-          ++writes_direct_;
-          stripe_io(m, bytes, /*is_write=*/true,
-                    /*notify_power_manager=*/true,
-                    [ack, fail](Tick t2, disk::IoStatus st2) {
-                      if (st2 == disk::IoStatus::kOk) ack(t2);
-                      else fail(t2);
-                    });
+          direct_write_fallback(f, bytes, ack, fail);
         },
         kNotPowerManaged);
     return;
@@ -646,6 +827,49 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
             [ack, fail](Tick t, disk::IoStatus st) {
               if (st == disk::IoStatus::kOk) ack(t);
               else fail(t);
+            });
+}
+
+StorageNode::ServeCallback StorageNode::guard_serve(ServeCallback cb) {
+  const std::uint64_t id = next_serve_id_++;
+  open_serves_.emplace(id, std::move(cb));
+  return [this, id](Tick t, RequestStatus st) {
+    auto it = open_serves_.find(id);
+    if (it == open_serves_.end()) return;  // settled by a crash already
+    ServeCallback inner = std::move(it->second);
+    open_serves_.erase(it);
+    inner(t, st);
+  };
+}
+
+void StorageNode::finish_buffered_write(trace::FileId f, Bytes bytes,
+                                        std::size_t d, std::size_t bd,
+                                        std::uint64_t lsn, Tick t,
+                                        const std::function<void(Tick)>& ack) {
+  ++writes_buffered_;
+  ++undestaged_acked_;
+  backlog_add(bytes);
+  if (lsn != 0) live_lsns_.insert(lsn);
+  pending_writes_[d].push_back(PendingWrite{f, bytes, bd, lsn});
+  ack(t);
+  // If the target data disk happens to be spinning and unloaded, the
+  // destage can start right away.
+  if (disk::is_spun_up(data_disks_[d]->state())) maybe_flush(d);
+}
+
+void StorageNode::direct_write_fallback(trace::FileId f, Bytes bytes,
+                                        const std::function<void(Tick)>& ack,
+                                        const std::function<void(Tick)>& fail) {
+  LocalFileMeta& m = meta_.at(f);
+  if (!stripe_set_alive(m)) {
+    fail(sim_.now());
+    return;
+  }
+  ++writes_direct_;
+  stripe_io(m, bytes, /*is_write=*/true, /*notify_power_manager=*/true,
+            [ack, fail](Tick t2, disk::IoStatus st2) {
+              if (st2 == disk::IoStatus::kOk) ack(t2);
+              else fail(t2);
             });
 }
 
@@ -682,17 +906,24 @@ void StorageNode::flush_one(std::size_t d, PendingWrite w,
       inner();
     };
   }
+  const std::uint64_t ep = epoch_;
   disk::DiskRequest read;
   read.bytes = w.bytes;
   read.sequential = true;
   (void)d;  // destination disks come from the file's stripe set
-  read.on_complete = [this, w, done = std::move(done)](Tick,
-                                                       disk::IoStatus rst) {
+  read.on_complete = [this, w, ep, done = std::move(done)](Tick,
+                                                           disk::IoStatus rst) {
+    // A crash reset the flush machinery; this destage belongs to the dead
+    // process (the journal still holds its record for replay).
+    if (ep != epoch_) return;
     const LocalFileMeta& m = meta_.at(w.file);
     if (rst != disk::IoStatus::kOk || !stripe_set_alive(m)) {
       // The staged copy is unreadable or its home disks are gone: drop
       // the destage (counted as data loss) so the drain cannot wedge.
+      // The journal record is retired too — replaying a write whose home
+      // disks are dead would strand it again forever.
       ++writes_stranded_;
+      retire_destage(w);
       backlog_sub(w.bytes);
       buffer_->release_write(w.bytes);
       --destages_in_flight_;
@@ -705,9 +936,11 @@ void StorageNode::flush_one(std::size_t d, PendingWrite w,
     // awake for a read in the common path) but do keep it busy.
     stripe_io(m, w.bytes, /*is_write=*/true,
               /*notify_power_manager=*/false,
-              [this, w, done](Tick, disk::IoStatus wst) {
+              [this, w, ep, done](Tick, disk::IoStatus wst) {
+                if (ep != epoch_) return;
                 if (wst != disk::IoStatus::kOk) ++writes_stranded_;
                 else ++destages_;
+                retire_destage(w);
                 backlog_sub(w.bytes);
                 buffer_->release_write(w.bytes);
                 --destages_in_flight_;
@@ -716,6 +949,14 @@ void StorageNode::flush_one(std::size_t d, PendingWrite w,
               });
   };
   buffer_disks_[w.buffer_disk]->submit(std::move(read));
+}
+
+void StorageNode::retire_destage(const PendingWrite& w) {
+  if (w.lsn != 0 && journal_) {
+    journal_->mark_destaged(w.lsn);
+    live_lsns_.erase(w.lsn);
+  }
+  if (undestaged_acked_ > 0) --undestaged_acked_;
 }
 
 void StorageNode::notify_flush_waiters() {
@@ -785,6 +1026,9 @@ NodeMetrics StorageNode::collect_metrics() {
   m.buffered_rescues = buffered_rescues_;
   m.failed_serves = failed_serves_;
   m.writes_stranded = writes_stranded_;
+  m.lost_acked_writes = lost_acked_writes_;
+  m.journal_appends = journal_ ? journal_->appends() : 0;
+  m.journal_replayed = journal_replayed_;
   m.fault_energy_delta = fault_energy_delta_;
   return m;
 }

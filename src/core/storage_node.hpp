@@ -10,8 +10,19 @@
 // buffer disk degrades reads back to the data disks (availability kept,
 // energy savings sacrificed and metered); a failed data disk is rescued
 // from the buffered copy when one exists, else the request fails upward
-// so the server can re-route to a replica.  A crashed node fails every
-// serve fast (connection refused) until restarted.
+// so the server can re-route to a replica.
+//
+// Crash-stop semantics (crash()/restart()): a crash models the service
+// process dying, not the shelf losing power.  Every open serve settles
+// with a typed kNodeUnavailable (connection reset); in-flight disk and
+// network completions are dropped by an epoch guard; RAM-held state —
+// the buffer-manager index, the destage queue, journal destage marks —
+// is lost; platter contents (and the disks' power machinery) survive.
+// Acked buffered writes whose destage had not landed are counted as
+// lost_acked_writes unless the write journal (disk/write_journal) can
+// rebuild the destage queue on restart: replay_journal() re-queues every
+// un-truncated journal record, skipping LSNs already queued so that a
+// second replay (crash during recovery) is bit-identical — idempotent.
 #pragma once
 
 #include <functional>
@@ -29,6 +40,7 @@
 #include "core/power_manager.hpp"
 #include "core/prefetcher.hpp"
 #include "disk/disk_model.hpp"
+#include "disk/write_journal.hpp"
 #include "net/network.hpp"
 #include "obs/counters.hpp"
 #include "obs/tracer.hpp"
@@ -56,6 +68,9 @@ struct NodeParams {
   std::size_t max_io_retries = 4;
   Tick io_retry_backoff = milliseconds_to_ticks(5.0);
   Tick io_deadline = seconds_to_ticks(30.0);
+  /// Write-ahead journal for the buffer-disk write buffer (kOff
+  /// reproduces the lossy pre-journal behaviour for ablation).
+  disk::JournalParams journal;
 };
 
 class StorageNode {
@@ -116,15 +131,35 @@ class StorageNode {
   void serve_write(trace::FileId f, Bytes bytes, net::EndpointId client,
                    ServeCallback on_result);
 
-  // --- faults ----------------------------------------------------------
+  // --- faults / crash recovery -----------------------------------------
 
-  /// Whole-node crash: every subsequent serve fails fast with
-  /// kNodeUnavailable (connection refused) and heartbeats go unanswered,
+  /// Whole-node crash-stop: every open serve settles kNodeUnavailable,
+  /// in-flight IO effects are dropped, RAM state (buffer index, destage
+  /// queue, journal marks) is lost, and every subsequent serve fails fast
   /// until restart().  Disk power state is left as-is — the model treats
   /// a crash as the service process dying, not the shelf losing power.
   void crash();
   void restart();
   bool alive() const { return alive_; }
+
+  /// Recovery phase 1 — journal replay: scans the buffer-disk log and
+  /// re-queues every un-truncated record for destage.  Idempotent: LSNs
+  /// already queued are skipped, so replaying twice (a crash during
+  /// recovery) leaves bit-identical state.  `done` fires with the number
+  /// of records re-queued (0 with the journal off or on scan failure).
+  void replay_journal(std::function<void(std::size_t replayed)> done);
+
+  /// Recovery phase 2 helper — replica resync: writes one full file image
+  /// to the local stripe set (the bytes just arrived over the fabric from
+  /// a healthy replica).  `done` reports whether the stripe write landed.
+  void resync_write(trace::FileId f, std::function<void(Tick, bool)> done);
+
+  /// Recovery phase 3 — prefetch re-warm: re-copies `candidates` (the
+  /// node's prefetch slice) onto the buffer disk; the crash wiped the
+  /// buffer index, so the hot set serves from data disks until this
+  /// completes.  `done` fires with the number of files re-buffered.
+  void rewarm_prefetch(const std::vector<trace::FileId>& candidates,
+                       std::function<void(std::size_t rewarmed)> done);
 
   // --- teardown ----------------------------------------------------------
 
@@ -179,6 +214,18 @@ class StorageNode {
   std::uint64_t buffered_rescues() const { return buffered_rescues_; }
   std::uint64_t failed_serves() const { return failed_serves_; }
   std::uint64_t writes_stranded() const { return writes_stranded_; }
+  /// Acked buffered writes lost to a crash (journal off; see metrics.hpp
+  /// for the distinction from writes_stranded).
+  std::uint64_t lost_acked_writes() const { return lost_acked_writes_; }
+  /// Acked buffered writes currently awaiting destage (at risk in a
+  /// crash when the journal is off).
+  std::uint64_t undestaged_acked() const { return undestaged_acked_; }
+  /// Journal records re-queued by replay_journal over the run.
+  std::uint64_t journal_replayed() const { return journal_replayed_; }
+  /// Null when the node has no buffer disks.
+  const disk::WriteJournal* journal() const { return journal_.get(); }
+  /// Bytes queued or in flight toward data disks right now.
+  Bytes destage_backlog() const { return destage_backlog_; }
   /// Buffered files dropped (online re-ranking or MAID pressure).
   std::uint64_t evictions() const { return evictions_; }
   /// Destages that completed (staged write re-written to a data disk).
@@ -191,6 +238,8 @@ class StorageNode {
     trace::FileId file = 0;
     Bytes bytes = 0;
     std::size_t buffer_disk = 0;
+    /// Journal LSN covering this write; 0 = unjournaled (journal off).
+    std::uint64_t lsn = 0;
   };
 
   /// Submits a request to a data disk, with power-manager notification
@@ -242,6 +291,24 @@ class StorageNode {
   /// Fires flush waiters once nothing is queued or in flight.
   void notify_flush_waiters();
 
+  /// Registers a serve so crash() can settle it with kNodeUnavailable;
+  /// the returned wrapper no-ops if the serve was already settled.
+  ServeCallback guard_serve(ServeCallback cb);
+  /// Books one acked buffered write: queue the destage, ack the client,
+  /// opportunistically flush.  `lsn` 0 = unjournaled.
+  void finish_buffered_write(trace::FileId f, Bytes bytes, std::size_t d,
+                             std::size_t bd, std::uint64_t lsn, Tick t,
+                             const std::function<void(Tick)>& ack);
+  /// Direct stripe-write fallback when the buffered path cannot be used.
+  void direct_write_fallback(trace::FileId f, Bytes bytes,
+                             const std::function<void(Tick)>& ack,
+                             const std::function<void(Tick)>& fail);
+  /// Retires one pending write's durability bookkeeping after its destage
+  /// resolved (landed or stranded): journal truncation mark + at-risk
+  /// counter.  Stranded writes retire too — replaying a write whose home
+  /// disks are dead would strand it again forever.
+  void retire_destage(const PendingWrite& w);
+
   sim::Simulator& sim_;
   net::NetworkFabric& net_;
   net::EndpointId self_;
@@ -250,7 +317,9 @@ class StorageNode {
   std::vector<std::unique_ptr<disk::DiskModel>> data_disks_;
   std::vector<std::unique_ptr<disk::DiskModel>> buffer_disks_;
   std::unique_ptr<BufferManager> buffer_;
+  Bytes buffer_capacity_ = 0;  // kept for the post-crash index rebuild
   std::unique_ptr<PowerManager> power_;
+  std::unique_ptr<disk::WriteJournal> journal_;
 
   NodeMetadata meta_;
   std::size_t files_created_ = 0;
@@ -264,6 +333,15 @@ class StorageNode {
   bool plan_ready_ = false;
   Tick replay_start_ = 0;
   bool alive_ = true;
+  /// Bumped at every crash; disk/net completions capture the epoch they
+  /// were issued under and drop their state effects when it is stale.
+  std::uint64_t epoch_ = 0;
+  /// Serves awaiting completion, so crash() can settle them typed.
+  std::map<std::uint64_t, ServeCallback> open_serves_;
+  std::uint64_t next_serve_id_ = 1;
+  /// Journal LSNs currently queued or in flight toward data disks —
+  /// the idempotence filter for replay_journal.
+  std::set<std::uint64_t> live_lsns_;
 
   std::vector<std::vector<PendingWrite>> pending_writes_;  // per data disk
   std::vector<bool> flush_in_progress_;
@@ -283,6 +361,9 @@ class StorageNode {
   std::uint64_t buffered_rescues_ = 0;
   std::uint64_t failed_serves_ = 0;
   std::uint64_t writes_stranded_ = 0;
+  std::uint64_t lost_acked_writes_ = 0;
+  std::uint64_t undestaged_acked_ = 0;
+  std::uint64_t journal_replayed_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t destages_ = 0;
   Bytes destage_backlog_ = 0;

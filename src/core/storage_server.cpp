@@ -21,6 +21,7 @@ void StorageServer::register_nodes(std::vector<StorageNode*> nodes) {
   }
   nodes_ = std::move(nodes);
   health_.assign(nodes_.size(), NodeHealth{});
+  stale_files_.assign(nodes_.size(), {});
 }
 
 void StorageServer::ingest_history(const workload::Workload& history) {
@@ -198,6 +199,13 @@ Tick StorageServer::degraded_ticks() const {
   return total;
 }
 
+std::vector<trace::FileId> StorageServer::take_stale_files(NodeId n) {
+  std::vector<trace::FileId> out(stale_files_.at(n).begin(),
+                                 stale_files_.at(n).end());
+  stale_files_.at(n).clear();
+  return out;
+}
+
 double StorageServer::mttr_sec() const {
   return recovery_episodes_ == 0
              ? 0.0
@@ -255,7 +263,16 @@ void StorageServer::try_replica(const trace::TraceRecord& r,
              on_done = std::move(on_done)](Tick t,
                                            RequestStatus st) mutable {
               if (request_ok(st)) {
-                if (rerouted) ++requests_rerouted_;
+                if (rerouted) {
+                  ++requests_rerouted_;
+                  // A write that landed on a failover replica leaves the
+                  // skipped copies behind: remember them for resync.
+                  if (r.op == trace::Op::kWrite) {
+                    for (std::size_t j = 0; j < idx; ++j) {
+                      stale_files_[replicas[j]].insert(r.file);
+                    }
+                  }
+                }
                 on_done(t, st);
                 return;
               }

@@ -98,6 +98,9 @@ class StorageServer {
 
   const PlacementMap& placement() const { return placement_; }
   const ServerMetadata& metadata() const { return metadata_; }
+  /// Counting lookups mutate the store's probe statistics; the recovery
+  /// manager resolves replica sources through this.
+  ServerMetadata& mutable_metadata() { return metadata_; }
   const trace::AccessLog& request_log() const { return log_; }
   const trace::PopularityAnalyzer* popularity() const {
     return analyzer_ ? &*analyzer_ : nullptr;
@@ -112,6 +115,15 @@ class StorageServer {
   /// Replica-to-replica failover hops taken (>= rerouted).
   std::uint64_t failovers() const { return failovers_; }
   bool node_dead(NodeId n) const { return health_.at(n).dead; }
+  /// Files whose latest write landed on a failover replica while node `n`
+  /// was out — the replica-resync work list for `n`'s recovery.  Returns
+  /// the files in ascending id order and clears the list (the caller owns
+  /// the resync from here).
+  std::vector<trace::FileId> take_stale_files(NodeId n);
+  /// Stale files currently recorded for `n` (introspection).
+  std::size_t stale_file_count(NodeId n) const {
+    return stale_files_.at(n).size();
+  }
   /// Total node-dead time as of now (unrecovered nodes included).
   Tick degraded_ticks() const;
   std::uint64_t recovery_episodes() const { return recovery_episodes_; }
@@ -154,6 +166,9 @@ class StorageServer {
   /// (file, node) pairs a node failed with kDiskUnavailable: no live copy
   /// of the file remains there, so routing skips it from then on.
   std::set<std::pair<trace::FileId, NodeId>> unavailable_;
+  /// Per node: files written on a failover replica while this node was
+  /// skipped (dead or unavailable) — its copy is now behind.
+  std::vector<std::set<trace::FileId>> stale_files_;
   sim::EventHandle heartbeat_timer_;
   Tick heartbeat_interval_ = 0;
   std::size_t miss_threshold_ = 3;

@@ -1,5 +1,7 @@
 #include "fault/fault_injector.hpp"
 
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -78,6 +80,93 @@ FaultPlan random_data_disk_failures(std::uint64_t seed, double horizon_sec,
     const auto disk =
         static_cast<std::size_t>(rng.next_below(data_disks_per_node));
     plan.fail_data_disk(at, node, disk);
+  }
+  return plan;
+}
+
+FaultPlan random_crash_schedule(std::uint64_t seed, double horizon_sec,
+                                std::size_t nodes, std::size_t count,
+                                double downtime_sec) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(Rng(seed).fork(0xC0A5));
+  // Last scheduled restart per node, so a node is never crashed again
+  // while it is still down (crash-on-crashed is a no-op anyway, but the
+  // paired restart would then revive the *second* crash's node early).
+  std::vector<double> busy_until(nodes, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Keep crashes off t=0 so the prefetch phase has started, and leave
+    // room for the restart inside the horizon.
+    const double at = horizon_sec * (0.05 + 0.85 * rng.next_double());
+    const auto node = static_cast<std::size_t>(rng.next_below(nodes));
+    if (at <= busy_until[node]) continue;  // deterministic skip, no reroll
+    busy_until[node] = at + downtime_sec;
+    plan.crash_node(at, node);
+    plan.restart_node(at + downtime_sec, node);
+  }
+  return plan;
+}
+
+namespace {
+
+[[noreturn]] void plan_error(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("fault plan line " + std::to_string(line) +
+                              ": " + what);
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string line(text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos));
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream in(line);
+    std::string op;
+    if (!(in >> op)) continue;  // blank or comment-only line
+    double at = 0.0;
+    std::size_t node = 0, disk = 0;
+    std::uint64_t param = 0;
+    auto want = [&](auto&... args) {
+      if (!((in >> args) && ...)) plan_error(line_no, "malformed operands");
+    };
+    if (op == "crash") {
+      want(at, node);
+      plan.crash_node(at, node);
+    } else if (op == "restart") {
+      want(at, node);
+      plan.restart_node(at, node);
+    } else if (op == "fail_data_disk") {
+      want(at, node, disk);
+      plan.fail_data_disk(at, node, disk);
+    } else if (op == "fail_buffer_disk") {
+      want(at, node, disk);
+      plan.fail_buffer_disk(at, node, disk);
+    } else if (op == "flake_spin_up") {
+      want(at, node, disk, param);
+      plan.flake_spin_up(at, node, disk, param);
+    } else if (op == "latent_read_errors") {
+      want(at, node, disk, param);
+      plan.latent_read_errors(at, node, disk, param);
+    } else if (op == "drop_prob") {
+      want(at);
+      plan.network_drop_prob = at;
+    } else if (op == "seed") {
+      want(param);
+      plan.seed = param;
+    } else {
+      plan_error(line_no, "unknown directive '" + op + "'");
+    }
+    std::string extra;
+    if (in >> extra) plan_error(line_no, "trailing operands");
   }
   return plan;
 }

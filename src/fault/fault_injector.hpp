@@ -95,6 +95,31 @@ FaultPlan random_data_disk_failures(std::uint64_t seed, double horizon_sec,
                                     std::size_t data_disks_per_node,
                                     std::size_t count);
 
+/// `count` crash/restart pairs at deterministic pseudo-random times in
+/// (0, horizon_sec) on pseudo-random nodes; each crash is followed by a
+/// restart `downtime_sec` later.  Crashes on the same node never overlap
+/// (a node is not re-crashed before its scheduled restart) — the sweep
+/// axis of bench/crash_recovery.
+FaultPlan random_crash_schedule(std::uint64_t seed, double horizon_sec,
+                                std::size_t nodes, std::size_t count,
+                                double downtime_sec);
+
+/// Parses a chaos-plan text file (eevfs_cli --chaos-plan): one directive
+/// per line, `#` comments and blank lines ignored.
+///
+///   crash <at_sec> <node>
+///   restart <at_sec> <node>
+///   fail_data_disk <at_sec> <node> <disk>
+///   fail_buffer_disk <at_sec> <node> <disk>
+///   flake_spin_up <at_sec> <node> <disk> <retries>
+///   latent_read_errors <at_sec> <node> <disk> <count>
+///   drop_prob <p>
+///   seed <n>
+///
+/// Throws std::invalid_argument on an unknown directive or malformed
+/// operands (line number included in the message).
+FaultPlan parse_fault_plan(std::string_view text);
+
 class FaultInjector {
  public:
   /// How the injector reaches the cluster's components.  `disk_of` maps

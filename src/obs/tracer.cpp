@@ -20,6 +20,7 @@ std::string_view to_string(TraceCategory c) {
     case kCatServer: return "server";
     case kCatNode: return "node";
     case kCatClient: return "client";
+    case kCatRecovery: return "recovery";
   }
   return "?";
 }
@@ -30,7 +31,7 @@ std::uint32_t parse_category_mask(std::string_view spec) {
       {"sim", kCatSim},       {"disk", kCatDisk},     {"power", kCatPower},
       {"prefetch", kCatPrefetch}, {"buffer", kCatBuffer}, {"net", kCatNet},
       {"fault", kCatFault},   {"server", kCatServer}, {"node", kCatNode},
-      {"client", kCatClient},
+      {"client", kCatClient}, {"recovery", kCatRecovery},
   };
   std::uint32_t mask = 0;
   std::size_t pos = 0;

@@ -38,6 +38,7 @@ enum TraceCategory : std::uint32_t {
   kCatServer = 1u << 7,
   kCatNode = 1u << 8,
   kCatClient = 1u << 9,
+  kCatRecovery = 1u << 10,
 };
 inline constexpr std::uint32_t kAllCategories = 0xffffffffu;
 

@@ -6,7 +6,9 @@
 // paper metrics, availability accounting, and the complete registry
 // counter snapshot — for one representative configuration per bench
 // family (fig3/4/5 defaults and sweeps, fig6 webtrace, fault_tolerance,
-// online_adaptation, ablation_striping, ablation_policies/MAID).
+// online_adaptation, ablation_striping, ablation_policies/MAID,
+// crash_recovery).  The digest includes the durability/recovery fields
+// (av_lost, rec_*) added with the crash-stop/journal work.
 //
 // If a digest changes, the engine rework altered simulation results:
 // diff the printed digest text against the old engine before even
@@ -87,6 +89,16 @@ std::string digest_text(const RunMetrics& m) {
   field(out, "av_recoveries", av.recovery_episodes);
   field(out, "av_mttr", av.mttr_sec);
   field(out, "av_energy_delta", av.fault_energy_delta);
+  field(out, "av_lost", av.lost_acked_writes);
+  const RecoveryMetrics& rec = m.recovery;
+  field(out, "rec_episodes", rec.episodes);
+  field(out, "rec_replayed", rec.replayed_writes);
+  field(out, "rec_resynced", rec.resynced_files);
+  field(out, "rec_rewarmed", rec.rewarmed_files);
+  field(out, "rec_replay_ticks", static_cast<std::uint64_t>(rec.replay_ticks));
+  field(out, "rec_resync_ticks", static_cast<std::uint64_t>(rec.resync_ticks));
+  field(out, "rec_rewarm_ticks", static_cast<std::uint64_t>(rec.rewarm_ticks));
+  field(out, "rec_mttr_ticks", static_cast<std::uint64_t>(rec.mttr_ticks));
   for (const obs::Sample& s : m.counters) {
     out += s.name;
     out += ':';
@@ -130,34 +142,34 @@ void expect_golden(const char* name, const ClusterConfig& cfg,
 
 TEST(EngineGolden, PaperDefaultsPf) {
   expect_golden("defaults/pf", ClusterConfig{}, paper_workload(),
-                2043215466585304593ull);
+                10836418286562782823ull);
 }
 
 TEST(EngineGolden, PaperDefaultsNpf) {
   ClusterConfig cfg;
   cfg.enable_prefetch = false;
-  expect_golden("defaults/npf", cfg, paper_workload(), 2065949375347484321ull);
+  expect_golden("defaults/npf", cfg, paper_workload(), 16912409374561917951ull);
 }
 
 TEST(EngineGolden, LowMuSweepCell) {
-  expect_golden("mu=10/pf", ClusterConfig{}, paper_workload(10.0), 16090404298527230445ull);
+  expect_golden("mu=10/pf", ClusterConfig{}, paper_workload(10.0), 8229663184577097205ull);
 }
 
 TEST(EngineGolden, ZeroInterArrivalSweepCell) {
   expect_golden("ia=0/pf", ClusterConfig{}, paper_workload(1000.0, 0.0),
-                3608818495188534180ull);
+                15606053484029765446ull);
 }
 
 TEST(EngineGolden, SmallPrefetchSetSweepCell) {
   ClusterConfig cfg;
   cfg.prefetch_file_count = 10;
-  expect_golden("k=10/pf", cfg, paper_workload(), 13956714150829467091ull);
+  expect_golden("k=10/pf", cfg, paper_workload(), 8692441444572480879ull);
 }
 
 TEST(EngineGolden, WebTrace) {
   workload::WebTraceConfig wcfg;
   expect_golden("web/pf", ClusterConfig{},
-                workload::generate_webtrace(wcfg), 1428452544784812697ull);
+                workload::generate_webtrace(wcfg), 6157413166018111913ull);
 }
 
 TEST(EngineGolden, FaultsUnreplicated) {
@@ -165,7 +177,7 @@ TEST(EngineGolden, FaultsUnreplicated) {
   cfg.fault_plan = fault::random_data_disk_failures(
       /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
       cfg.data_disks_per_node, /*count=*/4);
-  expect_golden("faults=4/repl=1", cfg, paper_workload(), 2900822600899425207ull);
+  expect_golden("faults=4/repl=1", cfg, paper_workload(), 6781521142880333917ull);
 }
 
 TEST(EngineGolden, FaultsReplicated) {
@@ -174,19 +186,19 @@ TEST(EngineGolden, FaultsReplicated) {
   cfg.fault_plan = fault::random_data_disk_failures(
       /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
       cfg.data_disks_per_node, /*count=*/4);
-  expect_golden("faults=4/repl=2", cfg, paper_workload(), 9919072393399096017ull);
+  expect_golden("faults=4/repl=2", cfg, paper_workload(), 16625981822264404059ull);
 }
 
 TEST(EngineGolden, OnlineAdaptation) {
   ClusterConfig cfg;
   cfg.online_popularity = true;
-  expect_golden("online/pf", cfg, paper_workload(), 348258173038738281ull);
+  expect_golden("online/pf", cfg, paper_workload(), 7740877370088875617ull);
 }
 
 TEST(EngineGolden, StripedPlacement) {
   ClusterConfig cfg;
   cfg.stripe_width = 2;
-  expect_golden("stripe=2/pf", cfg, paper_workload(), 1103413860493221095ull);
+  expect_golden("stripe=2/pf", cfg, paper_workload(), 2775315745078681345ull);
 }
 
 TEST(EngineGolden, MaidBaseline) {
@@ -194,7 +206,30 @@ TEST(EngineGolden, MaidBaseline) {
   cfg.cache_policy = CachePolicy::kLruOnMiss;
   cfg.power_policy = PowerPolicy::kIdleTimer;
   cfg.enable_prefetch = false;
-  expect_golden("maid", cfg, paper_workload(), 4265843183521726881ull);
+  expect_golden("maid", cfg, paper_workload(), 5991189508486170149ull);
+}
+
+TEST(EngineGolden, CrashRecovery) {
+  // The PR-6 scenario: write-mixed workload, two crash/restart pairs,
+  // replicated placement, journal on (commit).  Pins the whole recovery
+  // timeline — crash-stop settlement, journal replay, replica resync,
+  // prefetch re-warm, and the per-phase tick accounting.
+  workload::Workload w = paper_workload();
+  trace::Trace mixed;
+  std::size_t i = 0;
+  for (const auto& r : w.requests.records()) {
+    trace::TraceRecord copy = r;
+    if (++i % 4 == 0) copy.op = trace::Op::kWrite;
+    mixed.append(copy);
+  }
+  w.requests = std::move(mixed);
+  ClusterConfig cfg;
+  cfg.replication_degree = 2;
+  cfg.fault_plan = fault::random_crash_schedule(
+      /*seed=*/2026, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
+      /*count=*/2, /*downtime_sec=*/30.0);
+  expect_golden("crash_recovery/journal=commit", cfg, w,
+                17866345129179884215ull);
 }
 
 }  // namespace

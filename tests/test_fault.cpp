@@ -267,6 +267,43 @@ TEST_F(NodeFaultTest, CrashedNodeFailsFastAndRestartRecovers) {
   EXPECT_EQ(serve(*node, 0), RequestStatus::kOk);
 }
 
+TEST_F(NodeFaultTest, StrandedWritesAreNotLostAckedWrites) {
+  // The durability split: *stranded* means the destage target disks died
+  // (no journal can save those bytes); *lost acked* means a crash wiped
+  // healthy bookkeeping.  One failure must never count as the other.
+  auto node = make_node(params());
+  setup_files(*node, 4, 10 * kMB);
+  node->start_prefetch({}, [] {});
+  sim.run();
+  for (std::size_t d = 0; d < node->num_data_disks(); ++d) {
+    node->mutable_data_disk(d).request_spin_down();
+  }
+  sim.run();
+  RequestStatus st = RequestStatus::kNoReplica;
+  node->serve_write(0, 10 * kMB, client_ep,
+                    [&](Tick, RequestStatus s) { st = s; });
+  sim.run();
+  ASSERT_EQ(st, RequestStatus::kOk);
+  ASSERT_EQ(node->undestaged_acked(), 1u);
+  // The parked write's home disk dies: stranded, and retired from the
+  // at-risk set — the journal must not replay it forever.
+  node->mutable_data_disk(0).fail();
+  sim.run();
+  EXPECT_EQ(node->writes_stranded(), 1u);
+  EXPECT_EQ(node->lost_acked_writes(), 0u);
+  EXPECT_EQ(node->undestaged_acked(), 0u);
+  ASSERT_NE(node->journal(), nullptr);
+  EXPECT_EQ(node->journal()->durable_records(), 0u);
+  // A later crash/restart replays nothing: the strand already settled.
+  node->crash();
+  EXPECT_EQ(node->lost_acked_writes(), 0u);
+  node->restart();
+  std::size_t replayed = 99;
+  node->replay_journal([&](std::size_t n) { replayed = n; });
+  sim.run();
+  EXPECT_EQ(replayed, 0u);
+}
+
 // --- FaultPlan construction -------------------------------------------
 
 TEST(FaultPlan, BuildersAppendTypedSpecs) {
@@ -314,6 +351,67 @@ TEST(FaultPlan, RandomDataDiskFailuresAreDeterministic) {
     EXPECT_LT(a.events[i].at_sec, 10.0);
     EXPECT_LT(a.events[i].node, 8u);
     EXPECT_LT(a.events[i].disk, 2u);
+  }
+}
+
+TEST(FaultPlan, RandomCrashSchedulePairsCrashWithRestart) {
+  const auto a = fault::random_crash_schedule(2026, 600.0, 8, 4, 30.0);
+  const auto b = fault::random_crash_schedule(2026, 600.0, 8, 4, 30.0);
+  ASSERT_EQ(a.events.size(), b.events.size());  // deterministic
+  ASSERT_EQ(a.events.size() % 2, 0u);
+  std::map<std::size_t, double> busy_until;
+  for (std::size_t i = 0; i < a.events.size(); i += 2) {
+    const auto& crash = a.events[i];
+    const auto& restart = a.events[i + 1];
+    EXPECT_EQ(crash.kind, fault::FaultKind::kNodeCrash);
+    EXPECT_EQ(restart.kind, fault::FaultKind::kNodeRestart);
+    EXPECT_EQ(crash.node, restart.node);
+    EXPECT_DOUBLE_EQ(restart.at_sec, crash.at_sec + 30.0);
+    EXPECT_GT(crash.at_sec, 0.0);
+    EXPECT_LT(crash.at_sec, 600.0);
+    // A node is never re-crashed while still down.
+    EXPECT_GT(crash.at_sec, busy_until[crash.node]);
+    busy_until[crash.node] = restart.at_sec;
+    EXPECT_DOUBLE_EQ(crash.at_sec, b.events[i].at_sec);
+  }
+}
+
+TEST(FaultPlan, ParseAcceptsEveryDirectiveAndComments) {
+  const auto plan = fault::parse_fault_plan(
+      "# chaos schedule\n"
+      "crash 30 1\n"
+      "restart 60 1\n"
+      "fail_data_disk 10 0 1  # inline comment\n"
+      "fail_buffer_disk 12 0 0\n"
+      "flake_spin_up 20 2 0 3\n"
+      "latent_read_errors 25 1 0 7\n"
+      "\n"
+      "drop_prob 0.01\n"
+      "seed 99\n");
+  ASSERT_EQ(plan.events.size(), 6u);
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[0].node, 1u);
+  EXPECT_EQ(plan.events[1].kind, fault::FaultKind::kNodeRestart);
+  EXPECT_FALSE(plan.events[2].buffer_disk);
+  EXPECT_TRUE(plan.events[3].buffer_disk);
+  EXPECT_EQ(plan.events[4].param, 3u);
+  EXPECT_EQ(plan.events[5].param, 7u);
+  EXPECT_DOUBLE_EQ(plan.network_drop_prob, 0.01);
+  EXPECT_EQ(plan.seed, 99u);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedLinesWithTheLineNumber) {
+  EXPECT_THROW(fault::parse_fault_plan("explode 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_plan("crash 30\n"),  // missing node
+               std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_plan("crash 30 1 extra\n"),
+               std::invalid_argument);
+  try {
+    fault::parse_fault_plan("crash 30 1\nrestart nonsense\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
 }
 
@@ -444,6 +542,80 @@ TEST(ClusterFault, MisaddressedFaultsAreCountedNotApplied) {
   EXPECT_EQ(c.injector()->faults_misaddressed(), 1u);
   EXPECT_EQ(c.injector()->faults_injected(), 0u);
   EXPECT_EQ(m.availability.failed_requests, 0u);
+}
+
+/// `requests` with every (1/write_fraction)-th turned into a write —
+/// crash-stop durability only matters on a write-mixed workload.
+workload::Workload write_mixed(std::size_t requests, double write_fraction) {
+  workload::Workload w = small_workload(requests);
+  const auto period = static_cast<std::size_t>(1.0 / write_fraction);
+  trace::Trace mixed;
+  std::size_t i = 0;
+  for (const auto& r : w.requests.records()) {
+    trace::TraceRecord copy = r;
+    if (++i % period == 0) copy.op = trace::Op::kWrite;
+    mixed.append(copy);
+  }
+  w.requests = std::move(mixed);
+  return w;
+}
+
+TEST(ClusterFault, JournaledCrashRecoversEveryAckedWrite) {
+  const auto w = write_mixed(400, 0.25);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.replication_degree = 2;
+  cfg.fault_plan = fault::random_crash_schedule(
+      /*seed=*/2026, ticks_to_seconds(w.requests.duration()),
+      cfg.num_storage_nodes, /*count=*/2, /*downtime_sec=*/20.0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  // The acceptance invariant: with the journal on (default commit mode),
+  // a crash-stop never destroys an acknowledged write.
+  EXPECT_EQ(m.availability.lost_acked_writes, 0u);
+  EXPECT_GE(m.recovery.episodes, 1u);
+  EXPECT_GT(m.recovery.mttr_ticks, 0);
+  EXPECT_GT(m.recovery.mean_mttr_sec(), 0.0);
+  // Every request is accounted for: served or typed-failed, no strand.
+  EXPECT_EQ(m.response_time_sec.count() + m.availability.failed_requests,
+            w.requests.size());
+}
+
+TEST(ClusterFault, JournalOffQuantifiesTheCrashLoss) {
+  const auto w = write_mixed(400, 0.25);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.replication_degree = 2;
+  cfg.journal_mode = disk::JournalMode::kOff;
+  cfg.fault_plan = fault::random_crash_schedule(
+      /*seed=*/2026, ticks_to_seconds(w.requests.duration()),
+      cfg.num_storage_nodes, /*count=*/2, /*downtime_sec=*/20.0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  // The ablation: same crash schedule, no journal — acked writes caught
+  // undestaged on the crashed node are gone, and nothing replays.
+  EXPECT_GT(m.availability.lost_acked_writes, 0u);
+  EXPECT_EQ(m.recovery.replayed_writes, 0u);
+  EXPECT_GE(m.recovery.episodes, 1u);
+  EXPECT_EQ(m.response_time_sec.count() + m.availability.failed_requests,
+            w.requests.size());
+}
+
+TEST(ClusterFault, CrashedRunWithRecoveryIsBitIdenticalAcrossRuns) {
+  const auto w = write_mixed(300, 0.25);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.replication_degree = 2;
+  cfg.fault_plan.crash_node(20.0, 0).restart_node(50.0, 0);
+  core::Cluster a(cfg), b(cfg);
+  const core::RunMetrics ma = a.run(w);
+  const core::RunMetrics mb = b.run(w);
+  EXPECT_EQ(ma.total_joules, mb.total_joules);  // bit-exact
+  EXPECT_EQ(ma.makespan, mb.makespan);
+  EXPECT_EQ(ma.recovery.episodes, mb.recovery.episodes);
+  EXPECT_EQ(ma.recovery.replayed_writes, mb.recovery.replayed_writes);
+  EXPECT_EQ(ma.recovery.resynced_files, mb.recovery.resynced_files);
+  EXPECT_EQ(ma.recovery.rewarmed_files, mb.recovery.rewarmed_files);
+  EXPECT_EQ(ma.recovery.mttr_ticks, mb.recovery.mttr_ticks);
+  EXPECT_EQ(ma.availability.lost_acked_writes,
+            mb.availability.lost_acked_writes);
 }
 
 TEST(ClusterFault, ValidateRejectsNonsensicalFaultConfigs) {
