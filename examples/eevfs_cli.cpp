@@ -60,6 +60,17 @@ void apply_overrides(const CliParser& cli, core::ClusterConfig& cfg) {
                                                          cfg.journal_mode)));
   cfg.replication_degree = static_cast<std::size_t>(cli.get_int(
       "replication", static_cast<std::int64_t>(cfg.replication_degree)));
+  if (const auto ec = cli.get("ec")) {
+    // --ec n,k : erasure-coded placement (mutually exclusive with
+    // --replication > 1; ClusterConfig::validate enforces that).
+    const auto comma = ec->find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("--ec expects n,k (e.g. --ec 4,2)");
+    }
+    cfg.ec_n = static_cast<std::size_t>(std::stoull(ec->substr(0, comma)));
+    cfg.ec_k = static_cast<std::size_t>(std::stoull(ec->substr(comma + 1)));
+  }
+  cfg.ec_hedge_ms = cli.get_double("ec-hedge-ms", cfg.ec_hedge_ms);
 }
 
 // Chaos flags: --chaos-plan replays an explicit fault schedule from a
@@ -149,6 +160,14 @@ void print_run(const char* name, const core::RunMetrics& m,
                 static_cast<unsigned long long>(
                     m.availability.lost_acked_writes));
   }
+  if (m.erasure.reads > 0 || m.erasure.repaired_chunks > 0) {
+    std::printf("  ec reads %llu (degraded %llu), stragglers %llu, "
+                "repaired chunks %llu\n",
+                static_cast<unsigned long long>(m.erasure.reads),
+                static_cast<unsigned long long>(m.erasure.degraded_reads),
+                static_cast<unsigned long long>(m.erasure.straggler_chunks),
+                static_cast<unsigned long long>(m.erasure.repaired_chunks));
+  }
 }
 
 }  // namespace
@@ -175,6 +194,8 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "workload seed", "42");
   cli.add_flag("journal", "write journal: off | commit | checkpoint");
   cli.add_flag("replication", "copies of every file", "1");
+  cli.add_flag("ec", "erasure coding as n,k (e.g. 4,2); excludes --replication");
+  cli.add_flag("ec-hedge-ms", "erasure hedge stagger in ms", "250");
   cli.add_flag("chaos-seed", "random node crash/restart schedule seed");
   cli.add_flag("chaos-crashes", "crash count with --chaos-seed", "2");
   cli.add_flag("chaos-downtime", "seconds down with --chaos-seed", "30");

@@ -27,6 +27,11 @@ void Cluster::build(const workload::Workload& workload) {
   recovery_hists_.replay_us = &registry_->histogram("recovery.replay_time.us");
   recovery_hists_.resync_us = &registry_->histogram("recovery.resync_time.us");
   recovery_hists_.rewarm_us = &registry_->histogram("recovery.rewarm_time.us");
+  // Erasure-coding histograms: same stable-universe rule (zero-sample
+  // whenever ec_n == 0).
+  recovery_hists_.ec_repair_us = &registry_->histogram("ec.repair_time.us");
+  obs::Histogram* hist_ec_reconstruct =
+      &registry_->histogram("ec.reconstruct_time.us");
   ev_client_request_ = tracer_->intern("client.request");
   net_ = std::make_unique<net::NetworkFabric>(*sim_);
   net_->set_observer(tracer_.get());
@@ -90,6 +95,24 @@ void Cluster::build(const workload::Workload& workload) {
   server_->set_observer(tracer_.get());
   server_->register_nodes(std::move(raw));
   server_->set_replication_degree(config_.replication_degree);
+  if (config_.ec_n > 0) {
+    StorageServer::ErasureParams ec;
+    ec.n = config_.ec_n;
+    ec.k = config_.ec_k;
+    ec.hedge_delay = milliseconds_to_ticks(config_.ec_hedge_ms);
+    ec.decode_bytes_per_sec = config_.ec_decode_mbps * 1.0e6;
+    // Spindle energy per transferred byte, from the node disk profile:
+    // what a 1 MiB sequential transfer costs at active power.  Used for
+    // the degraded-read energy estimate (parity bytes a healthy read
+    // never touches).
+    const disk::DiskProfile prof = config_.node_disk_profile(0);
+    const Bytes mib = 1 << 20;
+    ec.joules_per_byte = prof.active_watts *
+                         ticks_to_seconds(prof.service_time(mib, true)) /
+                         static_cast<double>(mib);
+    server_->set_erasure(ec);
+    server_->set_ec_reconstruct_hist(hist_ec_reconstruct);
+  }
   if (config_.online_popularity) {
     // Blind mode: the server knows the files (sizes) but nothing about
     // the access pattern — popularity is learned from the request log.
@@ -381,6 +404,7 @@ void Cluster::finish_run() {
   av.recovery_episodes = server_->recovery_episodes();
   av.mttr_sec = server_->mttr_sec();
   if (recovery_) metrics_.recovery = recovery_->metrics();
+  metrics_.erasure = server_->erasure_metrics();
   snapshot_counters();
   EEVFS_INFO() << "run finished: " << metrics_.summary();
 }
@@ -483,6 +507,17 @@ void Cluster::snapshot_counters() {
   reg.counter("recovery.rewarmed_files.count").add(rec.rewarmed_files);
   reg.counter("recovery.episodes_abandoned.count")
       .add(recovery_ ? recovery_->episodes_abandoned() : 0);
+
+  const ErasureMetrics& ec = metrics_.erasure;
+  reg.counter("ec.reads.count").add(ec.reads);
+  reg.counter("ec.degraded_reads.count").add(ec.degraded_reads);
+  reg.counter("ec.reconstructions.count").add(ec.reconstructions);
+  reg.counter("ec.chunk_requests.count").add(ec.chunk_requests);
+  reg.counter("ec.straggler_chunks.count").add(ec.straggler_chunks);
+  reg.counter("ec.hedges_launched.count").add(ec.hedges_launched);
+  reg.counter("ec.hedges_cancelled.count").add(ec.hedges_cancelled);
+  reg.counter("ec.repaired_chunks.count").add(ec.repaired_chunks);
+  reg.gauge("ec.degraded_energy.joules").set(ec.degraded_energy_estimate);
 
   std::uint64_t j_appends = 0, j_checkpoints = 0, j_truncated = 0;
   std::uint64_t j_scan_bytes = 0;

@@ -112,6 +112,30 @@ void ClusterConfig::validate() const {
         "ClusterConfig: network drops require request_timeout_sec > 0 "
         "(dropped requests would strand the run)");
   }
+  if ((ec_n == 0) != (ec_k == 0)) {
+    throw std::invalid_argument(
+        "ClusterConfig: ec_n and ec_k must be set together (or both 0)");
+  }
+  if (ec_n > 0) {
+    if (ec_k < 1 || ec_n <= ec_k) {
+      throw std::invalid_argument(
+          "ClusterConfig: erasure coding needs n > k >= 1");
+    }
+    if (ec_n > num_storage_nodes) {
+      throw std::invalid_argument(
+          "ClusterConfig: ec_n exceeds node count (chunks must land on "
+          "distinct nodes)");
+    }
+    if (replication_degree > 1) {
+      throw std::invalid_argument(
+          "ClusterConfig: erasure coding and replication are mutually "
+          "exclusive");
+    }
+    if (ec_hedge_ms < 0.0 || ec_decode_mbps <= 0.0) {
+      throw std::invalid_argument(
+          "ClusterConfig: ec_hedge_ms must be >= 0 and ec_decode_mbps > 0");
+    }
+  }
   if (journal_header_kb <= 0.0) {
     throw std::invalid_argument(
         "ClusterConfig: journal_header_kb must be positive");

@@ -149,6 +149,26 @@ struct ClusterConfig {
   /// The fault schedule for this run (empty = fault-free, zero cost).
   fault::FaultPlan fault_plan;
 
+  // --- erasure coding (robustness extension) ---------------------------
+  /// (n, k) MDS erasure placement: each file is striped into k data
+  /// chunks plus n-k parity chunks on n distinct storage nodes; a read
+  /// fork-joins k-of-n chunk requests and any k surviving chunks
+  /// reconstruct the file (degraded read when a parity chunk is used).
+  /// 0/0 = off (whole-file placement).  Mutually exclusive with
+  /// replication_degree > 1 — the fault_tolerance bench compares the two.
+  std::size_t ec_n = 0;
+  std::size_t ec_k = 0;
+  /// Delay before each straggler-hedge chunk request past the first k is
+  /// dispatched; the j-th spare fires after j * ec_hedge_ms unless the
+  /// read joined first (EventHandle cancellation).  The default sits
+  /// comfortably above a typical chunk service time so hedges fire only
+  /// for genuinely slow chunks — chunk FAILURES promote the next spare
+  /// immediately and never wait on this timer.
+  double ec_hedge_ms = 250.0;
+  /// Modeled erasure decode throughput (reconstruction CPU cost charged
+  /// to degraded reads and background chunk repair).
+  double ec_decode_mbps = 400.0;
+
   // --- durability / crash recovery (robustness extension) --------------
   /// Write-ahead journal for the buffer-disk write buffer: a commit
   /// header is appended to the log after the payload lands and before the

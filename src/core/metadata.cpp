@@ -9,12 +9,17 @@ void ServerMetadata::insert(trace::FileId file, NodeId node, Bytes size) {
 }
 
 void ServerMetadata::insert(trace::FileId file, std::vector<NodeId> replicas,
-                            Bytes size) {
+                            Bytes size, bool erasure, std::size_t ec_k) {
   if (replicas.empty()) {
     throw std::invalid_argument("ServerMetadata: file needs >= 1 replica");
   }
+  if (erasure && (ec_k < 1 || ec_k >= replicas.size())) {
+    throw std::invalid_argument(
+        "ServerMetadata: erasure entry needs 1 <= ec_k < chunk count");
+  }
   const auto [it, inserted] = entries_.emplace(
-      file, ServerFileEntry{replicas.front(), size, std::move(replicas)});
+      file, ServerFileEntry{replicas.front(), size, std::move(replicas),
+                            erasure, erasure ? ec_k : 0});
   (void)it;
   if (!inserted) {
     throw std::invalid_argument("ServerMetadata: duplicate file " +

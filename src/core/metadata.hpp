@@ -25,10 +25,16 @@ namespace eevfs::core {
 /// Server-side entry: everything the front end is allowed to know.
 struct ServerFileEntry {
   NodeId node = 0;  // primary replica (replicas[0])
-  Bytes size = 0;
+  Bytes size = 0;   // full logical file size (not a chunk size)
   /// All nodes holding a copy, primary first.  Size 1 without
-  /// replication — the k-replica extension appends k-1 more.
+  /// replication — the k-replica extension appends k-1 more.  Under
+  /// erasure coding this is the chunk-holder sequence: entry j holds
+  /// chunk j (j < ec_k data, j >= ec_k parity).
   std::vector<NodeId> replicas;
+  /// Erasure-coded file: replicas are chunk holders and each node stores
+  /// a ceil(size / ec_k)-byte chunk image; any ec_k chunks reconstruct.
+  bool erasure = false;
+  std::size_t ec_k = 0;
 };
 
 class ServerMetadata {
@@ -37,8 +43,11 @@ class ServerMetadata {
   /// the single writer of this table).
   void insert(trace::FileId file, NodeId node, Bytes size);
   /// Replicated registration: `replicas` holds every owning node,
-  /// primary first (must be non-empty and duplicate-free).
-  void insert(trace::FileId file, std::vector<NodeId> replicas, Bytes size);
+  /// primary first (must be non-empty and duplicate-free).  With
+  /// `erasure` the list is the chunk-holder sequence and `ec_k` chunks
+  /// reconstruct the file (requires 1 <= ec_k < replicas.size()).
+  void insert(trace::FileId file, std::vector<NodeId> replicas, Bytes size,
+              bool erasure = false, std::size_t ec_k = 0);
 
   /// Looks a file up, counting the probe.  nullopt for unknown files.
   std::optional<ServerFileEntry> lookup(trace::FileId file);

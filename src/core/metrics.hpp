@@ -129,6 +129,27 @@ struct RecoveryMetrics {
   }
 };
 
+/// Erasure-coding accounting for one run (all zeros when ec_n == 0).
+/// The read path fork-joins k-of-n chunk requests; spares past the first
+/// k are hedges, dispatched on a staggered timer and cancelled (via the
+/// engine's EventHandle tickets) when the read joins first.
+struct ErasureMetrics {
+  std::uint64_t reads = 0;            // erasure reads joined (k chunks in)
+  std::uint64_t degraded_reads = 0;   // joins that used >= 1 parity chunk
+  std::uint64_t reconstructions = 0;  // decodes performed (reads + repairs)
+  std::uint64_t chunk_requests = 0;   // chunk reads/writes dispatched
+  std::uint64_t straggler_chunks = 0;  // chunk completions after the join
+  std::uint64_t hedges_launched = 0;   // spare dispatch timers that fired
+  std::uint64_t hedges_cancelled = 0;  // spare timers cancelled at join
+  std::uint64_t repaired_chunks = 0;   // chunks rebuilt by recovery repair
+  Tick reconstruct_ticks = 0;          // decode time charged, summed
+  /// Modeled extra spindle energy of degraded reads: the parity chunks a
+  /// join pulled in are bytes a healthy read never touches.  An estimate
+  /// from the disk profile (joules per transferred byte), not a
+  /// wall-meter difference.
+  Joules degraded_energy_estimate = 0.0;
+};
+
 struct RunMetrics {
   // --- paper metrics ---------------------------------------------------
   Joules total_joules = 0.0;            // all storage nodes, disks + base
@@ -157,6 +178,9 @@ struct RunMetrics {
 
   // --- crash recovery (robustness extension) ---------------------------
   RecoveryMetrics recovery;
+
+  // --- erasure coding (robustness extension) ---------------------------
+  ErasureMetrics erasure;
 
   // --- observability ---------------------------------------------------
   /// Deterministic snapshot of the run's metric registry, sorted by name

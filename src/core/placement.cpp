@@ -31,20 +31,31 @@ PlacementMap place_files(PlacementPolicy policy, std::size_t num_nodes,
                          std::size_t num_files,
                          const trace::PopularityAnalyzer& popularity,
                          const std::vector<Bytes>& sizes, Rng& rng,
-                         std::size_t replication_degree) {
+                         std::size_t replication_degree, std::size_t ec_n,
+                         std::size_t ec_k) {
   if (num_nodes == 0) {
     throw std::invalid_argument("place_files: no nodes");
   }
   if (sizes.size() < num_files) {
     throw std::invalid_argument("place_files: sizes shorter than file count");
   }
+  if (ec_n > 0 && (ec_k < 1 || ec_n <= ec_k || ec_n > num_nodes)) {
+    throw std::invalid_argument("place_files: need 1 <= ec_k < ec_n <= nodes");
+  }
+  // Copies per file: the chunk count under erasure, else the replica
+  // count.  Either way copy j lands on (primary + j) mod num_nodes.
   const std::size_t degree =
-      std::min(std::max<std::size_t>(replication_degree, 1), num_nodes);
+      ec_n > 0 ? ec_n
+               : std::min(std::max<std::size_t>(replication_degree, 1),
+                          num_nodes);
 
   PlacementMap map;
   map.node_of.assign(num_files, 0);
   map.replicas_of.assign(num_files, {});
   map.files_on_node.assign(num_nodes, {});
+  map.erasure = ec_n > 0;
+  map.ec_n = ec_n;
+  map.ec_k = ec_n > 0 ? ec_k : 0;
 
   const std::vector<trace::FileId> order = creation_order(num_files, popularity);
 

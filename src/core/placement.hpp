@@ -16,16 +16,28 @@ struct PlacementMap {
   /// Primary owning node per file, indexed by FileId.
   std::vector<NodeId> node_of;
   /// All nodes holding a copy of each file, primary first (size ==
-  /// replication degree), indexed by FileId.
+  /// replication degree), indexed by FileId.  Under erasure coding the
+  /// list is the chunk-holder sequence instead: entry j is the node
+  /// holding chunk j (j < ec_k: data chunk, j >= ec_k: parity chunk).
   std::vector<std::vector<NodeId>> replicas_of;
   /// Files per node in creation (i.e. popularity) order — the order in
   /// which the server issues create-file requests, which drives the
-  /// node-local disk round-robin.  Includes replica copies.
+  /// node-local disk round-robin.  Includes replica/chunk copies.
   std::vector<std::vector<trace::FileId>> files_on_node;
+  /// Erasure mode: replicas_of holds ec_n chunk nodes per file and each
+  /// node stores a chunk_bytes()-sized image instead of the whole file.
+  bool erasure = false;
+  std::size_t ec_n = 0;
+  std::size_t ec_k = 0;
 
   NodeId node(trace::FileId f) const { return node_of.at(f); }
   const std::vector<NodeId>& replicas(trace::FileId f) const {
     return replicas_of.at(f);
+  }
+  /// Size of one erasure chunk of a `size`-byte file (k data chunks
+  /// cover the file; parity chunks are the same size).
+  static Bytes chunk_bytes(Bytes size, std::size_t k) {
+    return k == 0 ? size : (size + k - 1) / k;
   }
 };
 
@@ -35,10 +47,17 @@ struct PlacementMap {
 /// FileId and used by the size-balanced policy.  `replication_degree`
 /// copies land on distinct consecutive nodes (mod the node count) past
 /// the policy-chosen primary; it is clamped to the node count.
+///
+/// With `ec_n > 0` the placement switches to (ec_n, ec_k) erasure
+/// striping: chunk j of a file lands on node (primary + j) mod the node
+/// count — ec_n distinct nodes, chunk 0 on the policy-chosen primary —
+/// and `replication_degree` is ignored (config validation makes the two
+/// mutually exclusive).  Requires 1 <= ec_k < ec_n <= num_nodes.
 PlacementMap place_files(PlacementPolicy policy, std::size_t num_nodes,
                          std::size_t num_files,
                          const trace::PopularityAnalyzer& popularity,
                          const std::vector<Bytes>& sizes, Rng& rng,
-                         std::size_t replication_degree = 1);
+                         std::size_t replication_degree = 1,
+                         std::size_t ec_n = 0, std::size_t ec_k = 0);
 
 }  // namespace eevfs::core

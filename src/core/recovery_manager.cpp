@@ -35,6 +35,7 @@ void RecoveryManager::set_observer(obs::Tracer* tracer, Histograms hists) {
     ev_resync_ = tracer_->intern("recovery.resync");
     ev_rewarm_ = tracer_->intern("recovery.rewarm");
     ev_complete_ = tracer_->intern("recovery.complete");
+    ev_ec_repair_ = tracer_->intern("recovery.ec_repair");
   }
 }
 
@@ -80,9 +81,15 @@ void RecoveryManager::begin_resync(NodeId n, std::uint64_t gen,
                                    std::size_t /*replayed*/,
                                    Tick replay_done) {
   // The server hands over (and forgets) the files whose latest write
-  // landed elsewhere while this node was out.
+  // landed elsewhere while this node was out.  Under erasure coding the
+  // work list is the same but the mechanics differ: this node's CHUNK is
+  // lost, so it must be rebuilt from any k surviving chunks.
   std::vector<trace::FileId> files = server_.take_stale_files(n);
-  resync_next(n, gen, std::move(files), 0, 0, replay_done);
+  if (server_.erasure_enabled()) {
+    ec_repair_next(n, gen, std::move(files), 0, 0, replay_done);
+  } else {
+    resync_next(n, gen, std::move(files), 0, 0, replay_done);
+  }
 }
 
 void RecoveryManager::resync_next(NodeId n, std::uint64_t gen,
@@ -126,6 +133,103 @@ void RecoveryManager::resync_next(NodeId n, std::uint64_t gen,
               resync_next(n, gen, std::move(files), idx + 1,
                           ok + (wrote ? 1 : 0), resync_start);
             });
+      });
+}
+
+void RecoveryManager::ec_repair_next(NodeId n, std::uint64_t gen,
+                                     std::vector<trace::FileId> files,
+                                     std::size_t idx, std::size_t ok,
+                                     Tick resync_start) {
+  if (gen != state_[n].generation) return;
+  if (idx >= files.size()) {
+    ep_resynced_[n] = ok;
+    ep_resync_ticks_[n] = sim_.now() - resync_start;
+    trace_instant(ev_resync_, n, static_cast<std::int64_t>(ok));
+    begin_rewarm(n, gen, sim_.now());
+    return;
+  }
+  const trace::FileId f = files[idx];
+  const auto entry = server_.mutable_metadata().lookup(f);
+  if (!entry || !entry->erasure) {
+    ec_repair_next(n, gen, std::move(files), idx + 1, ok, resync_start);
+    return;
+  }
+  // Any k surviving chunk holders (other than the node being repaired)
+  // can donate; parity chunks decode just as well as data chunks.
+  std::vector<StorageNode*> sources;
+  for (const NodeId r : entry->replicas) {
+    if (r == n || r >= nodes_.size()) continue;
+    if (nodes_[r]->alive() && !server_.node_dead(r)) {
+      sources.push_back(nodes_[r]);
+      if (sources.size() == server_.ec_k()) break;
+    }
+  }
+  if (sources.size() < server_.ec_k()) {
+    // Not enough survivors to decode; the chunk stays lost until more
+    // nodes come back (a later episode re-discovers it via stale marks).
+    ec_repair_next(n, gen, std::move(files), idx + 1, ok, resync_start);
+    return;
+  }
+  ec_repair_read(n, gen, std::move(files), idx, ok, resync_start,
+                 std::move(sources), 0, sim_.now());
+}
+
+void RecoveryManager::ec_repair_read(NodeId n, std::uint64_t gen,
+                                     std::vector<trace::FileId> files,
+                                     std::size_t idx, std::size_t ok,
+                                     Tick resync_start,
+                                     std::vector<StorageNode*> sources,
+                                     std::size_t si, Tick file_start) {
+  if (gen != state_[n].generation) return;
+  const trace::FileId f = files[idx];
+  if (si >= sources.size()) {
+    // All k source chunks are in: pay the decode, then write the rebuilt
+    // chunk down onto the local stripe set.
+    const auto entry = server_.mutable_metadata().lookup(f);
+    const Bytes chunk_bytes =
+        entry ? server_.ec_chunk_bytes(entry->size) : 0;
+    const Tick decode = server_.ec_decode_ticks(
+        chunk_bytes * static_cast<Bytes>(server_.ec_k()));
+    sim_.schedule_after(decode, [this, n, gen, f, decode,
+                                 files = std::move(files), idx, ok,
+                                 resync_start, file_start]() mutable {
+      if (gen != state_[n].generation) return;
+      nodes_[n]->resync_write(
+          f, [this, n, gen, f, decode, files = std::move(files), idx, ok,
+              resync_start, file_start](Tick, bool wrote) mutable {
+            if (gen != state_[n].generation) return;
+            if (wrote) {
+              server_.note_chunk_repaired(decode);
+              const Tick took = sim_.now() - file_start;
+              if (hists_.ec_repair_us) {
+                hists_.ec_repair_us->record(
+                    static_cast<std::uint64_t>(took));
+              }
+              trace_instant(ev_ec_repair_, n, static_cast<std::int64_t>(f));
+            }
+            ec_repair_next(n, gen, std::move(files), idx + 1,
+                           ok + (wrote ? 1 : 0), resync_start);
+          });
+    });
+    return;
+  }
+  // Serial trickle, like replica resync: one source chunk in flight at a
+  // time, so repair never storms a cluster that is already degraded.
+  StorageNode* source = sources[si];
+  source->serve_read(
+      f, nodes_[n]->endpoint(),
+      [this, n, gen, files = std::move(files), idx, ok, resync_start,
+       sources = std::move(sources), si,
+       file_start](Tick, RequestStatus st) mutable {
+        if (gen != state_[n].generation) return;
+        if (!request_ok(st)) {
+          // A donor failed mid-repair; this chunk stays lost for now.
+          ec_repair_next(n, gen, std::move(files), idx + 1, ok,
+                         resync_start);
+          return;
+        }
+        ec_repair_read(n, gen, std::move(files), idx, ok, resync_start,
+                       std::move(sources), si + 1, file_start);
       });
 }
 

@@ -46,6 +46,9 @@ class RecoveryManager {
     obs::Histogram* replay_us = nullptr;
     obs::Histogram* resync_us = nullptr;
     obs::Histogram* rewarm_us = nullptr;
+    /// Per rebuilt chunk: k-source read + decode + local write time
+    /// (erasure mode only).
+    obs::Histogram* ec_repair_us = nullptr;
   };
 
   RecoveryManager(sim::Simulator& sim, StorageServer& server,
@@ -80,6 +83,16 @@ class RecoveryManager {
   void resync_next(NodeId n, std::uint64_t gen,
                    std::vector<trace::FileId> files, std::size_t idx,
                    std::size_t ok, Tick resync_start);
+  /// Erasure-mode phase 2: rebuild this node's lost/stale chunks from any
+  /// k surviving chunk holders (serial trickle, like replica resync).
+  void ec_repair_next(NodeId n, std::uint64_t gen,
+                      std::vector<trace::FileId> files, std::size_t idx,
+                      std::size_t ok, Tick resync_start);
+  void ec_repair_read(NodeId n, std::uint64_t gen,
+                      std::vector<trace::FileId> files, std::size_t idx,
+                      std::size_t ok, Tick resync_start,
+                      std::vector<StorageNode*> sources, std::size_t si,
+                      Tick file_start);
   void begin_rewarm(NodeId n, std::uint64_t gen, Tick rewarm_start);
   void finish_episode(NodeId n, std::uint64_t gen, std::size_t rewarmed,
                       Tick rewarm_start);
@@ -110,6 +123,7 @@ class RecoveryManager {
   obs::StringId ev_resync_ = 0;
   obs::StringId ev_rewarm_ = 0;
   obs::StringId ev_complete_ = 0;
+  obs::StringId ev_ec_repair_ = 0;
 };
 
 }  // namespace eevfs::core

@@ -37,19 +37,27 @@ void StorageServer::place_and_create(const workload::Workload& workload) {
   }
   placement_ = place_files(placement_policy_, nodes_.size(),
                            workload.num_files(), *analyzer_,
-                           workload.file_sizes, rng_, replication_degree_);
+                           workload.file_sizes, rng_, replication_degree_,
+                           ec_.n, ec_.k);
   // Create-file calls happen in popularity order per node, which is what
   // makes the node-local disk round-robin load balance (§III-B); the
-  // per-node lists include replica copies.
+  // per-node lists include replica copies.  Under erasure coding each
+  // node stores a chunk-sized image, not the whole file.
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     nodes_[n]->expect_files(placement_.files_on_node[n].size());
     for (const trace::FileId f : placement_.files_on_node[n]) {
-      nodes_[n]->create_file(f, workload.file_size(f));
+      const Bytes size = workload.file_size(f);
+      nodes_[n]->create_file(
+          f, placement_.erasure
+                 ? PlacementMap::chunk_bytes(size, placement_.ec_k)
+                 : size);
     }
   }
-  // The routing table records every replica, primary first.
+  // The routing table records every replica (chunk holder), primary
+  // first, with the full logical size.
   for (trace::FileId f = 0; f < workload.num_files(); ++f) {
-    metadata_.insert(f, placement_.replicas(f), workload.file_size(f));
+    metadata_.insert(f, placement_.replicas(f), workload.file_size(f),
+                     placement_.erasure, placement_.ec_k);
   }
 }
 
@@ -60,7 +68,17 @@ void StorageServer::distribute_patterns(const workload::Workload& workload) {
   std::vector<std::map<trace::FileId, std::vector<Tick>>> per_node(
       nodes_.size());
   for (const trace::TraceRecord& r : workload.requests.records()) {
-    per_node[placement_.node(r.file)][r.file].push_back(r.arrival);
+    if (placement_.erasure) {
+      // Every data-chunk holder takes part in serving a read, so each of
+      // the first k holders gets the hint; parity holders stay cold until
+      // a degraded read or repair pulls them in.
+      const auto& holders = placement_.replicas(r.file);
+      for (std::size_t c = 0; c < placement_.ec_k; ++c) {
+        per_node[holders[c]][r.file].push_back(r.arrival);
+      }
+    } else {
+      per_node[placement_.node(r.file)][r.file].push_back(r.arrival);
+    }
   }
   const Tick horizon = workload.requests.duration();
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -75,9 +93,35 @@ std::vector<std::vector<trace::FileId>> StorageServer::prefetch_candidates(
   }
   std::vector<std::vector<trace::FileId>> per_node(nodes_.size());
   for (const trace::FileId f : analyzer_->top(k)) {
-    per_node[placement_.node(f)].push_back(f);
+    if (placement_.erasure) {
+      const auto& holders = placement_.replicas(f);
+      for (std::size_t c = 0; c < placement_.ec_k; ++c) {
+        per_node[holders[c]].push_back(f);
+      }
+    } else {
+      per_node[placement_.node(f)].push_back(f);
+    }
   }
   return per_node;
+}
+
+void StorageServer::set_erasure(ErasureParams params) {
+  if (params.n > 0 && (params.k < 1 || params.n <= params.k)) {
+    throw std::invalid_argument("StorageServer: erasure needs n > k >= 1");
+  }
+  ec_ = params;
+}
+
+Tick StorageServer::ec_decode_ticks(Bytes bytes) const {
+  if (ec_.decode_bytes_per_sec <= 0.0) return 0;
+  return seconds_to_ticks(static_cast<double>(bytes) /
+                          ec_.decode_bytes_per_sec);
+}
+
+void StorageServer::note_chunk_repaired(Tick decode_ticks) {
+  ++ec_metrics_.repaired_chunks;
+  ++ec_metrics_.reconstructions;
+  ec_metrics_.reconstruct_ticks += decode_ticks;
 }
 
 void StorageServer::set_observer(obs::Tracer* tracer) {
@@ -88,6 +132,8 @@ void StorageServer::set_observer(obs::Tracer* tracer) {
     ev_node_dead_ = tracer_->intern("server.node_dead");
     ev_node_alive_ = tracer_->intern("server.node_alive");
     ev_refresh_ = tracer_->intern("server.refresh");
+    ev_ec_join_ = tracer_->intern("server.ec_join");
+    ev_ec_hedge_ = tracer_->intern("server.ec_hedge");
   }
 }
 
@@ -222,27 +268,52 @@ void StorageServer::route(const trace::TraceRecord& r,
   }
   log_.append(r.file, sim_.now(), r.bytes);
   ++requests_routed_;
-  // Pay the metadata probe, then walk the replica list.
-  sim_.schedule_after(ServerMetadata::lookup_cost(),
-                      [this, r, client, replicas = entry->replicas,
-                       on_done = std::move(on_done)]() mutable {
-                        try_replica(r, client, std::move(replicas), 0,
-                                    std::move(on_done));
-                      });
+  // Pay the metadata probe, then walk the candidate list (or fork the
+  // erasure fan-out).  Candidate order is decided after the probe, from
+  // the health picture current at dispatch time.
+  sim_.schedule_after(
+      ServerMetadata::lookup_cost(),
+      [this, r, client, entry = *entry,
+       on_done = std::move(on_done)]() mutable {
+        if (entry.erasure) {
+          if (r.op == trace::Op::kRead) {
+            ec_route(r, client, entry, std::move(on_done));
+          } else {
+            ec_write(r, client, entry, std::move(on_done));
+          }
+          return;
+        }
+        try_replica(r, client, ordered_replicas(r.file, entry.replicas), 0,
+                    entry.replicas.front(), std::move(on_done));
+      });
+}
+
+std::vector<NodeId> StorageServer::ordered_replicas(
+    trace::FileId f, const std::vector<NodeId>& replicas) const {
+  // Believed-healthy nodes first in placement order; dead-marked nodes
+  // are tried LAST instead of skipped, because a dead mark can be a
+  // heartbeat false positive — this way a misjudged primary costs a
+  // failover hop, never a client retry budget slot.  (file, node) pairs
+  // that failed kDiskUnavailable are dropped: the platters are gone.
+  std::vector<NodeId> out;
+  out.reserve(replicas.size());
+  for (const NodeId n : replicas) {
+    if (unavailable_.contains({f, n}) || health_[n].dead) continue;
+    out.push_back(n);
+  }
+  for (const NodeId n : replicas) {
+    if (unavailable_.contains({f, n}) || !health_[n].dead) continue;
+    out.push_back(n);
+  }
+  return out;
 }
 
 void StorageServer::try_replica(const trace::TraceRecord& r,
                                 net::EndpointId client,
-                                std::vector<NodeId> replicas, std::size_t idx,
+                                std::vector<NodeId> candidates,
+                                std::size_t idx, NodeId primary,
                                 RouteCallback on_done) {
-  // Skip replicas the server already knows cannot serve this file:
-  // health-marked dead nodes, and (file, node) pairs that failed before.
-  while (idx < replicas.size() &&
-         (health_[replicas[idx]].dead ||
-          unavailable_.contains({r.file, replicas[idx]}))) {
-    ++idx;
-  }
-  if (idx >= replicas.size()) {
+  if (idx >= candidates.size()) {
     ++requests_failed_;
     sim_.schedule_after(1, [this, on_done = std::move(on_done)] {
       on_done(sim_.now(), RequestStatus::kNoReplica);
@@ -250,26 +321,32 @@ void StorageServer::try_replica(const trace::TraceRecord& r,
     return;
   }
 
-  StorageNode* node = nodes_.at(replicas[idx]);
-  const bool rerouted = idx > 0;
+  StorageNode* node = nodes_.at(candidates[idx]);
+  // Reordering means position 0 is not necessarily the primary: a
+  // request counts as rerouted whenever a non-primary copy serves it.
+  const bool rerouted = candidates[idx] != primary;
   // Forward a control message to the replica; the node then talks to the
   // client directly (step 6) — data never flows through the server.
   net_.send(
       self_, node->endpoint(), net::kControlMessageBytes,
-      [this, node, r, client, replicas = std::move(replicas), idx, rerouted,
-       on_done = std::move(on_done)](Tick) mutable {
+      [this, node, r, client, candidates = std::move(candidates), idx,
+       primary, rerouted, on_done = std::move(on_done)](Tick) mutable {
         StorageNode::ServeCallback handle =
-            [this, r, client, replicas = std::move(replicas), idx, rerouted,
-             on_done = std::move(on_done)](Tick t,
-                                           RequestStatus st) mutable {
+            [this, r, client, candidates = std::move(candidates), idx,
+             primary, rerouted, on_done = std::move(on_done)](
+                Tick t, RequestStatus st) mutable {
               if (request_ok(st)) {
-                if (rerouted) {
-                  ++requests_rerouted_;
-                  // A write that landed on a failover replica leaves the
-                  // skipped copies behind: remember them for resync.
-                  if (r.op == trace::Op::kWrite) {
-                    for (std::size_t j = 0; j < idx; ++j) {
-                      stale_files_[replicas[j]].insert(r.file);
+                if (rerouted) ++requests_rerouted_;
+                if (r.op == trace::Op::kWrite) {
+                  // The write landed on candidates[idx] only.  Every
+                  // other copy the server believes exists is now behind:
+                  // the candidates tried and failed before this one, and
+                  // the dead-marked nodes ordered after it that were
+                  // never reached.
+                  for (std::size_t j = 0; j < candidates.size(); ++j) {
+                    if (j == idx) continue;
+                    if (j < idx || health_[candidates[j]].dead) {
+                      stale_files_[candidates[j]].insert(r.file);
                     }
                   }
                 }
@@ -278,9 +355,9 @@ void StorageServer::try_replica(const trace::TraceRecord& r,
               }
               // The node could not serve: remember why, then fail over.
               if (st == RequestStatus::kDiskUnavailable) {
-                unavailable_.insert({r.file, replicas[idx]});
+                unavailable_.insert({r.file, candidates[idx]});
               } else if (st == RequestStatus::kNodeUnavailable) {
-                mark_dead(replicas[idx]);
+                mark_dead(candidates[idx]);
               }
               ++failovers_;
               if (tracer_ && tracer_->wants(obs::kCatServer)) {
@@ -288,9 +365,9 @@ void StorageServer::try_replica(const trace::TraceRecord& r,
                     t, obs::kCatServer, obs::TraceLevel::kInfo, ev_failover_,
                     track_, tracer_->intern(to_string(st)),
                     static_cast<std::int64_t>(r.file),
-                    static_cast<std::int64_t>(replicas[idx]));
+                    static_cast<std::int64_t>(candidates[idx]));
               }
-              try_replica(r, client, std::move(replicas), idx + 1,
+              try_replica(r, client, std::move(candidates), idx + 1, primary,
                           std::move(on_done));
             };
         if (r.op == trace::Op::kRead) {
@@ -299,6 +376,268 @@ void StorageServer::try_replica(const trace::TraceRecord& r,
           node->serve_write(r.file, r.bytes, client, std::move(handle));
         }
       });
+}
+
+// --- erasure fork-join read path ----------------------------------------
+
+void StorageServer::ec_route(const trace::TraceRecord& r,
+                             net::EndpointId client,
+                             const ServerFileEntry& entry,
+                             RouteCallback on_done) {
+  auto op = std::make_shared<EcReadOp>();
+  op->r = r;
+  op->client = client;
+  op->chunk_node = entry.replicas;
+  op->chunk_bytes = PlacementMap::chunk_bytes(entry.size, entry.ec_k);
+  op->need = entry.ec_k;
+  op->on_done = std::move(on_done);
+  // Candidate chunks in dispatch order: fetchable-believed chunks first
+  // (data before parity within each class — chunk order), dead-marked
+  // holders last, known-unavailable (file, node) pairs dropped.
+  for (std::size_t c = 0; c < op->chunk_node.size(); ++c) {
+    const NodeId n = op->chunk_node[c];
+    if (unavailable_.contains({r.file, n}) || health_[n].dead) continue;
+    op->candidates.push_back(c);
+  }
+  for (std::size_t c = 0; c < op->chunk_node.size(); ++c) {
+    const NodeId n = op->chunk_node[c];
+    if (unavailable_.contains({r.file, n}) || !health_[n].dead) continue;
+    op->candidates.push_back(c);
+  }
+  if (op->candidates.size() < op->need) {
+    ec_fail(op);
+    return;
+  }
+  // All data chunks healthy <=> the first k candidates are exactly the
+  // data chunks (the healthy pass preserves chunk order).  Anything else
+  // means a fault already shaped this read.
+  for (std::size_t i = 0; i < op->need; ++i) {
+    if (op->candidates[i] != i) op->faulty = true;
+  }
+  // Fork: the first k candidates dispatch now; each spare past that arms
+  // a staggered hedge timer.  A timer firing after a promotion already
+  // consumed the last candidate is a harmless no-op; timers still
+  // pending at the join are cancelled through their EventHandles.
+  for (std::size_t i = 0; i < op->need; ++i) ec_dispatch_next(op);
+  const std::size_t spares = op->candidates.size() - op->need;
+  for (std::size_t j = 0; j < spares; ++j) {
+    op->hedges.push_back(sim_.schedule_after(
+        ec_.hedge_delay * static_cast<Tick>(j + 1) + 1, [this, op] {
+          if (op->settled || op->next >= op->candidates.size()) return;
+          ++ec_metrics_.hedges_launched;
+          if (tracer_ && tracer_->wants(obs::kCatServer)) {
+            tracer_->instant(
+                sim_.now(), obs::kCatServer, obs::TraceLevel::kDebug,
+                ev_ec_hedge_, track_, 0,
+                static_cast<std::int64_t>(op->r.file),
+                static_cast<std::int64_t>(op->candidates[op->next]));
+          }
+          ec_dispatch_next(op);
+        }));
+  }
+}
+
+void StorageServer::ec_dispatch_next(const std::shared_ptr<EcReadOp>& op) {
+  if (op->settled || op->next >= op->candidates.size()) return;
+  const std::size_t chunk = op->candidates[op->next++];
+  StorageNode* node = nodes_.at(op->chunk_node[chunk]);
+  ++op->outstanding;
+  ++ec_metrics_.chunk_requests;
+  net_.send(self_, node->endpoint(), net::kControlMessageBytes,
+            [this, op, node, chunk](Tick) {
+              node->serve_read(op->r.file, op->client,
+                               [this, op, chunk](Tick t, RequestStatus st) {
+                                 ec_chunk_done(op, chunk, t, st);
+                               });
+            });
+}
+
+void StorageServer::ec_chunk_done(const std::shared_ptr<EcReadOp>& op,
+                                  std::size_t chunk, Tick t,
+                                  RequestStatus st) {
+  --op->outstanding;
+  if (op->settled) {
+    // The read already joined (or failed) without this chunk: a
+    // straggler.  The spindle and fabric work still happened and is in
+    // the meters; only the count is recorded here.
+    ++ec_metrics_.straggler_chunks;
+    return;
+  }
+  if (request_ok(st)) {
+    ++op->arrived;
+    if (chunk >= op->need) ++op->parity_used;
+    if (op->arrived >= op->need) ec_join(op, t);
+    return;
+  }
+  // Typed chunk failure: remember why, then pull in the next spare NOW
+  // instead of waiting for its hedge timer.
+  op->faulty = true;
+  const NodeId n = op->chunk_node[chunk];
+  if (st == RequestStatus::kDiskUnavailable) {
+    unavailable_.insert({op->r.file, n});
+  } else if (st == RequestStatus::kNodeUnavailable) {
+    mark_dead(n);
+  }
+  ++failovers_;
+  if (tracer_ && tracer_->wants(obs::kCatServer)) {
+    tracer_->instant(t, obs::kCatServer, obs::TraceLevel::kInfo, ev_failover_,
+                     track_, tracer_->intern(to_string(st)),
+                     static_cast<std::int64_t>(op->r.file),
+                     static_cast<std::int64_t>(n));
+  }
+  ec_dispatch_next(op);
+  if (op->arrived + op->outstanding +
+          (op->candidates.size() - op->next) < op->need) {
+    ec_fail(op);
+  }
+}
+
+void StorageServer::ec_join(const std::shared_ptr<EcReadOp>& op, Tick t) {
+  op->settled = true;
+  for (sim::EventHandle& h : op->hedges) {
+    if (h.pending()) {
+      ++ec_metrics_.hedges_cancelled;
+      h.cancel();
+    }
+  }
+  ++ec_metrics_.reads;
+  // Any join that used a parity chunk needs a decode (MDS reconstruction
+  // is required whenever the k arrivals are not exactly the k data
+  // chunks) — that covers hedge wins too.  But only a FAULT-shaped join
+  // counts as a degraded read: a hedge win on a healthy cluster is a
+  // latency tactic, not an availability event.
+  const bool reconstructed = op->parity_used > 0;
+  const bool degraded = reconstructed && op->faulty;
+  Tick decode = 0;
+  if (reconstructed) {
+    ++ec_metrics_.reconstructions;
+    decode = ec_decode_ticks(op->chunk_bytes *
+                             static_cast<Bytes>(op->need));
+    ec_metrics_.reconstruct_ticks += decode;
+    if (hist_ec_reconstruct_) {
+      hist_ec_reconstruct_->record(static_cast<std::uint64_t>(decode));
+    }
+  }
+  if (degraded) {
+    // Book the extra spindle bytes the parity transfers cost — bytes a
+    // healthy read never touches.
+    ++ec_metrics_.degraded_reads;
+    ec_metrics_.degraded_energy_estimate +=
+        static_cast<double>(op->parity_used) *
+        static_cast<double>(op->chunk_bytes) * ec_.joules_per_byte;
+    ++requests_rerouted_;  // served around a missing data chunk
+  }
+  if (tracer_ && tracer_->wants(obs::kCatServer)) {
+    tracer_->instant(t, obs::kCatServer, obs::TraceLevel::kInfo, ev_ec_join_,
+                     track_, tracer_->intern(degraded ? "degraded" : "ok"),
+                     static_cast<std::int64_t>(op->r.file),
+                     static_cast<std::int64_t>(op->parity_used));
+  }
+  if (decode > 0) {
+    sim_.schedule_after(decode, [this, op] {
+      op->on_done(sim_.now(), RequestStatus::kOk);
+    });
+  } else {
+    op->on_done(t, RequestStatus::kOk);
+  }
+}
+
+void StorageServer::ec_fail(const std::shared_ptr<EcReadOp>& op) {
+  if (op->settled) return;
+  op->settled = true;
+  for (sim::EventHandle& h : op->hedges) {
+    if (h.pending()) {
+      ++ec_metrics_.hedges_cancelled;
+      h.cancel();
+    }
+  }
+  ++requests_failed_;
+  sim_.schedule_after(1, [this, op] {
+    op->on_done(sim_.now(), RequestStatus::kNoReplica);
+  });
+}
+
+void StorageServer::ec_write(const trace::TraceRecord& r,
+                             net::EndpointId client,
+                             const ServerFileEntry& entry,
+                             RouteCallback on_done) {
+  // An erasure write re-encodes and fans out to every reachable chunk
+  // holder; the ack needs all dispatched chunk writes settled with at
+  // least k successes.  Holders the server cannot reach (dead-marked or
+  // known-unavailable) miss the write and are recorded stale for the
+  // recovery manager's chunk-repair phase.
+  const Bytes chunk =
+      PlacementMap::chunk_bytes(r.bytes > 0 ? r.bytes : entry.size,
+                                entry.ec_k);
+  struct WriteJoin {
+    std::size_t outstanding = 0;
+    std::size_t acked = 0;
+    Tick last_ok = 0;
+    RouteCallback on_done;
+  };
+  auto join = std::make_shared<WriteJoin>();
+  join->on_done = std::move(on_done);
+  const std::size_t need = entry.ec_k;
+
+  std::vector<std::size_t> targets;
+  for (std::size_t c = 0; c < entry.replicas.size(); ++c) {
+    const NodeId n = entry.replicas[c];
+    if (unavailable_.contains({r.file, n}) || health_[n].dead) {
+      stale_files_[n].insert(r.file);
+      continue;
+    }
+    targets.push_back(c);
+  }
+  if (targets.size() < need) {
+    ++requests_failed_;
+    sim_.schedule_after(1, [this, join] {
+      join->on_done(sim_.now(), RequestStatus::kNoReplica);
+    });
+    return;
+  }
+
+  join->outstanding = targets.size();
+  for (const std::size_t c : targets) {
+    const NodeId nid = entry.replicas[c];
+    StorageNode* node = nodes_.at(nid);
+    ++ec_metrics_.chunk_requests;
+    net_.send(
+        self_, node->endpoint(), net::kControlMessageBytes,
+        [this, node, join, r, client, chunk, nid, need](Tick) {
+          node->serve_write(
+              r.file, chunk, client,
+              [this, join, r, nid, need](Tick t, RequestStatus st) {
+                --join->outstanding;
+                if (request_ok(st)) {
+                  ++join->acked;
+                  if (t > join->last_ok) join->last_ok = t;
+                } else {
+                  if (st == RequestStatus::kDiskUnavailable) {
+                    unavailable_.insert({r.file, nid});
+                  } else if (st == RequestStatus::kNodeUnavailable) {
+                    mark_dead(nid);
+                  }
+                  ++failovers_;
+                  stale_files_[nid].insert(r.file);
+                  if (tracer_ && tracer_->wants(obs::kCatServer)) {
+                    tracer_->instant(t, obs::kCatServer,
+                                     obs::TraceLevel::kInfo, ev_failover_,
+                                     track_, tracer_->intern(to_string(st)),
+                                     static_cast<std::int64_t>(r.file),
+                                     static_cast<std::int64_t>(nid));
+                  }
+                }
+                if (join->outstanding == 0) {
+                  if (join->acked >= need) {
+                    join->on_done(join->last_ok, RequestStatus::kOk);
+                  } else {
+                    ++requests_failed_;
+                    join->on_done(sim_.now(), RequestStatus::kNoReplica);
+                  }
+                }
+              });
+        });
+  }
 }
 
 }  // namespace eevfs::core

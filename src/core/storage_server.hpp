@@ -11,9 +11,30 @@
 // healthy replica.  A periodic heartbeat over the fabric marks nodes dead
 // after `miss_threshold` silent rounds and revives them when they answer
 // again, feeding the availability metrics (degraded time, MTTR).
+//
+// Replica ordering: candidates the server believes healthy are tried
+// first (placement order), then heartbeat-dead-marked nodes as a last
+// resort — never skipped outright.  Heartbeats ride the lossy fabric, so
+// a dead mark can be a false positive (or a node that restarted before
+// the next beat); trying the marked node inside the SAME client attempt
+// means a dead-marked primary never consumes a client retry budget slot.
+// Only (file, node) pairs that failed with kDiskUnavailable are dropped
+// entirely — the platters are gone, a retry cannot help.
+//
+// Erasure mode (set_erasure): files are (n, k) chunk-striped instead of
+// replicated.  A read fork-joins chunk requests — the first k eligible
+// chunks dispatch immediately, the n-k spares arm staggered hedge timers
+// (EventHandles) that are cancelled when the k-th chunk arrives; a chunk
+// failure promotes the earliest hedge to fire now.  A join that used a
+// parity chunk is a degraded read: it pays the modeled decode time and
+// books the extra spindle energy the parity transfer cost.  Writes fan
+// out to every reachable chunk holder and ack once all dispatched chunk
+// writes settle with at least k successes; missed holders are recorded
+// stale for the recovery manager's chunk-repair phase.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
@@ -53,6 +74,45 @@ class StorageServer {
   /// the node count; 1 = the paper's unreplicated system).
   void set_replication_degree(std::size_t degree) {
     replication_degree_ = degree;
+  }
+
+  /// Erasure-coding parameters; n == 0 keeps whole-file placement.
+  struct ErasureParams {
+    std::size_t n = 0;
+    std::size_t k = 0;
+    /// Stagger between hedge dispatches past the first k chunks.
+    Tick hedge_delay = 0;
+    /// Modeled decode throughput for reconstruction (degraded reads and
+    /// background repair).
+    double decode_bytes_per_sec = 400.0e6;
+    /// Modeled spindle energy per byte transferred off a platter — the
+    /// degraded-read energy estimate charges this for every parity byte
+    /// a join pulled in.
+    double joules_per_byte = 0.0;
+  };
+
+  /// Switches place_and_create + route into (n, k) erasure mode.  Call
+  /// before place_and_create; mutually exclusive with a replication
+  /// degree > 1 (ClusterConfig::validate enforces that).
+  void set_erasure(ErasureParams params);
+  bool erasure_enabled() const { return ec_.n > 0; }
+  std::size_t ec_n() const { return ec_.n; }
+  std::size_t ec_k() const { return ec_.k; }
+  /// Modeled decode time for reconstructing `bytes` of payload.
+  Tick ec_decode_ticks(Bytes bytes) const;
+  /// Chunk size of file `f` (full size for non-erasure entries).
+  Bytes ec_chunk_bytes(Bytes file_size) const {
+    return PlacementMap::chunk_bytes(file_size, ec_.k);
+  }
+
+  const ErasureMetrics& erasure_metrics() const { return ec_metrics_; }
+  /// Recovery's chunk-repair phase reports each rebuilt chunk (and the
+  /// decode time it paid) here so the erasure accounting stays in one
+  /// place.
+  void note_chunk_repaired(Tick decode_ticks);
+  /// Histogram for per-read reconstruction (decode) time; may be null.
+  void set_ec_reconstruct_hist(obs::Histogram* hist) {
+    hist_ec_reconstruct_ = hist;
   }
 
   /// Step 3: place every file and issue create-file calls to the nodes
@@ -138,9 +198,47 @@ class StorageServer {
     bool ping_in_flight = false;
   };
 
+  /// One in-flight erasure read: fork-join state shared by every chunk
+  /// completion and hedge timer it spawned.  Heap-held (shared_ptr) so a
+  /// straggler completing after the join still finds live state.
+  struct EcReadOp {
+    trace::TraceRecord r;
+    net::EndpointId client = 0;
+    std::vector<NodeId> chunk_node;      // indexed by chunk id
+    std::vector<std::size_t> candidates; // chunk ids, dispatch order
+    Bytes chunk_bytes = 0;
+    std::size_t need = 0;        // k
+    std::size_t arrived = 0;     // chunks delivered ok (pre-join)
+    std::size_t outstanding = 0; // dispatched, not yet settled
+    std::size_t next = 0;        // next candidate index to dispatch
+    std::size_t parity_used = 0; // arrived chunks with id >= k
+    /// A fault shaped this read: a data-chunk holder was excluded or
+    /// dead-marked at dispatch time, or a dispatched chunk failed.
+    /// Distinguishes a DEGRADED join (served around a fault) from a
+    /// hedge join (a parity chunk merely won the race).
+    bool faulty = false;
+    bool settled = false;
+    std::vector<sim::EventHandle> hedges;  // armed spare dispatch timers
+    RouteCallback on_done;
+  };
+
+  /// Candidate replica order for one request: believed-healthy nodes
+  /// first (placement order), heartbeat-dead-marked nodes last, known
+  /// (file, node) kDiskUnavailable pairs dropped.
+  std::vector<NodeId> ordered_replicas(
+      trace::FileId f, const std::vector<NodeId>& replicas) const;
   void try_replica(const trace::TraceRecord& r, net::EndpointId client,
-                   std::vector<NodeId> replicas, std::size_t idx,
-                   RouteCallback on_done);
+                   std::vector<NodeId> candidates, std::size_t idx,
+                   NodeId primary, RouteCallback on_done);
+  void ec_route(const trace::TraceRecord& r, net::EndpointId client,
+                const ServerFileEntry& entry, RouteCallback on_done);
+  void ec_dispatch_next(const std::shared_ptr<EcReadOp>& op);
+  void ec_chunk_done(const std::shared_ptr<EcReadOp>& op, std::size_t chunk,
+                     Tick t, RequestStatus st);
+  void ec_join(const std::shared_ptr<EcReadOp>& op, Tick t);
+  void ec_fail(const std::shared_ptr<EcReadOp>& op);
+  void ec_write(const trace::TraceRecord& r, net::EndpointId client,
+                const ServerFileEntry& entry, RouteCallback on_done);
   void mark_dead(NodeId n);
   void mark_alive(NodeId n);
   void heartbeat_round();
@@ -178,12 +276,19 @@ class StorageServer {
   std::uint64_t recovery_episodes_ = 0;
   Tick recovered_dead_ticks_ = 0;  // summed over completed episodes
 
+  // erasure coding
+  ErasureParams ec_;
+  ErasureMetrics ec_metrics_;
+  obs::Histogram* hist_ec_reconstruct_ = nullptr;
+
   obs::Tracer* tracer_ = nullptr;
   obs::StringId track_ = 0;
   obs::StringId ev_failover_ = 0;
   obs::StringId ev_node_dead_ = 0;
   obs::StringId ev_node_alive_ = 0;
   obs::StringId ev_refresh_ = 0;
+  obs::StringId ev_ec_join_ = 0;
+  obs::StringId ev_ec_hedge_ = 0;
 };
 
 }  // namespace eevfs::core

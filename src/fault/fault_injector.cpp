@@ -66,6 +66,22 @@ FaultPlan& FaultPlan::restart_node(double at_sec, std::size_t node) {
   return *this;
 }
 
+FaultPlan& FaultPlan::fail_node_pair(double at_sec, std::size_t a,
+                                     std::size_t b, double downtime_sec) {
+  if (a == b) {
+    throw std::invalid_argument("fail_node_pair: nodes must differ");
+  }
+  if (downtime_sec <= 0.0) {
+    throw std::invalid_argument("fail_node_pair: downtime must be > 0");
+  }
+  const double quarter = downtime_sec * 0.25;
+  crash_node(at_sec, a);
+  crash_node(at_sec + quarter, b);
+  restart_node(at_sec + downtime_sec, a);
+  restart_node(at_sec + quarter + downtime_sec, b);
+  return *this;
+}
+
 FaultPlan random_data_disk_failures(std::uint64_t seed, double horizon_sec,
                                     std::size_t nodes,
                                     std::size_t data_disks_per_node,
@@ -144,6 +160,11 @@ FaultPlan parse_fault_plan(std::string_view text) {
     } else if (op == "restart") {
       want(at, node);
       plan.restart_node(at, node);
+    } else if (op == "fail_node_pair") {
+      std::size_t node_b = 0;
+      double downtime = 0.0;
+      want(at, node, node_b, downtime);
+      plan.fail_node_pair(at, node, node_b, downtime);
     } else if (op == "fail_data_disk") {
       want(at, node, disk);
       plan.fail_data_disk(at, node, disk);

@@ -85,6 +85,13 @@ struct FaultPlan {
                                 std::size_t disk, std::uint64_t count);
   FaultPlan& crash_node(double at_sec, std::size_t node);
   FaultPlan& restart_node(double at_sec, std::size_t node);
+  /// Two OVERLAPPING node outages: `a` crashes at `at_sec` and restarts
+  /// `downtime_sec` later; `b` crashes a quarter-downtime after `a` and
+  /// restarts a quarter-downtime after `a` comes back, so for half the
+  /// downtime BOTH nodes are out at once.  The worst case replication
+  /// degree 2 cannot mask, and the n - k = 2 erasure floor can.
+  FaultPlan& fail_node_pair(double at_sec, std::size_t a, std::size_t b,
+                            double downtime_sec);
 };
 
 /// `count` permanent data-disk failures at deterministic pseudo-random
@@ -109,6 +116,7 @@ FaultPlan random_crash_schedule(std::uint64_t seed, double horizon_sec,
 ///
 ///   crash <at_sec> <node>
 ///   restart <at_sec> <node>
+///   fail_node_pair <at_sec> <nodeA> <nodeB> <downtime_sec>
 ///   fail_data_disk <at_sec> <node> <disk>
 ///   fail_buffer_disk <at_sec> <node> <disk>
 ///   flake_spin_up <at_sec> <node> <disk> <retries>

@@ -8,7 +8,8 @@
 // family (fig3/4/5 defaults and sweeps, fig6 webtrace, fault_tolerance,
 // online_adaptation, ablation_striping, ablation_policies/MAID,
 // crash_recovery).  The digest includes the durability/recovery fields
-// (av_lost, rec_*) added with the crash-stop/journal work.
+// (av_lost, rec_*) added with the crash-stop/journal work and the
+// erasure fields (ec_*) added with the (n,k) placement work.
 //
 // If a digest changes, the engine rework altered simulation results:
 // diff the printed digest text against the old engine before even
@@ -99,6 +100,18 @@ std::string digest_text(const RunMetrics& m) {
   field(out, "rec_resync_ticks", static_cast<std::uint64_t>(rec.resync_ticks));
   field(out, "rec_rewarm_ticks", static_cast<std::uint64_t>(rec.rewarm_ticks));
   field(out, "rec_mttr_ticks", static_cast<std::uint64_t>(rec.mttr_ticks));
+  const ErasureMetrics& ec = m.erasure;
+  field(out, "ec_reads", ec.reads);
+  field(out, "ec_degraded", ec.degraded_reads);
+  field(out, "ec_reconstructions", ec.reconstructions);
+  field(out, "ec_chunk_requests", ec.chunk_requests);
+  field(out, "ec_stragglers", ec.straggler_chunks);
+  field(out, "ec_hedges", ec.hedges_launched);
+  field(out, "ec_hedges_cancelled", ec.hedges_cancelled);
+  field(out, "ec_repaired", ec.repaired_chunks);
+  field(out, "ec_reconstruct_ticks",
+        static_cast<std::uint64_t>(ec.reconstruct_ticks));
+  field(out, "ec_energy_estimate", ec.degraded_energy_estimate);
   for (const obs::Sample& s : m.counters) {
     out += s.name;
     out += ':';
@@ -142,34 +155,34 @@ void expect_golden(const char* name, const ClusterConfig& cfg,
 
 TEST(EngineGolden, PaperDefaultsPf) {
   expect_golden("defaults/pf", ClusterConfig{}, paper_workload(),
-                10836418286562782823ull);
+                8352626999512020346ull);
 }
 
 TEST(EngineGolden, PaperDefaultsNpf) {
   ClusterConfig cfg;
   cfg.enable_prefetch = false;
-  expect_golden("defaults/npf", cfg, paper_workload(), 16912409374561917951ull);
+  expect_golden("defaults/npf", cfg, paper_workload(), 12699757661659115760ull);
 }
 
 TEST(EngineGolden, LowMuSweepCell) {
-  expect_golden("mu=10/pf", ClusterConfig{}, paper_workload(10.0), 8229663184577097205ull);
+  expect_golden("mu=10/pf", ClusterConfig{}, paper_workload(10.0), 10574743922153874652ull);
 }
 
 TEST(EngineGolden, ZeroInterArrivalSweepCell) {
   expect_golden("ia=0/pf", ClusterConfig{}, paper_workload(1000.0, 0.0),
-                15606053484029765446ull);
+                14531842654691847743ull);
 }
 
 TEST(EngineGolden, SmallPrefetchSetSweepCell) {
   ClusterConfig cfg;
   cfg.prefetch_file_count = 10;
-  expect_golden("k=10/pf", cfg, paper_workload(), 8692441444572480879ull);
+  expect_golden("k=10/pf", cfg, paper_workload(), 2283551861125005976ull);
 }
 
 TEST(EngineGolden, WebTrace) {
   workload::WebTraceConfig wcfg;
   expect_golden("web/pf", ClusterConfig{},
-                workload::generate_webtrace(wcfg), 6157413166018111913ull);
+                workload::generate_webtrace(wcfg), 4595291922130513932ull);
 }
 
 TEST(EngineGolden, FaultsUnreplicated) {
@@ -177,7 +190,7 @@ TEST(EngineGolden, FaultsUnreplicated) {
   cfg.fault_plan = fault::random_data_disk_failures(
       /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
       cfg.data_disks_per_node, /*count=*/4);
-  expect_golden("faults=4/repl=1", cfg, paper_workload(), 6781521142880333917ull);
+  expect_golden("faults=4/repl=1", cfg, paper_workload(), 6917478800865697908ull);
 }
 
 TEST(EngineGolden, FaultsReplicated) {
@@ -186,19 +199,19 @@ TEST(EngineGolden, FaultsReplicated) {
   cfg.fault_plan = fault::random_data_disk_failures(
       /*seed=*/1234, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
       cfg.data_disks_per_node, /*count=*/4);
-  expect_golden("faults=4/repl=2", cfg, paper_workload(), 16625981822264404059ull);
+  expect_golden("faults=4/repl=2", cfg, paper_workload(), 2547561940436177292ull);
 }
 
 TEST(EngineGolden, OnlineAdaptation) {
   ClusterConfig cfg;
   cfg.online_popularity = true;
-  expect_golden("online/pf", cfg, paper_workload(), 7740877370088875617ull);
+  expect_golden("online/pf", cfg, paper_workload(), 12890395428030156546ull);
 }
 
 TEST(EngineGolden, StripedPlacement) {
   ClusterConfig cfg;
   cfg.stripe_width = 2;
-  expect_golden("stripe=2/pf", cfg, paper_workload(), 2775315745078681345ull);
+  expect_golden("stripe=2/pf", cfg, paper_workload(), 9678573239122964060ull);
 }
 
 TEST(EngineGolden, MaidBaseline) {
@@ -206,7 +219,7 @@ TEST(EngineGolden, MaidBaseline) {
   cfg.cache_policy = CachePolicy::kLruOnMiss;
   cfg.power_policy = PowerPolicy::kIdleTimer;
   cfg.enable_prefetch = false;
-  expect_golden("maid", cfg, paper_workload(), 5991189508486170149ull);
+  expect_golden("maid", cfg, paper_workload(), 15194777051447209334ull);
 }
 
 TEST(EngineGolden, CrashRecovery) {
@@ -229,7 +242,28 @@ TEST(EngineGolden, CrashRecovery) {
       /*seed=*/2026, /*horizon_sec=*/600.0, cfg.num_storage_nodes,
       /*count=*/2, /*downtime_sec=*/30.0);
   expect_golden("crash_recovery/journal=commit", cfg, w,
-                17866345129179884215ull);
+                6338302244866422302ull);
+}
+
+TEST(EngineGolden, ErasureCoded) {
+  // The PR-7 scenario: (4,2) erasure placement under the overlapping
+  // two-node outage, write-mixed workload.  Pins the k-of-n fork-join
+  // (hedge launches/cancels, stragglers), degraded reads with decode
+  // accounting, k-of-n write acks, and background chunk repair.
+  workload::Workload w = paper_workload();
+  trace::Trace mixed;
+  std::size_t i = 0;
+  for (const auto& r : w.requests.records()) {
+    trace::TraceRecord copy = r;
+    if (++i % 4 == 0) copy.op = trace::Op::kWrite;
+    mixed.append(copy);
+  }
+  w.requests = std::move(mixed);
+  ClusterConfig cfg;
+  cfg.ec_n = 4;
+  cfg.ec_k = 2;
+  cfg.fault_plan.fail_node_pair(150.0, 2, 3, 30.0);
+  expect_golden("erasure/ec=4,2", cfg, w, 14715217163273189390ull);
 }
 
 }  // namespace

@@ -330,6 +330,30 @@ TEST(FaultPlan, BuildersAppendTypedSpecs) {
   EXPECT_EQ(plan.events[5].kind, fault::FaultKind::kNodeRestart);
 }
 
+TEST(FaultPlan, FailNodePairExpandsToOverlappingOutages) {
+  fault::FaultPlan plan;
+  plan.fail_node_pair(100.0, 2, 3, 40.0);
+  // Two staggered crash/restart pairs: B goes down a quarter of the
+  // downtime after A, so both nodes are dead together for half of it.
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[0].node, 2u);
+  EXPECT_DOUBLE_EQ(plan.events[0].at_sec, 100.0);
+  EXPECT_EQ(plan.events[1].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[1].node, 3u);
+  EXPECT_DOUBLE_EQ(plan.events[1].at_sec, 110.0);
+  EXPECT_EQ(plan.events[2].kind, fault::FaultKind::kNodeRestart);
+  EXPECT_EQ(plan.events[2].node, 2u);
+  EXPECT_DOUBLE_EQ(plan.events[2].at_sec, 140.0);
+  EXPECT_EQ(plan.events[3].kind, fault::FaultKind::kNodeRestart);
+  EXPECT_EQ(plan.events[3].node, 3u);
+  EXPECT_DOUBLE_EQ(plan.events[3].at_sec, 150.0);
+  // Overlap window [110, 140): both down for half the downtime.
+  fault::FaultPlan bad;
+  EXPECT_THROW(bad.fail_node_pair(1.0, 2, 2, 10.0), std::invalid_argument);
+  EXPECT_THROW(bad.fail_node_pair(1.0, 2, 3, 0.0), std::invalid_argument);
+}
+
 TEST(FaultPlan, DropsAloneMakeThePlanNonEmpty) {
   fault::FaultPlan plan;
   plan.network_drop_prob = 0.01;
@@ -385,10 +409,11 @@ TEST(FaultPlan, ParseAcceptsEveryDirectiveAndComments) {
       "fail_buffer_disk 12 0 0\n"
       "flake_spin_up 20 2 0 3\n"
       "latent_read_errors 25 1 0 7\n"
+      "fail_node_pair 40 2 3 20\n"
       "\n"
       "drop_prob 0.01\n"
       "seed 99\n");
-  ASSERT_EQ(plan.events.size(), 6u);
+  ASSERT_EQ(plan.events.size(), 10u);
   EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kNodeCrash);
   EXPECT_EQ(plan.events[0].node, 1u);
   EXPECT_EQ(plan.events[1].kind, fault::FaultKind::kNodeRestart);
@@ -396,8 +421,24 @@ TEST(FaultPlan, ParseAcceptsEveryDirectiveAndComments) {
   EXPECT_TRUE(plan.events[3].buffer_disk);
   EXPECT_EQ(plan.events[4].param, 3u);
   EXPECT_EQ(plan.events[5].param, 7u);
+  // fail_node_pair expanded into two staggered crash/restart pairs.
+  EXPECT_EQ(plan.events[6].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[6].node, 2u);
+  EXPECT_EQ(plan.events[7].kind, fault::FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[7].node, 3u);
+  EXPECT_DOUBLE_EQ(plan.events[7].at_sec, 45.0);
+  EXPECT_EQ(plan.events[8].kind, fault::FaultKind::kNodeRestart);
+  EXPECT_EQ(plan.events[9].kind, fault::FaultKind::kNodeRestart);
   EXPECT_DOUBLE_EQ(plan.network_drop_prob, 0.01);
   EXPECT_EQ(plan.seed, 99u);
+}
+
+TEST(FaultPlan, ParseRejectsBadNodePairs) {
+  // Same node twice, and the a==b error surfaces through the parser.
+  EXPECT_THROW(fault::parse_fault_plan("fail_node_pair 40 2 2 20\n"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_plan("fail_node_pair 40 2 3\n"),
+               std::invalid_argument);  // missing downtime
 }
 
 TEST(FaultPlan, ParseRejectsMalformedLinesWithTheLineNumber) {
@@ -618,6 +659,134 @@ TEST(ClusterFault, CrashedRunWithRecoveryIsBitIdenticalAcrossRuns) {
             mb.availability.lost_acked_writes);
 }
 
+TEST(ClusterFault, DeadMarkedPrimaryIsTriedNotSkipped) {
+  // Regression for the try_replica audit: a heartbeat dead-mark is a
+  // HINT, not a verdict.  A dead-marked primary is demoted to the back
+  // of the candidate list but still tried — never skipped in a way that
+  // burns a client retry or fails the request outright.  Here the only
+  // replica restarts at 16.3 s, and reads arrive while the stale
+  // dead-mark is still standing (the clearing heartbeat lands at ~17 s):
+  // they must be served by the dead-marked node, not bounced.
+  workload::Workload w;
+  w.name = "dead-mark-regression";
+  w.file_sizes = {10 * kMB};
+  for (const double sec : {1.0, 2.0, 3.0, 16.35, 16.6, 18.0}) {
+    w.requests.append({seconds_to_ticks(sec), 0, 10 * kMB,
+                       trace::Op::kRead, 0});
+  }
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.enable_prefetch = false;  // replay starts at t=0: arrivals are
+                                // absolute sim times
+  cfg.replication_degree = 1;
+  cfg.fault_plan.crash_node(8.0, 0).restart_node(16.3, 0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  // Heartbeats (1 s interval, 3 misses) dead-mark node 0 by ~12 s; the
+  // mark outlives the 16.3 s restart until the next successful ping.
+  EXPECT_GT(m.availability.degraded_ticks, 0);
+  // All six reads served — including the two against the dead-marked
+  // node — with no retries and no failovers (the primary itself served).
+  EXPECT_EQ(m.response_time_sec.count(), w.requests.size());
+  EXPECT_EQ(m.availability.failed_requests, 0u);
+  EXPECT_EQ(m.availability.client_retries, 0u);
+  EXPECT_EQ(m.availability.rerouted_requests, 0u);
+}
+
+// --- Erasure coding (robustness extension) -----------------------------
+
+TEST(ClusterFault, ErasureReadsSurviveNodeCrashDegraded) {
+  const auto w = small_workload(300);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.ec_n = 4;
+  cfg.ec_k = 2;
+  cfg.fault_plan.crash_node(30.0, 2).restart_node(90.0, 2);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  const auto& ec = m.erasure;
+  // The tentpole acceptance: with n - k = 2 >= 1 injected outage, every
+  // read is served — degraded via parity when a chunk holder is down.
+  EXPECT_EQ(m.availability.failed_requests, 0u);
+  EXPECT_DOUBLE_EQ(m.availability.availability(m.requests), 1.0);
+  EXPECT_EQ(ec.reads, w.requests.size());
+  EXPECT_GT(ec.degraded_reads, 0u);
+  // Every degraded join decodes; hedge-won joins may decode too.
+  EXPECT_GE(ec.reconstructions, ec.degraded_reads);
+  EXPECT_GT(ec.reconstruct_ticks, 0);
+  EXPECT_GT(ec.degraded_energy_estimate, 0.0);
+  // k-of-n fan-out: at least k chunk requests per read.
+  EXPECT_GE(ec.chunk_requests, ec.reads * cfg.ec_k);
+  // A degraded read is a reroute (served around the primary's chunk).
+  EXPECT_GE(m.availability.rerouted_requests, ec.degraded_reads);
+}
+
+TEST(ClusterFault, ErasureRepairRebuildsChunksAfterRestart) {
+  const auto w = write_mixed(400, 0.25);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.ec_n = 4;
+  cfg.ec_k = 2;
+  cfg.fault_plan.crash_node(30.0, 2).restart_node(90.0, 2);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  // Writes landed k-of-n while node 2 was down (its chunks went stale);
+  // the recovery pipeline rebuilt each lost chunk from k survivors.
+  EXPECT_EQ(m.availability.lost_acked_writes, 0u);
+  EXPECT_EQ(m.availability.failed_requests, 0u);
+  EXPECT_GT(m.erasure.repaired_chunks, 0u);
+  // In erasure mode the resync phase IS chunk repair: same count.
+  EXPECT_EQ(m.recovery.resynced_files, m.erasure.repaired_chunks);
+  EXPECT_GE(m.recovery.episodes, 1u);
+}
+
+TEST(ClusterFault, ErasureSurvivesOverlappingNodePair) {
+  // The case a single spare copy cannot mask: two nodes down at once.
+  // (4,2) tolerates n - k = 2 losses, so the durability gate holds.
+  const auto w = write_mixed(400, 0.25);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.ec_n = 4;
+  cfg.ec_k = 2;
+  cfg.fault_plan.fail_node_pair(30.0, 2, 3, 30.0);
+  core::Cluster c(cfg);
+  const core::RunMetrics m = c.run(w);
+  EXPECT_EQ(m.availability.failed_requests, 0u);
+  EXPECT_EQ(m.availability.lost_acked_writes, 0u);
+  EXPECT_GT(m.erasure.degraded_reads, 0u);
+  EXPECT_DOUBLE_EQ(m.availability.availability(m.requests), 1.0);
+}
+
+TEST(ClusterFault, ErasureMidRepairCrashAbandonsStaleEpisode) {
+  // Crash again right after the restart, while chunk repair is still
+  // trickling: the generation guard must abandon the stale episode (no
+  // half-repaired chunk marked clean) and the rerun stays bit-identical.
+  const auto w = write_mixed(400, 0.25);
+  core::ClusterConfig cfg = baseline::eevfs_pf();
+  cfg.ec_n = 4;
+  cfg.ec_k = 2;
+  cfg.fault_plan.crash_node(30.0, 2)
+      .restart_node(60.0, 2)
+      .crash_node(60.5, 2)
+      .restart_node(120.0, 2);
+  core::Cluster a(cfg), b(cfg);
+  const core::RunMetrics ma = a.run(w);
+  const core::RunMetrics mb = b.run(w);
+  ASSERT_NE(a.recovery(), nullptr);
+  EXPECT_GE(a.recovery()->episodes_abandoned(), 1u);
+  EXPECT_EQ(ma.availability.lost_acked_writes, 0u);
+  EXPECT_EQ(ma.availability.failed_requests, 0u);
+  // Bit-identical across runs, down to the erasure bookkeeping.
+  EXPECT_EQ(ma.total_joules, mb.total_joules);
+  EXPECT_EQ(ma.makespan, mb.makespan);
+  EXPECT_EQ(ma.erasure.reads, mb.erasure.reads);
+  EXPECT_EQ(ma.erasure.degraded_reads, mb.erasure.degraded_reads);
+  EXPECT_EQ(ma.erasure.reconstructions, mb.erasure.reconstructions);
+  EXPECT_EQ(ma.erasure.chunk_requests, mb.erasure.chunk_requests);
+  EXPECT_EQ(ma.erasure.straggler_chunks, mb.erasure.straggler_chunks);
+  EXPECT_EQ(ma.erasure.hedges_launched, mb.erasure.hedges_launched);
+  EXPECT_EQ(ma.erasure.repaired_chunks, mb.erasure.repaired_chunks);
+  EXPECT_EQ(ma.erasure.reconstruct_ticks, mb.erasure.reconstruct_ticks);
+  EXPECT_EQ(a.recovery()->episodes_abandoned(),
+            b.recovery()->episodes_abandoned());
+}
+
 TEST(ClusterFault, ValidateRejectsNonsensicalFaultConfigs) {
   core::ClusterConfig cfg = baseline::eevfs_pf();
   cfg.replication_degree = 0;
@@ -632,6 +801,27 @@ TEST(ClusterFault, ValidateRejectsNonsensicalFaultConfigs) {
   cfg.request_timeout_sec = 1.0;
   EXPECT_NO_THROW(cfg.validate());
   cfg.fault_plan.network_drop_prob = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // Erasure parameters: n and k set together, n > k >= 1, n bounded by
+  // the node count, and mutually exclusive with replication.
+  cfg = baseline::eevfs_pf();
+  cfg.ec_n = 4;  // k left 0
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ec_k = 4;  // k must be < n
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ec_k = 2;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.ec_n = cfg.num_storage_nodes + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ec_n = 4;
+  cfg.replication_degree = 2;  // pick one redundancy scheme
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.replication_degree = 1;
+  cfg.ec_hedge_ms = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ec_hedge_ms = 250.0;
+  cfg.ec_decode_mbps = 0.0;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 

@@ -33,6 +33,28 @@ TEST(ServerMetadata, DuplicateInsertThrows) {
   EXPECT_THROW(m.insert(1, 1, 2), std::invalid_argument);
 }
 
+TEST(ServerMetadata, ErasureEntryKeepsFullSizeAndChunkHolders) {
+  ServerMetadata m;
+  m.insert(5, {2, 3, 4, 5}, 10 * kMB, /*erasure=*/true, /*ec_k=*/2);
+  const auto e = m.lookup(5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->erasure);
+  EXPECT_EQ(e->ec_k, 2u);
+  // The entry records the LOGICAL size; nodes store chunk-sized images.
+  EXPECT_EQ(e->size, 10 * kMB);
+  ASSERT_EQ(e->replicas.size(), 4u);
+  EXPECT_EQ(e->node, 2u);  // chunk 0's holder is the primary
+}
+
+TEST(ServerMetadata, ErasureInsertValidatesK) {
+  ServerMetadata m;
+  // k must satisfy 1 <= k < n (the chunk-holder count).
+  EXPECT_THROW(m.insert(1, {0, 1, 2, 3}, kMB, true, 0),
+               std::invalid_argument);
+  EXPECT_THROW(m.insert(2, {0, 1, 2, 3}, kMB, true, 4),
+               std::invalid_argument);
+}
+
 TEST(ServerMetadata, FootprintGrowsLinearly) {
   ServerMetadata m;
   for (trace::FileId f = 0; f < 100; ++f) m.insert(f, 0, 1);

@@ -142,6 +142,50 @@ TEST(Placement, RejectsBadArguments) {
                std::invalid_argument);
 }
 
+TEST(Placement, ErasureStripesChunksAcrossDistinctNodes) {
+  const trace::Trace t = skewed_trace();
+  const trace::PopularityAnalyzer pop(t);
+  const std::vector<Bytes> sizes(10, 10 * kMB);
+  Rng rng(1);
+  const auto map = place_files(PlacementPolicy::kPopularityRoundRobin, 6, 10,
+                               pop, sizes, rng, /*replication_degree=*/1,
+                               /*ec_n=*/4, /*ec_k=*/2);
+  EXPECT_TRUE(map.erasure);
+  EXPECT_EQ(map.ec_n, 4u);
+  EXPECT_EQ(map.ec_k, 2u);
+  for (trace::FileId f = 0; f < 10; ++f) {
+    const auto& r = map.replicas(f);
+    ASSERT_EQ(r.size(), 4u);
+    // Chunk j on node (primary + j) mod N: all distinct, chunk 0 is the
+    // policy-chosen primary.
+    EXPECT_EQ(r[0], map.node(f));
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      EXPECT_EQ(r[j], (r[0] + j) % 6);
+    }
+  }
+  // MDS chunk sizing: k chunks cover the file, ceil-divided.
+  EXPECT_EQ(PlacementMap::chunk_bytes(10 * kMB, 2), 5 * kMB);
+  EXPECT_EQ(PlacementMap::chunk_bytes(10 * kMB + 1, 2), 5 * kMB + 1);
+  EXPECT_EQ(PlacementMap::chunk_bytes(10 * kMB, 0), 10 * kMB);  // ec off
+}
+
+TEST(Placement, ErasureRejectsBadParameters) {
+  const trace::Trace t = skewed_trace();
+  const trace::PopularityAnalyzer pop(t);
+  const std::vector<Bytes> sizes(10, kMB);
+  Rng rng(1);
+  // k >= n, k == 0, and n > node count are all placement errors.
+  EXPECT_THROW(place_files(PlacementPolicy::kPopularityRoundRobin, 6, 10, pop,
+                           sizes, rng, 1, /*ec_n=*/4, /*ec_k=*/4),
+               std::invalid_argument);
+  EXPECT_THROW(place_files(PlacementPolicy::kPopularityRoundRobin, 6, 10, pop,
+                           sizes, rng, 1, /*ec_n=*/4, /*ec_k=*/0),
+               std::invalid_argument);
+  EXPECT_THROW(place_files(PlacementPolicy::kPopularityRoundRobin, 3, 10, pop,
+                           sizes, rng, 1, /*ec_n=*/4, /*ec_k=*/2),
+               std::invalid_argument);
+}
+
 TEST(Placement, SingleNodeTakesEverything) {
   const trace::Trace t = skewed_trace();
   const trace::PopularityAnalyzer pop(t);
