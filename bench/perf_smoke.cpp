@@ -92,6 +92,60 @@ std::uint64_t run_engine_churn() {
   return sim.executed_events();
 }
 
+/// Datacenter-scale timer churn: the timer population of a 1024-node
+/// cluster.  Every disk re-arms a 5 s standby deadline and a 250 ms
+/// hedge timer on each request arrival and cancels both on the next
+/// one; every node heartbeats once a second.  ~90% of the far-future
+/// timers are cancelled before firing, so at any instant hundreds of
+/// thousands of dead entries are resident — the scenario the
+/// timing-wheel scheduler exists for (a lone binary heap pays
+/// log(resident) on every operation against them).
+struct DatacenterChurn {
+  static constexpr Tick kHorizon = 30 * kTicksPerSecond;
+  static constexpr Tick kStandby = 5 * kTicksPerSecond;
+  static constexpr Tick kHedge = kTicksPerSecond / 4;
+  static constexpr std::uint32_t kNodes = 1024;
+  static constexpr std::uint32_t kDisksPerNode = 4;
+  static constexpr std::uint32_t kDisks = kNodes * kDisksPerNode;
+
+  sim::Simulator sim;
+  std::vector<sim::EventHandle> standby{kDisks};
+  std::vector<sim::EventHandle> hedge{kDisks};
+
+  // Per-disk arrival period: 50-149 ms, deterministically spread so the
+  // cancel traffic is not phase-locked.
+  static Tick period(std::uint32_t disk) {
+    return (50 + (disk * 7919u) % 100) * (kTicksPerSecond / 1000);
+  }
+
+  void arrival(std::uint32_t disk) {
+    standby[disk].cancel();
+    hedge[disk].cancel();
+    standby[disk] = sim.schedule_after(kStandby, [] {});
+    hedge[disk] = sim.schedule_after(kHedge, [] {});
+    if (sim.now() + period(disk) <= kHorizon) {
+      sim.schedule_after(period(disk), [this, disk] { arrival(disk); });
+    }
+  }
+
+  void heartbeat(std::uint32_t node) {
+    if (sim.now() + kTicksPerSecond <= kHorizon) {
+      sim.schedule_after(kTicksPerSecond, [this, node] { heartbeat(node); });
+    }
+  }
+
+  std::uint64_t run() {
+    for (std::uint32_t d = 0; d < kDisks; ++d) {
+      sim.schedule_at(d % period(d), [this, d] { arrival(d); });
+    }
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      sim.schedule_at(n, [this, n] { heartbeat(n); });
+    }
+    sim.run();
+    return sim.executed_events();
+  }
+};
+
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--repeats N] [--git-rev SHA] [--out PATH]\n"
@@ -128,6 +182,11 @@ int main(int argc, char** argv) {
 
   results.push_back(best_of("engine_churn", repeats, [] {
     return run_engine_churn();
+  }));
+
+  results.push_back(best_of("datacenter_churn", repeats, [] {
+    DatacenterChurn churn;
+    return churn.run();
   }));
 
   // 10x the paper request count: the cluster scenarios need tens of

@@ -13,7 +13,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 
 Cluster::~Cluster() = default;
 
-void Cluster::build(const workload::Workload& workload) {
+void Cluster::build_infra() {
   sim_ = std::make_unique<sim::Simulator>();
   registry_ = std::make_unique<obs::Registry>();
   tracer_ = std::make_unique<obs::Tracer>(config_.trace);
@@ -113,6 +113,10 @@ void Cluster::build(const workload::Workload& workload) {
     server_->set_erasure(ec);
     server_->set_ec_reconstruct_hist(hist_ec_reconstruct);
   }
+}
+
+void Cluster::build(const workload::Workload& workload) {
+  build_infra();
   if (config_.online_popularity) {
     // Blind mode: the server knows the files (sizes) but nothing about
     // the access pattern — popularity is learned from the request log.
@@ -127,7 +131,58 @@ void Cluster::build(const workload::Workload& workload) {
     server_->place_and_create(workload);
     server_->distribute_patterns(workload);
   }
+  arm_faults();
+}
 
+void Cluster::build_stream(const workload::StreamingWorkload& workload) {
+  if (config_.online_popularity) {
+    throw std::invalid_argument(
+        "Cluster: run_stream uses offline popularity (the request log is "
+        "disabled at streaming scale)");
+  }
+  build_infra();
+
+  // Pass 1: fold the request sequence into exact per-file aggregates —
+  // the same numbers the PopularityAnalyzer would extract from a
+  // materialized trace, at O(num_files) memory.
+  const std::size_t nf = workload.num_files();
+  std::vector<std::size_t> counts(nf, 0);
+  std::vector<trace::FilePopularity> pop(nf);
+  std::vector<Tick> prev(nf, 0);
+  std::vector<Tick> gap_sum(nf, 0);
+  std::size_t total = 0;
+  Tick horizon = 0;
+  auto pass = workload.open();
+  trace::TraceRecord r;
+  while (pass->next(&r)) {
+    trace::FilePopularity& p = pop.at(r.file);
+    if (p.accesses == 0) {
+      p.file = r.file;
+      p.first_access = r.arrival;
+    } else {
+      gap_sum[r.file] += r.arrival - prev[r.file];
+    }
+    ++p.accesses;
+    p.bytes += r.bytes;
+    p.last_access = r.arrival;
+    prev[r.file] = r.arrival;
+    ++counts[r.file];
+    ++total;
+    horizon = r.arrival;  // arrivals are non-decreasing
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (pop[f].accesses > 1) {
+      pop[f].mean_gap = gap_sum[f] / static_cast<Tick>(pop[f].accesses - 1);
+    }
+  }
+  server_->ingest_popularity(std::move(pop), total);
+  server_->place_and_create(workload.file_sizes);
+  server_->distribute_pattern_summaries(counts, horizon);
+  server_->set_request_log_enabled(false);
+  arm_faults();
+}
+
+void Cluster::arm_faults() {
   // Arm the fault schedule (an empty plan costs nothing — no hooks, no
   // events).  Node-level faults go through these callbacks so the fault
   // library never depends on core.
@@ -175,7 +230,27 @@ RunMetrics Cluster::run(const workload::Workload& workload) {
     throw std::invalid_argument("Cluster: empty workload");
   }
   build(workload);
+  return run_phase([this, &workload](Tick replay_start) {
+    start_replay(workload, replay_start);
+  });
+}
 
+RunMetrics Cluster::run_stream(const workload::StreamingWorkload& workload) {
+  if (finished_) {
+    throw std::logic_error("Cluster: run() may only be called once");
+  }
+  if (workload.num_requests == 0 || !workload.open) {
+    throw std::invalid_argument("Cluster: empty streaming workload");
+  }
+  build_stream(workload);
+  stream_mode_ = true;
+  stream_ = workload.open();
+  responses_outstanding_ = workload.num_requests;
+  return run_phase(
+      [this](Tick replay_start) { start_stream_replay(replay_start); });
+}
+
+RunMetrics Cluster::run_phase(const std::function<void(Tick)>& start) {
   // Step 3b: prefetch, then replay once every node is done (barrier).
   // In online mode nothing is known yet, so the initial prefetch is
   // empty and the periodic refresh does the work.
@@ -191,9 +266,9 @@ RunMetrics Cluster::run(const workload::Workload& workload) {
   if (recovery_) recovery_->set_rewarm_candidates(candidates);
 
   auto barrier = std::make_shared<std::size_t>(nodes_.size());
-  sim_->schedule_at(0, [this, &workload, candidates, barrier] {
+  sim_->schedule_at(0, [this, &start, candidates, barrier] {
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
-      nodes_[n]->start_prefetch(candidates[n], [this, &workload, barrier] {
+      nodes_[n]->start_prefetch(candidates[n], [this, &start, barrier] {
         if (--*barrier == 0) {
           const Tick replay_start = sim_->now();
           metrics_.prefetch_duration = replay_start;
@@ -208,7 +283,7 @@ RunMetrics Cluster::run(const workload::Workload& workload) {
                 seconds_to_ticks(config_.heartbeat_interval_sec),
                 config_.heartbeat_miss_threshold);
           }
-          start_replay(workload, replay_start);
+          start(replay_start);
         }
       });
     }
@@ -245,10 +320,62 @@ void Cluster::start_replay(const workload::Workload& workload,
   if (responses_outstanding_ == 0) finish_run();
 }
 
+void Cluster::start_stream_replay(Tick replay_start) {
+  all_issued_ = true;  // the pump + per-client chains cover every record
+  replay_queues_.assign(clients_.size(), {});
+  // Every client starts idle; the pump wakes each one as its first
+  // record enters the look-ahead window.
+  client_waiting_.assign(clients_.size(), true);
+  if (responses_outstanding_ == 0) {
+    finish_run();
+    return;
+  }
+  pump_stream(replay_start);
+}
+
+void Cluster::pump_stream(Tick replay_start) {
+  // Records due within this much trace time are pulled eagerly; later
+  // ones wait in the stream.  The window (plus genuine client backlog)
+  // is all that is ever resident — the high-water mark is
+  // stream_peak_resident_records().
+  const Tick lookahead = seconds_to_ticks(1.0);
+  for (;;) {
+    if (!stream_has_pending_) {
+      if (!stream_ || !stream_->next(&stream_pending_)) {
+        stream_.reset();  // dry: remaining work is all in client queues
+        return;
+      }
+      stream_has_pending_ = true;
+    }
+    const Tick due = replay_start + stream_pending_.arrival;
+    if (due > sim_->now() + lookahead) {
+      pump_timer_ = sim_->schedule_at(
+          due - lookahead,
+          [this, replay_start] { pump_stream(replay_start); });
+      return;
+    }
+    const std::size_t c = stream_pending_.client % clients_.size();
+    replay_queues_[c].push_back(stream_pending_);
+    stream_has_pending_ = false;
+    ++stream_resident_;
+    if (stream_resident_ > stream_peak_resident_) {
+      stream_peak_resident_ = stream_resident_;
+    }
+    if (client_waiting_[c]) {
+      client_waiting_[c] = false;
+      sim_->schedule_at(std::max(due, sim_->now()),
+                        [this, c, replay_start] {
+                          issue_next(c, replay_start);
+                        });
+    }
+  }
+}
+
 void Cluster::issue_next(std::size_t client_idx, Tick replay_start) {
   auto& queue = replay_queues_[client_idx];
   const trace::TraceRecord r = queue.front();
   queue.pop_front();
+  if (stream_mode_) --stream_resident_;
   start_attempt(client_idx, r, replay_start, 0);
 }
 
@@ -318,6 +445,10 @@ void Cluster::complete_request(std::size_t client_idx, Tick replay_start) {
                       [this, client_idx, replay_start] {
                         issue_next(client_idx, replay_start);
                       });
+  } else if (stream_mode_) {
+    // Queue drained: the pump re-wakes this client when its next record
+    // enters the look-ahead window.
+    client_waiting_[client_idx] = true;
   }
   if (--responses_outstanding_ == 0) finish_run();
 }
@@ -584,6 +715,27 @@ PfNpfComparison run_pf_npf(const ClusterConfig& config,
     npf.power_policy = PowerPolicy::kNone;
     Cluster cluster(npf);
     out.npf = cluster.run(workload);
+  }
+  return out;
+}
+
+PfNpfComparison run_pf_npf_stream(const ClusterConfig& config,
+                                  const workload::StreamingWorkload& workload) {
+  PfNpfComparison out;
+  {
+    ClusterConfig pf = config;
+    pf.enable_prefetch = true;
+    Cluster cluster(pf);
+    out.pf = cluster.run_stream(workload);
+  }
+  {
+    // Same NPF modeling as run_pf_npf: no prefetch plan means no marked
+    // sleep points, so power management is off entirely.
+    ClusterConfig npf = config;
+    npf.enable_prefetch = false;
+    npf.power_policy = PowerPolicy::kNone;
+    Cluster cluster(npf);
+    out.npf = cluster.run_stream(workload);
   }
   return out;
 }

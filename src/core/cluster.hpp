@@ -33,6 +33,7 @@
 #include "obs/counters.hpp"
 #include "obs/tracer.hpp"
 #include "sim/engine.hpp"
+#include "workload/stream.hpp"
 #include "workload/synthetic.hpp"
 
 namespace eevfs::core {
@@ -49,6 +50,23 @@ class Cluster {
   /// (metered from t=0, i.e. including the prefetch phase, until the last
   /// response — plus the final write-buffer destage if any).
   RunMetrics run(const workload::Workload& workload);
+
+  /// Streaming variant for datacenter-scale runs: requests come from a
+  /// lazily-evaluated stream and are never fully materialized.  Setup
+  /// folds one pass into exact popularity aggregates; replay pulls a
+  /// bounded look-ahead window from a second pass.  Differences from
+  /// run(): nodes get per-file access COUNT summaries instead of exact
+  /// arrival timelines (power hints are modeled as evenly spaced), the
+  /// server's request log is disabled, and online popularity mode is
+  /// not supported.
+  RunMetrics run_stream(const workload::StreamingWorkload& workload);
+
+  /// High-water mark of replay records resident at once during
+  /// run_stream (look-ahead window + client backlogs) — the per-cell
+  /// memory-budget figure the scalability bench reports.
+  std::size_t stream_peak_resident_records() const {
+    return stream_peak_resident_;
+  }
 
   // Post-run introspection (valid after run()).
   const StorageServer& server() const { return *server_; }
@@ -77,8 +95,23 @@ class Cluster {
   }
 
  private:
+  /// Everything workload-independent: sim, fabric, server, nodes,
+  /// clients, observability plumbing.
+  void build_infra();
+  /// Fault-plan arming (no-op for an empty plan); after ingest so the
+  /// recovery manager sees the final node set.
+  void arm_faults();
   void build(const workload::Workload& workload);
+  void build_stream(const workload::StreamingWorkload& workload);
+  /// Shared run skeleton: prefetch barrier, then `start(replay_start)`,
+  /// then drain + finish checks.
+  RunMetrics run_phase(const std::function<void(Tick)>& start);
   void start_replay(const workload::Workload& workload, Tick replay_start);
+  void start_stream_replay(Tick replay_start);
+  /// Pulls stream records due within the look-ahead window into the
+  /// per-client queues, waking idle clients; re-arms itself at the next
+  /// record's window entry.
+  void pump_stream(Tick replay_start);
   void issue_next(std::size_t client_idx, Tick replay_start);
   /// One attempt of one request: deadline-guarded, typed completion.
   void start_attempt(std::size_t client_idx, const trace::TraceRecord& r,
@@ -111,6 +144,17 @@ class Cluster {
   bool finished_ = false;
   RunMetrics metrics_;
 
+  // streaming replay state (run_stream only)
+  std::unique_ptr<workload::RequestStream> stream_;
+  trace::TraceRecord stream_pending_{};
+  bool stream_has_pending_ = false;
+  bool stream_mode_ = false;
+  /// Clients that drained their queue and await the pump.
+  std::vector<bool> client_waiting_;
+  sim::EventHandle pump_timer_;
+  std::size_t stream_resident_ = 0;
+  std::size_t stream_peak_resident_ = 0;
+
   // client-level availability accounting
   std::uint64_t failed_requests_ = 0;
   std::uint64_t timed_out_requests_ = 0;
@@ -128,5 +172,8 @@ struct PfNpfComparison {
 };
 PfNpfComparison run_pf_npf(const ClusterConfig& config,
                            const workload::Workload& workload);
+/// Streaming twin of run_pf_npf (datacenter-scale cells).
+PfNpfComparison run_pf_npf_stream(const ClusterConfig& config,
+                                  const workload::StreamingWorkload& workload);
 
 }  // namespace eevfs::core

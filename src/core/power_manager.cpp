@@ -34,11 +34,19 @@ PowerManager::PowerManager(sim::Simulator& sim, Params params,
                                          params.idle_threshold,
                                          params.sleep_margin)),
       breakeven_model_(make_gate_model(params, disks.front()->profile())) {
-  disks_.reserve(disks.size());
-  for (std::size_t i = 0; i < disks.size(); ++i) {
-    disks_.push_back(DiskState{});
-    disks_.back().disk = disks[i];
-    disks[i]->set_idle_callback([this, i] { on_idle(i); });
+  const std::size_t n = disks.size();
+  disk_ = std::move(disks);
+  sleep_timer_.resize(n);
+  wake_timer_.resize(n);
+  expected_gap_.assign(n, kNoTick);
+  last_arrival_.assign(n, kNoTick);
+  ewma_gap_.assign(n, 0.0);
+  observed_gaps_.assign(n, 0);
+  future_begin_.assign(n, 0);
+  future_end_.assign(n, 0);
+  future_pos_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    disk_[i]->set_idle_callback([this, i] { on_idle(i); });
   }
 }
 
@@ -46,9 +54,9 @@ void PowerManager::set_observer(obs::Tracer* tracer) {
   tracer_ = tracer;
   tracks_.clear();
   if (!tracer_) return;
-  tracks_.reserve(disks_.size());
-  for (const DiskState& d : disks_) {
-    tracks_.push_back(tracer_->intern(d.disk->label()));
+  tracks_.reserve(disk_.size());
+  for (const disk::DiskModel* d : disk_) {
+    tracks_.push_back(tracer_->intern(d->label()));
   }
   ev_sleep_ = tracer_->intern("power.sleep");
   ev_wake_mark_ = tracer_->intern("power.wake_mark");
@@ -56,21 +64,22 @@ void PowerManager::set_observer(obs::Tracer* tracer) {
 
 void PowerManager::set_expected_gap(std::size_t disk,
                                     std::optional<Tick> gap) {
-  disks_.at(disk).expected_gap = gap;
+  expected_gap_.at(disk) = gap.value_or(kNoTick);
 }
 
 void PowerManager::set_future_accesses(std::size_t disk,
                                        std::vector<Tick> accesses) {
-  DiskState& d = disks_.at(disk);
-  d.future = std::move(accesses);
-  d.future_pos = 0;
+  future_begin_.at(disk) = future_arena_.size();
+  future_arena_.insert(future_arena_.end(), accesses.begin(), accesses.end());
+  future_end_[disk] = future_arena_.size();
+  future_pos_[disk] = future_begin_[disk];
 }
 
 void PowerManager::start() {
   started_ = true;
-  for (std::size_t i = 0; i < disks_.size(); ++i) {
-    disk::DiskModel& d = *disks_[i].disk;
-    if (d.state() == disk::PowerState::kIdle && d.queue_depth() == 0) {
+  for (std::size_t i = 0; i < disk_.size(); ++i) {
+    if (disk_[i]->state() == disk::PowerState::kIdle &&
+        disk_[i]->queue_depth() == 0) {
       on_idle(i);
     }
   }
@@ -78,54 +87,53 @@ void PowerManager::start() {
 
 void PowerManager::stop() {
   started_ = false;
-  for (DiskState& d : disks_) {
-    d.sleep_timer.cancel();
-    d.wake_timer.cancel();
+  for (std::size_t i = 0; i < disk_.size(); ++i) {
+    sleep_timer_[i].cancel();
+    wake_timer_[i].cancel();
   }
 }
 
 void PowerManager::note_arrival(std::size_t disk) {
-  DiskState& d = disks_.at(disk);
   const Tick now = sim_.now();
-  if (d.last_arrival) {
-    const auto gap = static_cast<double>(now - *d.last_arrival);
-    d.ewma_gap = d.observed_gaps == 0
-                     ? gap
-                     : params_.ewma_alpha * gap +
-                           (1.0 - params_.ewma_alpha) * d.ewma_gap;
-    ++d.observed_gaps;
+  const Tick last = last_arrival_.at(disk);
+  if (last != kNoTick) {
+    const auto gap = static_cast<double>(now - last);
+    ewma_gap_[disk] = observed_gaps_[disk] == 0
+                          ? gap
+                          : params_.ewma_alpha * gap +
+                                (1.0 - params_.ewma_alpha) * ewma_gap_[disk];
+    ++observed_gaps_[disk];
   }
-  d.last_arrival = now;
-  while (d.future_pos < d.future.size() && d.future[d.future_pos] <= now) {
-    ++d.future_pos;
-  }
-  d.sleep_timer.cancel();
+  last_arrival_[disk] = now;
+  std::size_t pos = future_pos_[disk];
+  const std::size_t end = future_end_[disk];
+  while (pos < end && future_arena_[pos] <= now) ++pos;
+  future_pos_[disk] = pos;
+  sleep_timer_[disk].cancel();
 }
 
-std::optional<Tick> PowerManager::next_future_access(DiskState& d) const {
+std::optional<Tick> PowerManager::next_future_access(std::size_t disk) const {
   // A predicted access stays "pending" for a grace period past its
   // nominal time: the real request reaches the disk later than its trace
   // arrival (network + queueing), and without the grace a proactively
   // woken disk would observe "no upcoming access" and re-sleep before the
   // request lands.  note_arrival() retires entries on actual arrivals.
   const Tick grace =
-      params_.idle_threshold + disks_.front().disk->profile().spin_up_time;
+      params_.idle_threshold + disk_.front()->profile().spin_up_time;
   const Tick now = sim_.now();
-  while (d.future_pos < d.future.size() &&
-         d.future[d.future_pos] + grace <= now) {
-    ++d.future_pos;
-  }
-  if (d.future_pos >= d.future.size()) return std::nullopt;
-  return d.future[d.future_pos];
+  std::size_t pos = future_pos_[disk];
+  const std::size_t end = future_end_[disk];
+  while (pos < end && future_arena_[pos] + grace <= now) ++pos;
+  future_pos_[disk] = pos;
+  if (pos >= end) return std::nullopt;
+  return future_arena_[pos];
 }
 
 std::optional<Tick> PowerManager::predicted_gap(std::size_t disk) const {
-  const DiskState& d = disks_.at(disk);
   switch (params_.policy) {
     case PowerPolicy::kHints:
     case PowerPolicy::kOracle: {
-      const auto next =
-          next_future_access(const_cast<DiskState&>(d));
+      const auto next = next_future_access(disk);
       if (!next) return kNever;
       return *next - sim_.now();
     }
@@ -135,9 +143,11 @@ std::optional<Tick> PowerManager::predicted_gap(std::size_t disk) const {
       // of observed gaps, so we report the smaller of the two.  (Sleeping
       // on an optimistic estimate costs a 2 s spin-up on the next
       // request; staying up on a pessimistic one costs a few Joules.)
-      std::optional<Tick> gap = d.expected_gap;
-      if (d.observed_gaps >= 2) {
-        const auto ewma = static_cast<Tick>(d.ewma_gap);
+      const Tick expected = expected_gap_.at(disk);
+      std::optional<Tick> gap;
+      if (expected != kNoTick) gap = expected;
+      if (observed_gaps_[disk] >= 2) {
+        const auto ewma = static_cast<Tick>(ewma_gap_[disk]);
         gap = gap ? std::min(*gap, ewma) : ewma;
       }
       return gap;
@@ -166,47 +176,45 @@ void PowerManager::on_idle(std::size_t disk) {
 }
 
 void PowerManager::arm_timer_sleep(std::size_t disk) {
-  DiskState& d = disks_.at(disk);
-  d.sleep_timer.cancel();
-  d.sleep_timer = sim_.schedule_after(params_.idle_threshold, [this, disk] {
-    DiskState& state = disks_[disk];
-    if (state.disk->state() != disk::PowerState::kIdle ||
-        state.disk->queue_depth() != 0) {
-      return;  // a request slipped in; the next idle re-arms us
-    }
-    if (params_.policy == PowerPolicy::kPredictive) {
-      const auto remaining = predicted_remaining(disk);
-      if (remaining && *remaining < model_.min_profitable_gap()) {
-        return;  // predicted window too short to profit — stay up
-      }
-      // No prediction available: fall back to classic DPM and sleep.
-      if (try_sleep(disk) && params_.wake_marking && remaining &&
-          *remaining != kNever) {
-        // §III-C: the node also *marks the wake point* — schedule a
-        // proactive spin-up just before the predicted next arrival.  The
-        // prediction is an estimate, so early arrivals still stall (for
-        // part of a spin-up) and late ones waste some idle time; this is
-        // the source of the paper's partial (not 2 s x every miss)
-        // response penalties.
-        const Tick wake_at =
-            std::max(sim_.now() + state.disk->profile().spin_down_time,
-                     sim_.now() + *remaining -
-                         state.disk->profile().spin_up_time);
-        mark_wake(disk, wake_at);
-      }
-      return;
-    }
-    try_sleep(disk);
-  });
+  sleep_timer_.at(disk).cancel();
+  sleep_timer_[disk] =
+      sim_.schedule_after(params_.idle_threshold, [this, disk] {
+        disk::DiskModel& d = *disk_[disk];
+        if (d.state() != disk::PowerState::kIdle || d.queue_depth() != 0) {
+          return;  // a request slipped in; the next idle re-arms us
+        }
+        if (params_.policy == PowerPolicy::kPredictive) {
+          const auto remaining = predicted_remaining(disk);
+          if (remaining && *remaining < model_.min_profitable_gap()) {
+            return;  // predicted window too short to profit — stay up
+          }
+          // No prediction available: fall back to classic DPM and sleep.
+          if (try_sleep(disk) && params_.wake_marking && remaining &&
+              *remaining != kNever) {
+            // §III-C: the node also *marks the wake point* — schedule a
+            // proactive spin-up just before the predicted next arrival.
+            // The prediction is an estimate, so early arrivals still
+            // stall (for part of a spin-up) and late ones waste some
+            // idle time; this is the source of the paper's partial (not
+            // 2 s x every miss) response penalties.
+            const Tick wake_at =
+                std::max(sim_.now() + d.profile().spin_down_time,
+                         sim_.now() + *remaining - d.profile().spin_up_time);
+            mark_wake(disk, wake_at);
+          }
+          return;
+        }
+        try_sleep(disk);
+      });
 }
 
 std::optional<Tick> PowerManager::predicted_remaining(
     std::size_t disk) const {
-  const DiskState& d = disks_.at(disk);
   const auto gap = predicted_gap(disk);
   if (!gap) return std::nullopt;
-  if (*gap == kNever || !d.last_arrival) return gap;
-  const Tick elapsed = sim_.now() - *d.last_arrival;
+  const Tick last = last_arrival_.at(disk);
+  if (*gap == kNever || last == kNoTick) return gap;
+  const Tick elapsed = sim_.now() - last;
   const Tick remaining = *gap - elapsed;
   // Overdue beyond one idle threshold: the estimate missed; restart the
   // epoch (memoryless view) and expect a full gap from now.
@@ -215,8 +223,7 @@ std::optional<Tick> PowerManager::predicted_remaining(
 }
 
 void PowerManager::handle_hints_idle(std::size_t disk) {
-  DiskState& d = disks_.at(disk);
-  const auto next = next_future_access(d);
+  const auto next = next_future_access(disk);
   const Tick gate = breakeven_model_.min_profitable_gap();
   if (!next) {
     // No further accesses expected: sleep for the rest of the run.
@@ -229,18 +236,16 @@ void PowerManager::handle_hints_idle(std::size_t disk) {
     // Proactive wake so the access (which reaches the disk slightly
     // after its trace arrival time) finds the platters spinning.
     const Tick wake_at =
-        std::max(sim_.now() + d.disk->profile().spin_down_time,
-                 *next - d.disk->profile().spin_up_time);
+        std::max(sim_.now() + disk_[disk]->profile().spin_down_time,
+                 *next - disk_[disk]->profile().spin_up_time);
     mark_wake(disk, wake_at);
   }
 }
 
 void PowerManager::mark_wake(std::size_t disk, Tick wake_at) {
-  DiskState& d = disks_[disk];
-  d.wake_timer.cancel();
-  d.wake_timer = sim_.schedule_at(wake_at, [this, disk] {
-    disks_[disk].disk->request_spin_up();
-  });
+  wake_timer_[disk].cancel();
+  wake_timer_[disk] = sim_.schedule_at(
+      wake_at, [this, disk] { disk_[disk]->request_spin_up(); });
   ++wake_marks_;
   if (tracer_ && tracer_->wants(obs::kCatPower)) {
     tracer_->instant(sim_.now(), obs::kCatPower, obs::TraceLevel::kInfo,
@@ -250,14 +255,14 @@ void PowerManager::mark_wake(std::size_t disk, Tick wake_at) {
 }
 
 bool PowerManager::try_sleep(std::size_t disk) {
-  DiskState& d = disks_.at(disk);
-  if (!d.disk->request_spin_down()) return false;
+  disk::DiskModel& d = *disk_.at(disk);
+  if (!d.request_spin_down()) return false;
   ++sleeps_initiated_;
   if (tracer_ && tracer_->wants(obs::kCatPower)) {
     tracer_->instant(sim_.now(), obs::kCatPower, obs::TraceLevel::kInfo,
                      ev_sleep_, tracks_[disk]);
   }
-  EEVFS_DEBUG() << d.disk->label() << ": power manager sleeping disk at t="
+  EEVFS_DEBUG() << d.label() << ": power manager sleeping disk at t="
                 << ticks_to_seconds(sim_.now());
   return true;
 }

@@ -98,30 +98,49 @@ class PowerManager {
   std::uint64_t wake_marks() const { return wake_marks_; }
 
  private:
-  struct DiskState {
-    disk::DiskModel* disk = nullptr;
-    sim::EventHandle sleep_timer;
-    sim::EventHandle wake_timer;
-    std::optional<Tick> expected_gap;  // static hint
-    std::vector<Tick> future;          // absolute times (hints/oracle)
-    std::size_t future_pos = 0;        // first entry not yet in the past
-    std::optional<Tick> last_arrival;
-    double ewma_gap = 0.0;
-    std::uint32_t observed_gaps = 0;
-  };
+  /// Sentinel for "no value" in the per-disk Tick columns below (sim time
+  /// and gaps are never negative; kNever — the "no accesses expected"
+  /// hint — is int64 max and therefore distinct).
+  static constexpr Tick kNoTick = -1;
 
   void on_idle(std::size_t disk);
   void arm_timer_sleep(std::size_t disk);
   void handle_hints_idle(std::size_t disk);
   bool try_sleep(std::size_t disk);
   void mark_wake(std::size_t disk, Tick wake_at);
-  std::optional<Tick> next_future_access(DiskState& d) const;
+  std::optional<Tick> next_future_access(std::size_t disk) const;
 
   sim::Simulator& sim_;
   Params params_;
   EnergyPredictionModel model_;
   EnergyPredictionModel breakeven_model_;  // margin = 1 (hints/oracle gate)
-  std::vector<DiskState> disks_;
+
+  // --- per-disk state, struct-of-arrays --------------------------------
+  // note_arrival() runs on every request the node serves; a per-disk
+  // struct would drag a ~120-byte record through the cache to touch four
+  // scalar fields.  Parallel columns keep each field dense, so at
+  // datacenter scale (thousands of managed disks) the arrival and
+  // predict paths stay within a handful of cache lines.  All columns are
+  // indexed by the disk's position in the constructor vector.
+  std::vector<disk::DiskModel*> disk_;
+  std::vector<sim::EventHandle> sleep_timer_;
+  std::vector<sim::EventHandle> wake_timer_;
+  std::vector<Tick> expected_gap_;   // static hint; kNoTick = none
+  std::vector<Tick> last_arrival_;   // kNoTick = no arrival yet
+  std::vector<double> ewma_gap_;
+  std::vector<std::uint32_t> observed_gaps_;
+  // Hint timelines (hints/oracle): one flat arena of absolute times with
+  // per-disk [begin, end) spans instead of a vector per disk.  A re-set
+  // span strands its old arena entries — setup happens once per run, so
+  // the waste is nil and the cursors never invalidate.
+  std::vector<Tick> future_arena_;
+  std::vector<std::size_t> future_begin_;
+  std::vector<std::size_t> future_end_;
+  // First span entry not yet in the past.  Advancing it is a cache of a
+  // monotone scan, not observable state — hence mutable (predicted_gap()
+  // is const but may retire expired entries while peeking).
+  mutable std::vector<std::size_t> future_pos_;
+
   std::uint64_t sleeps_initiated_ = 0;
   std::uint64_t wake_marks_ = 0;
   bool started_ = false;

@@ -11,7 +11,9 @@ RecoveryManager::RecoveryManager(sim::Simulator& sim, StorageServer& server,
       server_(server),
       nodes_(std::move(nodes)),
       rewarm_enabled_(rewarm_enabled) {
-  state_.assign(nodes_.size(), NodeState{});
+  crash_time_.assign(nodes_.size(), 0);
+  generation_.assign(nodes_.size(), 0);
+  recovering_.assign(nodes_.size(), 0);
   rewarm_candidates_.assign(nodes_.size(), {});
   ep_replayed_.assign(nodes_.size(), 0);
   ep_resynced_.assign(nodes_.size(), 0);
@@ -48,28 +50,26 @@ void RecoveryManager::trace_instant(obs::StringId ev, NodeId n,
 }
 
 void RecoveryManager::on_crash(NodeId n) {
-  if (n >= state_.size()) return;
-  NodeState& st = state_[n];
-  ++st.generation;  // invalidates any pipeline still in flight
-  st.crash_time = sim_.now();
-  if (st.recovering) {
+  if (n >= generation_.size()) return;
+  ++generation_[n];  // invalidates any pipeline still in flight
+  crash_time_[n] = sim_.now();
+  if (recovering_[n]) {
     ++abandoned_;
-    st.recovering = false;
+    recovering_[n] = 0;
   }
 }
 
 void RecoveryManager::on_restart(NodeId n) {
-  if (n >= state_.size()) return;
+  if (n >= generation_.size()) return;
   StorageNode* node = nodes_[n];
   if (node->alive()) return;
-  NodeState& st = state_[n];
-  const std::uint64_t gen = st.generation;
-  st.recovering = true;
+  const std::uint64_t gen = generation_[n];
+  recovering_[n] = 1;
   node->restart();
   trace_instant(ev_begin_, n, 0);
   const Tick t0 = sim_.now();
   node->replay_journal([this, n, gen, t0](std::size_t replayed) {
-    if (gen != state_[n].generation) return;
+    if (gen != generation_[n]) return;
     ep_replayed_[n] = replayed;
     ep_replay_ticks_[n] = sim_.now() - t0;
     trace_instant(ev_replay_, n, static_cast<std::int64_t>(replayed));
@@ -96,7 +96,7 @@ void RecoveryManager::resync_next(NodeId n, std::uint64_t gen,
                                   std::vector<trace::FileId> files,
                                   std::size_t idx, std::size_t ok,
                                   Tick resync_start) {
-  if (gen != state_[n].generation) return;
+  if (gen != generation_[n]) return;
   if (idx >= files.size()) {
     ep_resynced_[n] = ok;
     ep_resync_ticks_[n] = sim_.now() - resync_start;
@@ -121,7 +121,7 @@ void RecoveryManager::resync_next(NodeId n, std::uint64_t gen,
       f, node->endpoint(),
       [this, n, gen, f, files = std::move(files), idx, ok,
        resync_start](Tick, RequestStatus st) mutable {
-        if (gen != state_[n].generation) return;
+        if (gen != generation_[n]) return;
         if (!request_ok(st)) {
           resync_next(n, gen, std::move(files), idx + 1, ok, resync_start);
           return;
@@ -129,7 +129,7 @@ void RecoveryManager::resync_next(NodeId n, std::uint64_t gen,
         nodes_[n]->resync_write(
             f, [this, n, gen, files = std::move(files), idx, ok,
                 resync_start](Tick, bool wrote) mutable {
-              if (gen != state_[n].generation) return;
+              if (gen != generation_[n]) return;
               resync_next(n, gen, std::move(files), idx + 1,
                           ok + (wrote ? 1 : 0), resync_start);
             });
@@ -140,7 +140,7 @@ void RecoveryManager::ec_repair_next(NodeId n, std::uint64_t gen,
                                      std::vector<trace::FileId> files,
                                      std::size_t idx, std::size_t ok,
                                      Tick resync_start) {
-  if (gen != state_[n].generation) return;
+  if (gen != generation_[n]) return;
   if (idx >= files.size()) {
     ep_resynced_[n] = ok;
     ep_resync_ticks_[n] = sim_.now() - resync_start;
@@ -180,7 +180,7 @@ void RecoveryManager::ec_repair_read(NodeId n, std::uint64_t gen,
                                      Tick resync_start,
                                      std::vector<StorageNode*> sources,
                                      std::size_t si, Tick file_start) {
-  if (gen != state_[n].generation) return;
+  if (gen != generation_[n]) return;
   const trace::FileId f = files[idx];
   if (si >= sources.size()) {
     // All k source chunks are in: pay the decode, then write the rebuilt
@@ -193,11 +193,11 @@ void RecoveryManager::ec_repair_read(NodeId n, std::uint64_t gen,
     sim_.schedule_after(decode, [this, n, gen, f, decode,
                                  files = std::move(files), idx, ok,
                                  resync_start, file_start]() mutable {
-      if (gen != state_[n].generation) return;
+      if (gen != generation_[n]) return;
       nodes_[n]->resync_write(
           f, [this, n, gen, f, decode, files = std::move(files), idx, ok,
               resync_start, file_start](Tick, bool wrote) mutable {
-            if (gen != state_[n].generation) return;
+            if (gen != generation_[n]) return;
             if (wrote) {
               server_.note_chunk_repaired(decode);
               const Tick took = sim_.now() - file_start;
@@ -221,7 +221,7 @@ void RecoveryManager::ec_repair_read(NodeId n, std::uint64_t gen,
       [this, n, gen, files = std::move(files), idx, ok, resync_start,
        sources = std::move(sources), si,
        file_start](Tick, RequestStatus st) mutable {
-        if (gen != state_[n].generation) return;
+        if (gen != generation_[n]) return;
         if (!request_ok(st)) {
           // A donor failed mid-repair; this chunk stays lost for now.
           ec_repair_next(n, gen, std::move(files), idx + 1, ok,
@@ -242,7 +242,7 @@ void RecoveryManager::begin_rewarm(NodeId n, std::uint64_t gen,
   nodes_[n]->rewarm_prefetch(
       rewarm_candidates_[n],
       [this, n, gen, rewarm_start](std::size_t rewarmed) {
-        if (gen != state_[n].generation) return;
+        if (gen != generation_[n]) return;
         trace_instant(ev_rewarm_, n, static_cast<std::int64_t>(rewarmed));
         finish_episode(n, gen, rewarmed, rewarm_start);
       });
@@ -250,10 +250,9 @@ void RecoveryManager::begin_rewarm(NodeId n, std::uint64_t gen,
 
 void RecoveryManager::finish_episode(NodeId n, std::uint64_t gen,
                                      std::size_t rewarmed, Tick rewarm_start) {
-  NodeState& st = state_[n];
-  if (gen != st.generation) return;
-  st.recovering = false;
-  const Tick mttr = sim_.now() - st.crash_time;
+  if (gen != generation_[n]) return;
+  recovering_[n] = 0;
+  const Tick mttr = sim_.now() - crash_time_[n];
   const Tick rewarm_ticks = sim_.now() - rewarm_start;
   ++metrics_.episodes;
   metrics_.replayed_writes += ep_replayed_[n];

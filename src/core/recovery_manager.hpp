@@ -71,13 +71,6 @@ class RecoveryManager {
   std::uint64_t episodes_abandoned() const { return abandoned_; }
 
  private:
-  struct NodeState {
-    Tick crash_time = 0;
-    /// Bumped at every crash; stale pipeline continuations compare.
-    std::uint64_t generation = 0;
-    bool recovering = false;
-  };
-
   void begin_resync(NodeId n, std::uint64_t gen, std::size_t replayed,
                     Tick replay_done);
   void resync_next(NodeId n, std::uint64_t gen,
@@ -105,7 +98,14 @@ class RecoveryManager {
   std::vector<StorageNode*> nodes_;
   bool rewarm_enabled_ = true;
   std::vector<std::vector<trace::FileId>> rewarm_candidates_;
-  std::vector<NodeState> state_;
+  // Per-node episode state, struct-of-arrays (indexed by NodeId).  Every
+  // pipeline continuation re-checks its node's generation stamp; keeping
+  // the stamps in one dense column means those checks share cache lines
+  // across nodes instead of striding over per-node structs.
+  std::vector<Tick> crash_time_;
+  /// Bumped at every crash; stale pipeline continuations compare.
+  std::vector<std::uint64_t> generation_;
+  std::vector<std::uint8_t> recovering_;
 
   RecoveryMetrics metrics_;
   std::uint64_t abandoned_ = 0;

@@ -28,7 +28,16 @@ void StorageServer::ingest_history(const workload::Workload& history) {
   analyzer_.emplace(history.requests);
 }
 
+void StorageServer::ingest_popularity(
+    std::vector<trace::FilePopularity> summaries, std::size_t total_accesses) {
+  analyzer_.emplace(std::move(summaries), total_accesses);
+}
+
 void StorageServer::place_and_create(const workload::Workload& workload) {
+  place_and_create(workload.file_sizes);
+}
+
+void StorageServer::place_and_create(const std::vector<Bytes>& file_sizes) {
   if (nodes_.empty()) {
     throw std::logic_error("StorageServer: register_nodes first");
   }
@@ -36,8 +45,8 @@ void StorageServer::place_and_create(const workload::Workload& workload) {
     throw std::logic_error("StorageServer: ingest_history first");
   }
   placement_ = place_files(placement_policy_, nodes_.size(),
-                           workload.num_files(), *analyzer_,
-                           workload.file_sizes, rng_, replication_degree_,
+                           file_sizes.size(), *analyzer_,
+                           file_sizes, rng_, replication_degree_,
                            ec_.n, ec_.k);
   // Create-file calls happen in popularity order per node, which is what
   // makes the node-local disk round-robin load balance (§III-B); the
@@ -46,7 +55,7 @@ void StorageServer::place_and_create(const workload::Workload& workload) {
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
     nodes_[n]->expect_files(placement_.files_on_node[n].size());
     for (const trace::FileId f : placement_.files_on_node[n]) {
-      const Bytes size = workload.file_size(f);
+      const Bytes size = file_sizes.at(f);
       nodes_[n]->create_file(
           f, placement_.erasure
                  ? PlacementMap::chunk_bytes(size, placement_.ec_k)
@@ -55,9 +64,33 @@ void StorageServer::place_and_create(const workload::Workload& workload) {
   }
   // The routing table records every replica (chunk holder), primary
   // first, with the full logical size.
-  for (trace::FileId f = 0; f < workload.num_files(); ++f) {
-    metadata_.insert(f, placement_.replicas(f), workload.file_size(f),
+  for (trace::FileId f = 0; f < file_sizes.size(); ++f) {
+    metadata_.insert(f, placement_.replicas(f), file_sizes[f],
                      placement_.erasure, placement_.ec_k);
+  }
+}
+
+void StorageServer::distribute_pattern_summaries(
+    const std::vector<std::size_t>& counts, Tick horizon) {
+  if (placement_.node_of.empty()) {
+    throw std::logic_error("StorageServer: place_and_create first");
+  }
+  std::vector<std::map<trace::FileId, std::size_t>> per_node(nodes_.size());
+  for (trace::FileId f = 0; f < counts.size(); ++f) {
+    if (counts[f] == 0) continue;
+    if (placement_.erasure) {
+      // Mirrors distribute_patterns: every data-chunk holder serves the
+      // read, parity holders stay cold.
+      const auto& holders = placement_.replicas(f);
+      for (std::size_t c = 0; c < placement_.ec_k; ++c) {
+        per_node[holders[c]][f] = counts[f];
+      }
+    } else {
+      per_node[placement_.node(f)][f] = counts[f];
+    }
+  }
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    nodes_[n]->receive_access_summary(std::move(per_node[n]), horizon);
   }
 }
 
@@ -266,7 +299,7 @@ void StorageServer::route(const trace::TraceRecord& r,
     throw std::logic_error("StorageServer: request for unknown file " +
                            std::to_string(r.file));
   }
-  log_.append(r.file, sim_.now(), r.bytes);
+  if (log_enabled_) log_.append(r.file, sim_.now(), r.bytes);
   ++requests_routed_;
   // Pay the metadata probe, then walk the candidate list (or fork the
   // erasure fan-out).  Candidate order is decided after the probe, from

@@ -70,6 +70,12 @@ class StorageServer {
   /// traces").
   void ingest_history(const workload::Workload& history);
 
+  /// Step 2, streaming form: exact per-file aggregates computed in one
+  /// pass over a request stream (Cluster::run_stream) instead of a
+  /// materialized trace.  Produces the same ranking the trace form would.
+  void ingest_popularity(std::vector<trace::FilePopularity> summaries,
+                         std::size_t total_accesses);
+
   /// How many copies of every file place_and_create lays out (clamped to
   /// the node count; 1 = the paper's unreplicated system).
   void set_replication_degree(std::size_t degree) {
@@ -119,10 +125,26 @@ class StorageServer {
   /// in popularity order (drives their local disk round-robin).
   void place_and_create(const workload::Workload& workload);
 
+  /// Streaming form: identical placement/creation from the per-file
+  /// sizes alone (popularity comes from the ingested aggregates).
+  void place_and_create(const std::vector<Bytes>& file_sizes);
+
   /// Step 4: split the access pattern per node and forward it
   /// (application hints, §IV-C).  Hints go to the primary replica only —
   /// secondaries serve cold and are only woken by failover traffic.
   void distribute_patterns(const workload::Workload& workload);
+
+  /// Step 4, streaming form: forwards per-file access COUNTS over the
+  /// horizon instead of exact arrival timelines (which would materialize
+  /// the whole run).  Nodes model each file's accesses as evenly spaced
+  /// — the same constant-rate view the predictive power policy takes.
+  void distribute_pattern_summaries(const std::vector<std::size_t>& counts,
+                                    Tick horizon);
+
+  /// The append-only request log grows with every routed request; the
+  /// datacenter-scale streaming path disables it (offline popularity
+  /// does not read it back; online refresh requires it enabled).
+  void set_request_log_enabled(bool enabled) { log_enabled_ = enabled; }
 
   /// This node-indexed slice of the globally top-`k` files, each slice in
   /// global rank order — the prefetch instruction of step 3.  Primary
@@ -254,6 +276,7 @@ class StorageServer {
   PlacementMap placement_;
   ServerMetadata metadata_;
   trace::AccessLog log_;
+  bool log_enabled_ = true;
   std::size_t replication_degree_ = 1;
   std::uint64_t requests_routed_ = 0;
   sim::EventHandle refresh_timer_;

@@ -63,6 +63,25 @@ PopularityAnalyzer::PopularityAnalyzer(const Trace& trace) {
   }
 }
 
+PopularityAnalyzer::PopularityAnalyzer(std::vector<FilePopularity> summaries,
+                                       std::size_t total_accesses)
+    : total_accesses_(total_accesses) {
+  ranked_ = std::move(summaries);
+  ranked_.erase(std::remove_if(ranked_.begin(), ranked_.end(),
+                               [](const FilePopularity& p) {
+                                 return p.accesses == 0;
+                               }),
+                ranked_.end());
+  std::stable_sort(ranked_.begin(), ranked_.end(),
+                   [](const FilePopularity& a, const FilePopularity& b) {
+                     if (a.accesses != b.accesses) return a.accesses > b.accesses;
+                     return a.file < b.file;
+                   });
+  for (std::size_t i = 0; i < ranked_.size(); ++i) {
+    rank_of_[ranked_[i].file] = i;
+  }
+}
+
 std::size_t PopularityAnalyzer::rank(FileId f) const {
   const auto it = rank_of_.find(f);
   return it == rank_of_.end() ? npos : it->second;

@@ -55,6 +55,13 @@ class PopularityAnalyzer {
  public:
   explicit PopularityAnalyzer(const Trace& trace);
 
+  /// Aggregate form for the streaming path: per-file summaries computed
+  /// in one pass over a request stream (any order; zero-access entries
+  /// are dropped) and the total access count.  Equivalent to the Trace
+  /// constructor when the summaries are exact.
+  PopularityAnalyzer(std::vector<FilePopularity> summaries,
+                     std::size_t total_accesses);
+
   const std::vector<FilePopularity>& ranked() const { return ranked_; }
 
   /// Rank of a file (0 = most popular); files never accessed in the

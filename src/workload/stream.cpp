@@ -1,0 +1,76 @@
+#include "workload/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eevfs::workload {
+
+SyntheticStream::SyntheticStream(
+    const SyntheticConfig& config,
+    std::shared_ptr<const std::vector<Bytes>> file_sizes)
+    : config_(config),
+      file_sizes_(std::move(file_sizes)),
+      pop_rng_(Rng(config.seed).fork(2)),
+      arrival_rng_(Rng(config.seed).fork(3)),
+      client_rng_(Rng(config.seed).fork(4)) {}
+
+bool SyntheticStream::next(trace::TraceRecord* out) {
+  if (produced_ >= config_.num_requests) return false;
+  trace::TraceRecord r;
+  r.arrival = arrival_;
+  const auto draw = static_cast<std::uint64_t>(pop_rng_.poisson(config_.mu));
+  r.file = static_cast<trace::FileId>(draw % config_.num_files);
+  r.bytes = (*file_sizes_)[r.file];
+  r.op = trace::Op::kRead;
+  r.client =
+      static_cast<trace::ClientId>(client_rng_.next_below(config_.num_clients));
+
+  if (config_.inter_arrival_jitter > 0.0 && config_.inter_arrival_ms > 0.0) {
+    // Blend a fixed gap with an exponential one: jitter=1 is Poisson
+    // arrivals at the same mean rate.
+    const double fixed =
+        (1.0 - config_.inter_arrival_jitter) * config_.inter_arrival_ms;
+    const double random = arrival_rng_.exponential(
+        config_.inter_arrival_jitter * config_.inter_arrival_ms);
+    arrival_ += milliseconds_to_ticks(fixed + random);
+  } else {
+    arrival_ += milliseconds_to_ticks(config_.inter_arrival_ms);
+  }
+  ++produced_;
+  *out = r;
+  return true;
+}
+
+StreamingWorkload make_synthetic_stream(const SyntheticConfig& config) {
+  if (config.num_files == 0 || config.num_requests == 0) {
+    throw std::invalid_argument("make_synthetic_stream: empty configuration");
+  }
+  if (config.mean_data_size_mb <= 0.0 || config.mu <= 0.0 ||
+      config.inter_arrival_ms < 0.0) {
+    throw std::invalid_argument("make_synthetic_stream: invalid parameters");
+  }
+
+  Rng size_rng = Rng(config.seed).fork(1);
+  const double mean_bytes =
+      config.mean_data_size_mb * static_cast<double>(kMB);
+  auto sizes = std::make_shared<std::vector<Bytes>>(config.num_files);
+  for (auto& s : *sizes) {
+    const double bytes =
+        config.size_sigma > 0.0
+            ? size_rng.lognormal_with_mean(mean_bytes, config.size_sigma)
+            : mean_bytes;
+    s = static_cast<Bytes>(std::max(1.0, bytes));
+  }
+
+  StreamingWorkload w;
+  w.name = config.label();
+  w.file_sizes = *sizes;
+  w.num_requests = config.num_requests;
+  w.open = [config, sizes] {
+    return std::make_unique<SyntheticStream>(config, sizes);
+  };
+  return w;
+}
+
+}  // namespace eevfs::workload

@@ -1,0 +1,74 @@
+// Streaming workload generation (datacenter-scale path).
+//
+// A materialized workload::Workload holds every TraceRecord of the run up
+// front — fine at the paper's 1000-request scale, hopeless for a
+// 1024-node cell replaying millions of requests (the trace, the server's
+// request log, and the replay queues would each hold the full run).  A
+// StreamingWorkload instead carries only the per-file metadata (sizes —
+// O(num_files)) plus a factory that opens a fresh *pass* over the
+// request sequence; requests are produced lazily, one at a time, in
+// arrival order, and are never fully materialized anywhere:
+//
+//  * pass 1 (Cluster::run_stream setup) folds the sequence into exact
+//    per-file popularity aggregates for placement and prefetch ranking;
+//  * pass 2 feeds the replay pump, which holds only a small look-ahead
+//    window of undelivered records (plus each client's backlog).
+//
+// SyntheticStream produces the exact same record sequence as
+// generate_synthetic for the same config — generate_synthetic is
+// implemented by draining one (the engine-golden digests pin this).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "workload/synthetic.hpp"
+
+namespace eevfs::workload {
+
+/// One lazy, forward-only pass over a request sequence (arrival order).
+class RequestStream {
+ public:
+  virtual ~RequestStream() = default;
+
+  /// Produces the next record; false when the sequence is exhausted.
+  virtual bool next(trace::TraceRecord* out) = 0;
+};
+
+/// A workload whose requests are generated on demand.  `open()` starts a
+/// fresh pass from the first record; passes are independent and
+/// deterministic (every pass yields the identical sequence).
+struct StreamingWorkload {
+  std::string name;
+  std::vector<Bytes> file_sizes;  // indexed by FileId
+  std::size_t num_requests = 0;
+  std::function<std::unique_ptr<RequestStream>()> open;
+
+  std::size_t num_files() const { return file_sizes.size(); }
+  Bytes file_size(trace::FileId f) const { return file_sizes.at(f); }
+};
+
+/// Lazy generator with generate_synthetic's exact draw order (same rng
+/// forks, same per-record draw sequence).
+class SyntheticStream : public RequestStream {
+ public:
+  SyntheticStream(const SyntheticConfig& config,
+                  std::shared_ptr<const std::vector<Bytes>> file_sizes);
+
+  bool next(trace::TraceRecord* out) override;
+
+ private:
+  SyntheticConfig config_;
+  std::shared_ptr<const std::vector<Bytes>> file_sizes_;
+  Rng pop_rng_;
+  Rng arrival_rng_;
+  Rng client_rng_;
+  std::size_t produced_ = 0;
+  Tick arrival_ = 0;
+};
+
+/// Draws the per-file sizes (the only eagerly-materialized piece, shared
+/// by every pass) and wraps the config as a StreamingWorkload.
+StreamingWorkload make_synthetic_stream(const SyntheticConfig& config);
+
+}  // namespace eevfs::workload

@@ -1,10 +1,7 @@
 #include "workload/synthetic.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
 #include "util/string_util.hpp"
+#include "workload/stream.hpp"
 
 namespace eevfs::workload {
 
@@ -14,58 +11,16 @@ std::string SyntheticConfig::label() const {
 }
 
 Workload generate_synthetic(const SyntheticConfig& config) {
-  if (config.num_files == 0 || config.num_requests == 0) {
-    throw std::invalid_argument("generate_synthetic: empty configuration");
-  }
-  if (config.mean_data_size_mb <= 0.0 || config.mu <= 0.0 ||
-      config.inter_arrival_ms < 0.0) {
-    throw std::invalid_argument("generate_synthetic: invalid parameters");
-  }
-
+  // One implementation serves both paths: the materialized workload is a
+  // drained SyntheticStream, so the streaming path is record-for-record
+  // identical by construction (argument validation included).
+  StreamingWorkload stream = make_synthetic_stream(config);
   Workload w;
-  w.name = config.label();
-
-  Rng size_rng = Rng(config.seed).fork(1);
-  Rng pop_rng = Rng(config.seed).fork(2);
-  Rng arrival_rng = Rng(config.seed).fork(3);
-  Rng client_rng = Rng(config.seed).fork(4);
-
-  const double mean_bytes =
-      config.mean_data_size_mb * static_cast<double>(kMB);
-  w.file_sizes.resize(config.num_files);
-  for (auto& s : w.file_sizes) {
-    const double bytes =
-        config.size_sigma > 0.0
-            ? size_rng.lognormal_with_mean(mean_bytes, config.size_sigma)
-            : mean_bytes;
-    s = static_cast<Bytes>(std::max(1.0, bytes));
-  }
-
-  Tick arrival = 0;
-  const Tick spacing = milliseconds_to_ticks(config.inter_arrival_ms);
-  for (std::size_t i = 0; i < config.num_requests; ++i) {
-    trace::TraceRecord r;
-    r.arrival = arrival;
-    const auto draw = static_cast<std::uint64_t>(pop_rng.poisson(config.mu));
-    r.file = static_cast<trace::FileId>(draw % config.num_files);
-    r.bytes = w.file_sizes[r.file];
-    r.op = trace::Op::kRead;
-    r.client = static_cast<trace::ClientId>(
-        client_rng.next_below(config.num_clients));
-    w.requests.append(r);
-
-    if (config.inter_arrival_jitter > 0.0 && config.inter_arrival_ms > 0.0) {
-      // Blend a fixed gap with an exponential one: jitter=1 is Poisson
-      // arrivals at the same mean rate.
-      const double fixed = (1.0 - config.inter_arrival_jitter) *
-                           config.inter_arrival_ms;
-      const double random = arrival_rng.exponential(
-          config.inter_arrival_jitter * config.inter_arrival_ms);
-      arrival += milliseconds_to_ticks(fixed + random);
-    } else {
-      arrival += spacing;
-    }
-  }
+  w.name = std::move(stream.name);
+  w.file_sizes = std::move(stream.file_sizes);
+  auto pass = stream.open();
+  trace::TraceRecord r;
+  while (pass->next(&r)) w.requests.append(r);
   return w;
 }
 

@@ -63,6 +63,9 @@ step "eevfs-lint (whole tree)"
 ./build/tools/eevfs_lint/eevfs_lint \
   --metrics-doc docs/observability.md src bench examples tests tools
 
+step "docs check (markdown links + metrics-doc drift)"
+python3 tools/docs_check.py
+
 if [ "$RUN_TIDY" = 1 ]; then
   if command -v clang-tidy > /dev/null 2>&1; then
     step "clang-tidy (changed files)"

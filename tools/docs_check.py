@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Documentation consistency check (`ctest -L lint` / CI lint job).
+
+Two rules:
+
+  DOC1  every relative markdown link in a tracked *.md file must point
+        at a file (or directory) that exists; `#fragment` suffixes are
+        stripped first.  External links (http/https/mailto) and pure
+        in-page anchors are ignored.
+
+  DOC2  every metric name documented in docs/observability.md
+        (`component.metric.unit` spans in backticks — the same grammar
+        eevfs-lint's O2 rule uses) must still appear as a string literal
+        somewhere under src/.  eevfs-lint enforces code -> doc coverage;
+        this is the reverse direction, catching stale doc entries after
+        a metric is renamed or removed.
+
+Usage: tools/docs_check.py [REPO_ROOT]   (default: parent of tools/)
+Exit 0 when clean, 1 with a findings listing otherwise.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# [text](target) — good enough for the repo's hand-written markdown;
+# skips fenced code blocks below so lint examples don't trip it.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+METRIC_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*){2,})`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"], cwd=root, check=True,
+        capture_output=True, text=True)
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def check_links(root: Path, files: list[Path]) -> list[str]:
+    findings = []
+    for md in files:
+        in_fence = False
+        for lineno, line in enumerate(
+                md.read_text(encoding="utf-8").splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.is_relative_to(root.resolve()):
+                    # Escapes the checkout — a forge UI path (e.g. the
+                    # README's ../../actions badge), not a repo file.
+                    continue
+                if not resolved.exists():
+                    rel = md.relative_to(root)
+                    findings.append(
+                        f"{rel}:{lineno}: DOC1 broken relative link: "
+                        f"({target})")
+    return findings
+
+
+def check_metric_drift(root: Path) -> list[str]:
+    doc = root / "docs" / "observability.md"
+    if not doc.exists():
+        return [f"{doc}: DOC2 metrics reference is missing"]
+    documented = set()
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        documented.update(METRIC_RE.findall(line))
+    src_blob = "".join(
+        p.read_text(encoding="utf-8", errors="replace")
+        for p in sorted((root / "src").rglob("*"))
+        if p.suffix in (".cpp", ".hpp"))
+    findings = []
+    for name in sorted(documented):
+        # Emit sites build names as "component." + suffix or full
+        # literals; accept either the full name or its metric.unit tail.
+        tail = name.split(".", 1)[1]
+        if name not in src_blob and tail not in src_blob:
+            findings.append(
+                f"docs/observability.md: DOC2 documented metric "
+                f"`{name}` no longer appears in src/ — stale entry?")
+    return findings
+
+
+def main() -> int:
+    root = (Path(sys.argv[1]) if len(sys.argv) > 1
+            else Path(__file__).resolve().parent.parent)
+    files = tracked_markdown(root)
+    findings = check_links(root, files) + check_metric_drift(root)
+    for f in findings:
+        print(f)
+    print(f"docs_check: {len(files)} markdown files, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
