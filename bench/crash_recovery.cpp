@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   });
 
   bool durability_violated = false;
-  double base_joules = 0.0;
+  Joules base_joules = 0.0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     const core::RunMetrics& m = results[i];

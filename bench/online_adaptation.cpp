@@ -67,12 +67,12 @@ void run_suite(bench::BenchOutput& out, const char* name,
     core::Cluster c(baseline::eevfs_pf());
     report(out, name, "offline (oracle pop.)", c.run(w), npf);
   }
-  for (const double interval : {120.0, 60.0, 30.0, 10.0}) {
+  for (const double interval_sec : {120.0, 60.0, 30.0, 10.0}) {
     core::ClusterConfig cfg = baseline::eevfs_pf();
     cfg.online_popularity = true;
-    cfg.refresh_interval_sec = interval;
+    cfg.refresh_interval_sec = interval_sec;
     core::Cluster c(cfg);
-    const auto label = format("online (refresh %.0fs)", interval);
+    const auto label = format("online (refresh %.0fs)", interval_sec);
     report(out, name, label.c_str(), c.run(w), npf);
   }
 }

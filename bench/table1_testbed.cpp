@@ -28,7 +28,7 @@ double measure_disk_bandwidth(const disk::DiskProfile& profile) {
   }
   sim.run();
   return static_cast<double>(kChunk) * kChunks /
-         ticks_to_seconds(sim.now()) / 1e6;
+         ticks_to_seconds(sim.now()) / static_cast<double>(kMB);
 }
 
 double measure_nic_bandwidth(double mbps) {
@@ -40,7 +40,7 @@ double measure_nic_bandwidth(double mbps) {
   net.send(a, b, 100 * kMB, [&](Tick t) { done = t; });
   sim.run();
   return 100.0 * static_cast<double>(kMB) / ticks_to_seconds(done) * 8.0 /
-         1e6;  // Mb/s
+         static_cast<double>(kMB);  // Mb/s
 }
 
 void print_profile(const char* role, const disk::DiskProfile& p,
@@ -48,8 +48,8 @@ void print_profile(const char* role, const disk::DiskProfile& p,
   std::printf("%-22s %-10s %6.0f GB %10.1f MB/s (measured %.1f) %9.0f Mb/s "
               "(measured %.0f)\n",
               role, p.name.substr(0, 7).c_str(),
-              static_cast<double>(p.capacity) / 1e9,
-              p.bandwidth_bytes_per_sec / 1e6, measure_disk_bandwidth(p),
+              bytes_to_gb(p.capacity),
+              p.bandwidth_bytes_per_sec / static_cast<double>(kMB), measure_disk_bandwidth(p),
               nic_mbps, measure_nic_bandwidth(nic_mbps));
 }
 
@@ -92,14 +92,14 @@ int main(int argc, char** argv) {
   const disk::DiskProfile fast = disk::DiskProfile::ata133_fast();
   const disk::DiskProfile slow = disk::DiskProfile::ata133_slow();
   std::printf("  type 1: disk %.0f ms + 1 Gb/s transfer %.0f ms\n",
-              ticks_to_seconds(fast.service_time(10 * kMB, false)) * 1e3,
+              ticks_to_seconds(fast.service_time(10 * kMB, false)) * kMillisPerSecond,
               10.0 * static_cast<double>(kMB) /
                   (net::mbps_to_bytes_per_sec(1000) * cfg.nic_efficiency) *
-                  1e3);
+                  kMillisPerSecond);
   std::printf("  type 2: disk %.0f ms + 100 Mb/s transfer %.0f ms\n",
-              ticks_to_seconds(slow.service_time(10 * kMB, false)) * 1e3,
+              ticks_to_seconds(slow.service_time(10 * kMB, false)) * kMillisPerSecond,
               10.0 * static_cast<double>(kMB) /
                   (net::mbps_to_bytes_per_sec(100) * cfg.nic_efficiency) *
-                  1e3);
+                  kMillisPerSecond);
   return 0;
 }

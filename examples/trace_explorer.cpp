@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
   std::printf("trace: %zu records, %zu unique files, %.1f s, %.2f GB\n\n",
               t.size(), t.unique_files(), ticks_to_seconds(t.duration()),
-              static_cast<double>(t.total_bytes()) / 1e9);
+              bytes_to_gb(t.total_bytes()));
 
   const trace::PopularityAnalyzer analyzer(t);
   std::printf("top 10 files by accesses:\n");

@@ -100,7 +100,8 @@ void Cluster::build_infra() {
     ec.n = config_.ec_n;
     ec.k = config_.ec_k;
     ec.hedge_delay = milliseconds_to_ticks(config_.ec_hedge_ms);
-    ec.decode_bytes_per_sec = config_.ec_decode_mbps * 1.0e6;
+    ec.decode_bytes_per_sec =
+        config_.ec_decode_mbps * static_cast<double>(kMB);
     // Spindle energy per transferred byte, from the node disk profile:
     // what a 1 MiB sequential transfer costs at active power.  Used for
     // the degraded-read energy estimate (parity bytes a healthy read
@@ -651,7 +652,7 @@ void Cluster::snapshot_counters() {
   reg.gauge("ec.degraded_energy.joules").set(ec.degraded_energy_estimate);
 
   std::uint64_t j_appends = 0, j_checkpoints = 0, j_truncated = 0;
-  std::uint64_t j_scan_bytes = 0;
+  Bytes j_scan_bytes = 0;
   for (const auto& node : nodes_) {
     if (const disk::WriteJournal* j = node->journal()) {
       j_appends += j->appends();

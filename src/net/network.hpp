@@ -100,7 +100,7 @@ class NetworkFabric {
 
 /// Convenience: converts the paper's megabit-per-second NIC ratings.
 constexpr double mbps_to_bytes_per_sec(double mbps) {
-  return mbps * 1e6 / 8.0;
+  return mbps * static_cast<double>(kMB) / 8.0;
 }
 
 }  // namespace eevfs::net

@@ -50,6 +50,18 @@ constexpr double bytes_to_mib(Bytes b) {
   return static_cast<double>(b) / static_cast<double>(kMiB);
 }
 
+constexpr double bytes_to_mb(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kMB);
+}
+
+constexpr double bytes_to_gb(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kGB);
+}
+
+/// Human-facing rates and tables quote milliseconds; name the scale
+/// factor so `* 1e3` never appears bare at call sites.
+inline constexpr double kMillisPerSecond = 1e3;
+
 /// Energy in Joules and power in Watts are plain doubles; these aliases
 /// document intent in signatures.
 using Joules = double;

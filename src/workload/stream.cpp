@@ -52,6 +52,7 @@ StreamingWorkload make_synthetic_stream(const SyntheticConfig& config) {
   }
 
   Rng size_rng = Rng(config.seed).fork(1);
+  // eevfs-lint: allow(U2) fractional mean of the size model, not a count
   const double mean_bytes =
       config.mean_data_size_mb * static_cast<double>(kMB);
   auto sizes = std::make_shared<std::vector<Bytes>>(config.num_files);
