@@ -19,7 +19,7 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
     for (std::size_t i = 0; i < events; ++i) {
-      sim.schedule_at(static_cast<Tick>((i * 7919) % 100000), [] {});
+      (void)sim.schedule_at(static_cast<Tick>((i * 7919) % 100000), [] {});
     }
     benchmark::DoNotOptimize(sim.run());
   }

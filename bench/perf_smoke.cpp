@@ -124,22 +124,22 @@ struct DatacenterChurn {
     standby[disk] = sim.schedule_after(kStandby, [] {});
     hedge[disk] = sim.schedule_after(kHedge, [] {});
     if (sim.now() + period(disk) <= kHorizon) {
-      sim.schedule_after(period(disk), [this, disk] { arrival(disk); });
+      (void)sim.schedule_after(period(disk), [this, disk] { arrival(disk); });
     }
   }
 
   void heartbeat(std::uint32_t node) {
     if (sim.now() + kTicksPerSecond <= kHorizon) {
-      sim.schedule_after(kTicksPerSecond, [this, node] { heartbeat(node); });
+      (void)sim.schedule_after(kTicksPerSecond, [this, node] { heartbeat(node); });
     }
   }
 
   std::uint64_t run() {
     for (std::uint32_t d = 0; d < kDisks; ++d) {
-      sim.schedule_at(d % period(d), [this, d] { arrival(d); });
+      (void)sim.schedule_at(d % period(d), [this, d] { arrival(d); });
     }
     for (std::uint32_t n = 0; n < kNodes; ++n) {
-      sim.schedule_at(n, [this, n] { heartbeat(n); });
+      (void)sim.schedule_at(n, [this, n] { heartbeat(n); });
     }
     sim.run();
     return sim.executed_events();

@@ -267,7 +267,7 @@ RunMetrics Cluster::run_phase(const std::function<void(Tick)>& start) {
   if (recovery_) recovery_->set_rewarm_candidates(candidates);
 
   auto barrier = std::make_shared<std::size_t>(nodes_.size());
-  sim_->schedule_at(0, [this, &start, candidates, barrier] {
+  (void)sim_->schedule_at(0, [this, &start, candidates, barrier] {
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
       nodes_[n]->start_prefetch(candidates[n], [this, &start, barrier] {
         if (--*barrier == 0) {
@@ -314,7 +314,7 @@ void Cluster::start_replay(const workload::Workload& workload,
   }
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     if (!replay_queues_[c].empty()) {
-      sim_->schedule_at(replay_start + replay_queues_[c].front().arrival,
+      (void)sim_->schedule_at(replay_start + replay_queues_[c].front().arrival,
                         [this, c, replay_start] { issue_next(c, replay_start); });
     }
   }
@@ -364,7 +364,7 @@ void Cluster::pump_stream(Tick replay_start) {
     }
     if (client_waiting_[c]) {
       client_waiting_[c] = false;
-      sim_->schedule_at(std::max(due, sim_->now()),
+      (void)sim_->schedule_at(std::max(due, sim_->now()),
                         [this, c, replay_start] {
                           issue_next(c, replay_start);
                         });
@@ -442,7 +442,7 @@ void Cluster::complete_request(std::size_t client_idx, Tick replay_start) {
   auto& pending = replay_queues_[client_idx];
   if (!pending.empty()) {
     const Tick due = replay_start + pending.front().arrival;
-    sim_->schedule_at(std::max(due, sim_->now()),
+    (void)sim_->schedule_at(std::max(due, sim_->now()),
                       [this, client_idx, replay_start] {
                         issue_next(client_idx, replay_start);
                       });

@@ -33,6 +33,8 @@
 #include "obs/counters.hpp"
 #include "obs/tracer.hpp"
 #include "sim/engine.hpp"
+#include "trace/record.hpp"
+#include "util/units.hpp"
 #include "workload/stream.hpp"
 #include "workload/synthetic.hpp"
 

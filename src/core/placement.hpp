@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "trace/record.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::core {
 

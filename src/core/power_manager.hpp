@@ -29,6 +29,7 @@
 #include "disk/disk_model.hpp"
 #include "obs/tracer.hpp"
 #include "sim/engine.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::core {
 

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "core/energy_model.hpp"
+#include "disk/disk_profile.hpp"
 #include "trace/record.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::core {
 

@@ -190,7 +190,7 @@ void RecoveryManager::ec_repair_read(NodeId n, std::uint64_t gen,
         entry ? server_.ec_chunk_bytes(entry->size) : 0;
     const Tick decode = server_.ec_decode_ticks(
         chunk_bytes * static_cast<Bytes>(server_.ec_k()));
-    sim_.schedule_after(decode, [this, n, gen, f, decode,
+    (void)sim_.schedule_after(decode, [this, n, gen, f, decode,
                                  files = std::move(files), idx, ok,
                                  resync_start, file_start]() mutable {
       if (gen != generation_[n]) return;

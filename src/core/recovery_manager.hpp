@@ -27,12 +27,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "core/storage_node.hpp"
 #include "core/storage_server.hpp"
 #include "obs/counters.hpp"
 #include "obs/tracer.hpp"
 #include "sim/engine.hpp"
+#include "trace/record.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::core {
 

@@ -197,7 +197,7 @@ void StorageNode::start_prefetch(const std::vector<trace::FileId>& candidates,
   }
 
   if (plan_.accepted.empty()) {
-    sim_.schedule_after(0, std::move(done));
+    (void)sim_.schedule_after(0, std::move(done));
     return;
   }
   auto outstanding = std::make_shared<std::size_t>(plan_.accepted.size());
@@ -234,7 +234,7 @@ void StorageNode::submit_with_retry(
                            << std::min<std::size_t>(attempt, 16);
       if (t - issued + backoff <= params_.io_deadline) {
         ++disk_io_retries_;
-        sim_.schedule_after(
+        (void)sim_.schedule_after(
             backoff, [this, target, bytes, sequential, is_write, issued,
                       attempt, done = std::move(done)]() mutable {
               // Retries bypass the power manager: the drive is already
@@ -295,13 +295,13 @@ void StorageNode::copy_into_buffer(trace::FileId f,
   const auto inserted = buffer_->insert(f, bytes, /*allow_evict=*/false);
   if (!inserted.inserted) {
     // Space accounting said no (planned capacity should prevent this).
-    sim_.schedule_after(0, std::move(done));
+    (void)sim_.schedule_after(0, std::move(done));
     return;
   }
   if (!stripe_set_alive(lf)) {
     // Source disk already gone — nothing to copy from.
     buffer_->erase(f);
-    sim_.schedule_after(0, std::move(done));
+    (void)sim_.schedule_after(0, std::move(done));
     return;
   }
   // `done` is control flow (prefetch barriers wait on it) and must fire
@@ -465,7 +465,7 @@ void StorageNode::crash() {
   open_serves_.clear();
   for (auto& [id, cb] : open) {
     ++failed_serves_;
-    sim_.schedule_after(1, [this, cb = std::move(cb)] {
+    (void)sim_.schedule_after(1, [this, cb = std::move(cb)] {
       cb(sim_.now(), RequestStatus::kNodeUnavailable);
     });
   }
@@ -506,7 +506,7 @@ void StorageNode::restart() {
 void StorageNode::replay_journal(std::function<void(std::size_t)> done) {
   if (!done) done = [](std::size_t) {};
   if (!alive_ || !journal_ || !journal_->enabled() || !buffer_) {
-    sim_.schedule_after(0, [done = std::move(done)] { done(0); });
+    (void)sim_.schedule_after(0, [done = std::move(done)] { done(0); });
     return;
   }
   const std::uint64_t ep = epoch_;
@@ -552,7 +552,7 @@ void StorageNode::resync_write(trace::FileId f,
   if (!done) done = [](Tick, bool) {};
   const LocalFileMeta* m = meta_.find(f);
   if (!alive_ || m == nullptr || !stripe_set_alive(*m)) {
-    sim_.schedule_after(1, [this, done = std::move(done)] {
+    (void)sim_.schedule_after(1, [this, done = std::move(done)] {
       done(sim_.now(), false);
     });
     return;
@@ -571,7 +571,7 @@ void StorageNode::rewarm_prefetch(
   if (!done) done = [](std::size_t) {};
   if (!alive_ || !buffer_ ||
       params_.cache_policy != CachePolicy::kPrefetch) {
-    sim_.schedule_after(0, [done = std::move(done)] { done(0); });
+    (void)sim_.schedule_after(0, [done = std::move(done)] { done(0); });
     return;
   }
   std::vector<trace::FileId> todo;
@@ -583,7 +583,7 @@ void StorageNode::rewarm_prefetch(
     }
   }
   if (todo.empty()) {
-    sim_.schedule_after(0, [done = std::move(done)] { done(0); });
+    (void)sim_.schedule_after(0, [done = std::move(done)] { done(0); });
     return;
   }
   const std::uint64_t ep = epoch_;
@@ -613,7 +613,7 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
   if (!alive_) {
     // Connection refused: fail fast on the next tick, no disk touched.
     ++failed_serves_;
-    sim_.schedule_after(1, [this, cb = std::move(on_result)] {
+    (void)sim_.schedule_after(1, [this, cb = std::move(on_result)] {
       cb(sim_.now(), RequestStatus::kNodeUnavailable);
     });
     return;
@@ -695,7 +695,7 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
     // No live copy anywhere on this node: fail upward so the server can
     // re-route to a replica node.
     ++failed_serves_;
-    sim_.schedule_after(1, [this, shared_result] {
+    (void)sim_.schedule_after(1, [this, shared_result] {
       (*shared_result)(sim_.now(), RequestStatus::kDiskUnavailable);
     });
     return;
@@ -759,7 +759,7 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
   on_result = trace_serve(ev_write_, f, bytes, std::move(on_result));
   if (!alive_) {
     ++failed_serves_;
-    sim_.schedule_after(1, [this, cb = std::move(on_result)] {
+    (void)sim_.schedule_after(1, [this, cb = std::move(on_result)] {
       cb(sim_.now(), RequestStatus::kNodeUnavailable);
     });
     return;
@@ -832,7 +832,7 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
 
   if (!stripe_set_alive(*wmeta)) {
     ++failed_serves_;
-    sim_.schedule_after(1, [this, shared_result] {
+    (void)sim_.schedule_after(1, [this, shared_result] {
       (*shared_result)(sim_.now(), RequestStatus::kDiskUnavailable);
     });
     return;
@@ -1003,7 +1003,7 @@ void StorageNode::flush_pending_writes(std::function<void()> done) {
     }
   }
   if (!has_pending_writes()) {
-    sim_.schedule_after(0, std::move(done));
+    (void)sim_.schedule_after(0, std::move(done));
     return;
   }
   flush_waiters_.push_back(std::move(done));

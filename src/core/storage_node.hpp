@@ -40,11 +40,14 @@
 #include "core/power_manager.hpp"
 #include "core/prefetcher.hpp"
 #include "disk/disk_model.hpp"
+#include "disk/disk_profile.hpp"
 #include "disk/write_journal.hpp"
 #include "net/network.hpp"
 #include "obs/counters.hpp"
 #include "obs/tracer.hpp"
 #include "sim/engine.hpp"
+#include "trace/record.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::core {
 

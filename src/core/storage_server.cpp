@@ -304,7 +304,7 @@ void StorageServer::route(const trace::TraceRecord& r,
   // Pay the metadata probe, then walk the candidate list (or fork the
   // erasure fan-out).  Candidate order is decided after the probe, from
   // the health picture current at dispatch time.
-  sim_.schedule_after(
+  (void)sim_.schedule_after(
       ServerMetadata::lookup_cost(),
       [this, r, client, entry = *entry,
        on_done = std::move(on_done)]() mutable {
@@ -348,7 +348,7 @@ void StorageServer::try_replica(const trace::TraceRecord& r,
                                 RouteCallback on_done) {
   if (idx >= candidates.size()) {
     ++requests_failed_;
-    sim_.schedule_after(1, [this, on_done = std::move(on_done)] {
+    (void)sim_.schedule_after(1, [this, on_done = std::move(on_done)] {
       on_done(sim_.now(), RequestStatus::kNoReplica);
     });
     return;
@@ -567,7 +567,7 @@ void StorageServer::ec_join(const std::shared_ptr<EcReadOp>& op, Tick t) {
                      static_cast<std::int64_t>(op->parity_used));
   }
   if (decode > 0) {
-    sim_.schedule_after(decode, [this, op] {
+    (void)sim_.schedule_after(decode, [this, op] {
       op->on_done(sim_.now(), RequestStatus::kOk);
     });
   } else {
@@ -585,7 +585,7 @@ void StorageServer::ec_fail(const std::shared_ptr<EcReadOp>& op) {
     }
   }
   ++requests_failed_;
-  sim_.schedule_after(1, [this, op] {
+  (void)sim_.schedule_after(1, [this, op] {
     op->on_done(sim_.now(), RequestStatus::kNoReplica);
   });
 }
@@ -623,7 +623,7 @@ void StorageServer::ec_write(const trace::TraceRecord& r,
   }
   if (targets.size() < need) {
     ++requests_failed_;
-    sim_.schedule_after(1, [this, join] {
+    (void)sim_.schedule_after(1, [this, join] {
       join->on_done(sim_.now(), RequestStatus::kNoReplica);
     });
     return;

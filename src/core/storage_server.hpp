@@ -40,12 +40,19 @@
 #include <utility>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/metadata.hpp"
 #include "core/metrics.hpp"
 #include "core/placement.hpp"
 #include "core/storage_node.hpp"
 #include "net/network.hpp"
+#include "obs/tracer.hpp"
+#include "sim/engine.hpp"
 #include "trace/access_log.hpp"
+#include "trace/record.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
 #include "workload/synthetic.hpp"
 
 namespace eevfs::core {

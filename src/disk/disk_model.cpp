@@ -54,7 +54,7 @@ void DiskModel::submit(DiskRequest request) {
   if (state_ == PowerState::kFailed) {
     // Fail fast, but asynchronously — callers expect completion to arrive
     // from the event loop, never re-entrantly from submit().
-    sim_.schedule_after(1, [this, req = std::move(request)]() mutable {
+    (void)sim_.schedule_after(1, [this, req = std::move(request)]() mutable {
       ++requests_failed_;
       if (req.on_complete) req.on_complete(sim_.now(), IoStatus::kUnavailable);
     });
@@ -195,7 +195,7 @@ void DiskModel::drain_queue_unavailable() {
   for (DiskRequest& req : stranded) {
     ++requests_failed_;
     if (!req.on_complete) continue;
-    sim_.schedule_after(1, [this, cb = std::move(req.on_complete)] {
+    (void)sim_.schedule_after(1, [this, cb = std::move(req.on_complete)] {
       cb(sim_.now(), IoStatus::kUnavailable);
     });
   }

@@ -28,6 +28,7 @@
 #include "obs/counters.hpp"
 #include "obs/tracer.hpp"
 #include "sim/engine.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::disk {
 

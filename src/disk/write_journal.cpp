@@ -37,7 +37,7 @@ void WriteJournal::append(
     std::size_t data_disk,
     std::function<void(Tick, IoStatus, std::uint64_t)> done) {
   if (!enabled()) {
-    sim_.schedule_after(0, [this, done = std::move(done)] {
+    (void)sim_.schedule_after(0, [this, done = std::move(done)] {
       done(sim_.now(), IoStatus::kOk, 0);
     });
     return;
@@ -123,7 +123,7 @@ void WriteJournal::crash() {
 void WriteJournal::replay(
     std::function<void(Tick, IoStatus, std::vector<JournalRecord>)> done) {
   if (!enabled() || durable_.empty()) {
-    sim_.schedule_after(0, [this, done = std::move(done)] {
+    (void)sim_.schedule_after(0, [this, done = std::move(done)] {
       done(sim_.now(), IoStatus::kOk, {});
     });
     return;

@@ -210,7 +210,7 @@ void FaultInjector::arm(net::NetworkFabric* net, Targets targets) {
     });
   }
   for (const FaultSpec& spec : plan_.events) {
-    sim_.schedule_at(seconds_to_ticks(spec.at_sec),
+    (void)sim_.schedule_at(seconds_to_ticks(spec.at_sec),
                      [this, spec] { apply(spec); });
   }
 }

@@ -25,7 +25,6 @@
 #include "net/network.hpp"
 #include "obs/tracer.hpp"
 #include "sim/engine.hpp"
-#include "util/units.hpp"
 
 namespace eevfs::fault {
 

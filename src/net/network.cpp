@@ -55,7 +55,7 @@ void NetworkFabric::send(EndpointId src, EndpointId dst, Bytes bytes,
     Endpoint& e = endpoints_[src];
     ++e.stats.messages_sent;
     e.stats.bytes_sent += bytes;
-    sim_.schedule_after(std::max<Tick>(latency_, 1),
+    (void)sim_.schedule_after(std::max<Tick>(latency_, 1),
                         [this, src, cb = std::move(on_delivered)] {
                           ++endpoints_[src].stats.messages_received;
                           if (cb) cb(sim_.now());
@@ -81,7 +81,7 @@ void NetworkFabric::send(EndpointId src, EndpointId dst, Bytes bytes,
                       static_cast<std::int64_t>(bytes));
   }
   const Tick delivered = tx_done + latency_;
-  sim_.schedule_at(delivered, [this, dst, cb = std::move(on_delivered)] {
+  (void)sim_.schedule_at(delivered, [this, dst, cb = std::move(on_delivered)] {
     ++endpoints_[dst].stats.messages_received;
     if (cb) cb(sim_.now());
   });

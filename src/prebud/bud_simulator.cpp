@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/string_util.hpp"
 
 namespace eevfs::prebud {
@@ -177,7 +177,7 @@ BudStats BudSimulator::run(const std::vector<BlockRequest>& requests) {
     if (i > 0 && requests[i].arrival < requests[i - 1].arrival) {
       throw std::invalid_argument("BudSimulator: requests must be sorted");
     }
-    sim_.schedule_at(requests[i].arrival, [this, i] { handle_request(i); });
+    (void)sim_.schedule_at(requests[i].arrival, [this, i] { handle_request(i); });
   }
   sim_.run();
   if (outstanding_ != 0) {

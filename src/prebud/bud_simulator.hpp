@@ -22,9 +22,10 @@
 
 #include "core/energy_model.hpp"
 #include "disk/disk_model.hpp"
+#include "disk/disk_profile.hpp"
 #include "sim/engine.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::prebud {
 

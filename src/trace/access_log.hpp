@@ -13,6 +13,7 @@
 
 #include "trace/record.hpp"
 #include "trace/trace.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::trace {
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::trace {
 

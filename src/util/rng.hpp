@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/units.hpp"
 
 namespace eevfs {
 

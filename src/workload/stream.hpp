@@ -22,6 +22,9 @@
 #include <functional>
 #include <memory>
 
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
 #include "workload/synthetic.hpp"
 
 namespace eevfs::workload {

@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "trace/record.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace eevfs::workload {
 

@@ -191,7 +191,7 @@ TEST_F(DiskModelTest, SpinDownRacingArrivalMidTransitionWakes) {
   DiskModel disk(sim, profile, "d");
   ASSERT_TRUE(disk.request_spin_down());
   Tick completed = -1;
-  sim.schedule_after(profile.spin_down_time / 2, [&] {
+  (void)sim.schedule_after(profile.spin_down_time / 2, [&] {
     DiskRequest req;
     req.bytes = kMB;
     req.on_complete = [&](Tick t, disk::IoStatus) { completed = t; };
@@ -250,7 +250,7 @@ TEST_F(DiskModelTest, EnergyAccountingCoversWholeTimeline) {
   ASSERT_TRUE(disk.request_spin_down());
   sim.run();
   // Idle for a while in standby, then finalize.
-  sim.schedule_after(seconds_to_ticks(20), [] {});
+  (void)sim.schedule_after(seconds_to_ticks(20), [] {});
   sim.run();
   disk.finalize();
   EXPECT_EQ(disk.meter().total_ticks(), sim.now());
@@ -266,7 +266,7 @@ TEST_F(DiskModelTest, EnergyAccountingCoversWholeTimeline) {
 
 TEST_F(DiskModelTest, FinalizeIsIdempotent) {
   DiskModel disk(sim, profile, "d");
-  sim.schedule_after(seconds_to_ticks(5), [] {});
+  (void)sim.schedule_after(seconds_to_ticks(5), [] {});
   sim.run();
   disk.finalize();
   const Joules once = disk.meter().total_joules();

@@ -332,7 +332,7 @@ TEST_F(NodeJournalTest, CrashDuringPowerTransitionDropsTheRacingDestage) {
   // and the journal must still hold the record for replay.
   bool drained = false;
   node->flush_pending_writes([&] { drained = true; });
-  sim.schedule_after(milliseconds_to_ticks(1.0), [&] { node->crash(); });
+  (void)sim.schedule_after(milliseconds_to_ticks(1.0), [&] { node->crash(); });
   sim.run();
   EXPECT_TRUE(drained);
   EXPECT_EQ(node->lost_acked_writes(), 0u);

@@ -23,7 +23,7 @@ class PowerManagerTest : public ::testing::Test {
 
   /// Submits a 1 MB request at absolute time `at`.
   void request_at(PowerManager& pm, Tick at) {
-    sim.schedule_at(at, [this, &pm] {
+    (void)sim.schedule_at(at, [this, &pm] {
       pm.note_arrival(0);
       disk::DiskRequest req;
       req.bytes = kMB;

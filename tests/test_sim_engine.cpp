@@ -20,9 +20,9 @@ TEST(Simulator, StartsAtTimeZero) {
 TEST(Simulator, RunsEventsInTimeOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(30, [&] { order.push_back(3); });
-  sim.schedule_at(10, [&] { order.push_back(1); });
-  sim.schedule_at(20, [&] { order.push_back(2); });
+  (void)sim.schedule_at(30, [&] { order.push_back(3); });
+  (void)sim.schedule_at(10, [&] { order.push_back(1); });
+  (void)sim.schedule_at(20, [&] { order.push_back(2); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(sim.now(), 30);
@@ -32,7 +32,7 @@ TEST(Simulator, EqualTimestampsPopFifo) {
   Simulator sim;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+    (void)sim.schedule_at(5, [&order, i] { order.push_back(i); });
   }
   sim.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -41,7 +41,7 @@ TEST(Simulator, EqualTimestampsPopFifo) {
 TEST(Simulator, ScheduleAfterIsRelative) {
   Simulator sim;
   Tick fired_at = -1;
-  sim.schedule_at(100, [&] {
+  (void)sim.schedule_at(100, [&] {
     sim.schedule_after(50, [&] { fired_at = sim.now(); });
   });
   sim.run();
@@ -50,7 +50,7 @@ TEST(Simulator, ScheduleAfterIsRelative) {
 
 TEST(Simulator, RejectsPastAndNegative) {
   Simulator sim;
-  sim.schedule_at(10, [] {});
+  (void)sim.schedule_at(10, [] {});
   sim.run();
   EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
   EXPECT_THROW(sim.schedule_after(-1, [] {}), std::logic_error);
@@ -98,7 +98,7 @@ TEST(Simulator, RunUntilStopsAndResumes) {
   Simulator sim;
   std::vector<Tick> fired;
   for (Tick t : {10, 20, 30, 40}) {
-    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+    (void)sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
   }
   const auto n1 = sim.run(25);
   EXPECT_EQ(n1, 2u);
@@ -117,8 +117,8 @@ TEST(Simulator, RunUntilAdvancesClockWhenQueueEmpty) {
 TEST(Simulator, StepExecutesOneEvent) {
   Simulator sim;
   int count = 0;
-  sim.schedule_at(1, [&] { ++count; });
-  sim.schedule_at(2, [&] { ++count; });
+  (void)sim.schedule_at(1, [&] { ++count; });
+  (void)sim.schedule_at(2, [&] { ++count; });
   EXPECT_TRUE(sim.step());
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(sim.step());
@@ -132,7 +132,7 @@ TEST(Simulator, EventsScheduledDuringRunExecute) {
   std::function<void()> recurse = [&] {
     if (++depth < 100) sim.schedule_after(1, recurse);
   };
-  sim.schedule_at(0, recurse);
+  (void)sim.schedule_at(0, recurse);
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.now(), 99);
@@ -148,7 +148,7 @@ TEST(Simulator, ExecutedEventsCounts) {
 TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
   Simulator sim;
   Tick when = -1;
-  sim.schedule_at(42, [&] {
+  (void)sim.schedule_at(42, [&] {
     sim.schedule_after(0, [&] { when = sim.now(); });
   });
   sim.run();
@@ -189,7 +189,7 @@ TEST(Simulator, PoolIsBoundedByQueueDepth) {
   // Schedule/run in waves: slots must be recycled, not grown per event.
   for (int wave = 0; wave < 50; ++wave) {
     for (int i = 0; i < 10; ++i) {
-      sim.schedule_after(i, [] {});
+      (void)sim.schedule_after(i, [] {});
     }
     sim.run();
   }
@@ -203,9 +203,9 @@ TEST(Simulator, ScheduleInsideCallbackWhilePoolGrows) {
   // engine must have no live references into the pool across invoke.
   Simulator sim;
   int fired = 0;
-  sim.schedule_at(0, [&] {
+  (void)sim.schedule_at(0, [&] {
     for (int i = 0; i < 1000; ++i) {
-      sim.schedule_after(1 + i % 7, [&] { ++fired; });
+      (void)sim.schedule_after(1 + i % 7, [&] { ++fired; });
     }
   });
   sim.run();
@@ -223,7 +223,7 @@ TEST(Simulator, CancelInsideOwnCallbackIsNoop) {
   sim.run();
   EXPECT_EQ(count, 1);
   // The slot freed by the no-op cancel must still be usable.
-  sim.schedule_after(1, [&] { ++count; });
+  (void)sim.schedule_after(1, [&] { ++count; });
   sim.run();
   EXPECT_EQ(count, 2);
 }
@@ -254,7 +254,7 @@ TEST(InlineCallback, LargeCaptureFallsBackToHeap) {
   std::array<std::uint64_t, 32> big{};
   big.fill(7);
   std::uint64_t sum = 0;
-  sim.schedule_at(1, [big, &sum] {
+  (void)sim.schedule_at(1, [big, &sum] {
     for (const auto v : big) sum += v;
   });
   sim.run();
@@ -300,7 +300,7 @@ TEST(Simulator, ManyEventsStressOrdering) {
   bool monotone = true;
   for (int i = 0; i < 20000; ++i) {
     const Tick t = (i * 7919) % 1000;  // scrambled times
-    sim.schedule_at(t, [&, t] {
+    (void)sim.schedule_at(t, [&, t] {
       if (sim.now() < last) monotone = false;
       last = sim.now();
       (void)t;

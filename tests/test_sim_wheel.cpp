@@ -219,9 +219,9 @@ TEST(SimWheel, MatchesReferencePendingCountsAndHighWater) {
 
 TEST(SimWheel, NearEventsBypassTheWheel) {
   Simulator sim;
-  sim.schedule_after(1 * kMs, [] {});
+  (void)sim.schedule_after(1 * kMs, [] {});
   EXPECT_EQ(sim.wheel_events(), 0u);  // inside the near window
-  sim.schedule_after(10 * kTicksPerSecond, [] {});
+  (void)sim.schedule_after(10 * kTicksPerSecond, [] {});
   EXPECT_EQ(sim.wheel_events(), 1u);
   EXPECT_EQ(sim.pending_events(), 2u);
 }
@@ -248,7 +248,7 @@ TEST(SimWheel, CancelAfterCascadeIsSafeNoop) {
   int fired_far = 0;
   EventHandle far = sim.schedule_at(100 * kMs, [&] { ++fired_far; });
   EXPECT_EQ(sim.wheel_events(), 1u);
-  sim.schedule_at(99 * kMs, [&] {
+  (void)sim.schedule_at(99 * kMs, [&] {
     // 99 ms and 100 ms share a level-0 bucket, so by now the far timer
     // has been dumped into the heap.
     EXPECT_EQ(sim.wheel_events(), 0u);
@@ -295,7 +295,7 @@ TEST(SimWheel, CascadeAcrossLevelsKeepsOrder) {
   std::vector<int> fired;
   std::vector<int> expected;
   for (int k = 120; k >= 1; --k) {  // scheduled in reverse time order
-    sim.schedule_at(static_cast<Tick>(k) * 5 * kMs,
+    (void)sim.schedule_at(static_cast<Tick>(k) * 5 * kMs,
                     [k, &fired] { fired.push_back(k); });
   }
   for (int k = 1; k <= 120; ++k) expected.push_back(k);
@@ -310,9 +310,9 @@ TEST(SimWheel, WrapAroundPastWheelCoverage) {
   Simulator sim;
   std::vector<int> fired;
   const Tick beyond = Tick{1} << 50;  // past 2^48-tick coverage
-  sim.schedule_at(beyond + 1, [&] { fired.push_back(3); });
-  sim.schedule_at(beyond, [&] { fired.push_back(2); });
-  sim.schedule_at(5 * kTicksPerSecond, [&] { fired.push_back(1); });
+  (void)sim.schedule_at(beyond + 1, [&] { fired.push_back(3); });
+  (void)sim.schedule_at(beyond, [&] { fired.push_back(2); });
+  (void)sim.schedule_at(5 * kTicksPerSecond, [&] { fired.push_back(1); });
   EXPECT_EQ(sim.wheel_events(), 3u);
   EXPECT_EQ(sim.run(), 3u);
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
@@ -325,7 +325,7 @@ TEST(SimWheel, OverflowEntriesCancellable) {
   int fired = 0;
   EventHandle h =
       sim.schedule_at((Tick{1} << 49) + 7, [&] { ++fired; });
-  sim.schedule_at(1 * kTicksPerSecond, [&] { h.cancel(); });
+  (void)sim.schedule_at(1 * kTicksPerSecond, [&] { h.cancel(); });
   EXPECT_EQ(sim.run(), 1u);
   EXPECT_EQ(fired, 0);
   EXPECT_EQ(sim.pending_events(), 0u);
@@ -336,8 +336,8 @@ TEST(SimWheel, RunUntilLeavesWheelUntouchedBeyondHorizon) {
   // `until` — a 1024-node run parks ~1e5 dead timers out there and
   // touching them would be wasted work.
   Simulator sim;
-  sim.schedule_after(10 * kTicksPerSecond, [] {});
-  sim.schedule_after(20 * kTicksPerSecond, [] {});
+  (void)sim.schedule_after(10 * kTicksPerSecond, [] {});
+  (void)sim.schedule_after(20 * kTicksPerSecond, [] {});
   EXPECT_EQ(sim.run(1 * kTicksPerSecond), 0u);
   EXPECT_EQ(sim.now(), 1 * kTicksPerSecond);
   EXPECT_EQ(sim.wheel_events(), 2u);  // still parked
@@ -352,7 +352,7 @@ TEST(SimWheel, SameTickSameBucketFifo) {
   std::vector<int> fired;
   const Tick at = 300 * kMs;
   for (int i = 0; i < 8; ++i) {
-    sim.schedule_at(at, [i, &fired] { fired.push_back(i); });
+    (void)sim.schedule_at(at, [i, &fired] { fired.push_back(i); });
   }
   EXPECT_EQ(sim.run(), 8u);
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
