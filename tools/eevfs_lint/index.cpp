@@ -1,0 +1,289 @@
+#include "index.hpp"
+
+#include <fstream>
+#include <functional>
+
+#include "lexer.hpp"
+
+namespace eevfs::lint {
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kKw = {
+      "alignas",   "alignof",  "auto",      "bool",     "break",
+      "case",      "catch",    "char",      "class",    "concept",
+      "const",     "consteval", "constexpr", "constinit", "continue",
+      "decltype",  "default",  "delete",    "do",       "double",
+      "else",      "enum",     "explicit",  "extern",   "false",
+      "final",     "float",    "for",       "friend",   "goto",
+      "if",        "inline",   "int",       "long",     "mutable",
+      "namespace", "new",      "noexcept",  "nullptr",  "operator",
+      "override",  "private",  "protected", "public",   "requires",
+      "return",    "short",    "signed",    "sizeof",   "static",
+      "static_assert", "struct", "switch",  "template", "this",
+      "throw",     "true",     "try",       "typedef",  "typename",
+      "union",     "unsigned", "using",     "virtual",  "void",
+      "volatile",  "while"};
+  return kKw;
+}
+
+bool is_keyword(const std::string& s) { return keywords().count(s) != 0; }
+
+/// Keywords that can directly precede a declared name as its type.
+bool is_builtin_type(const std::string& s) {
+  static const std::set<std::string> kTypes = {
+      "auto", "bool",  "char",   "double",   "float",
+      "int",  "long",  "short",  "unsigned", "signed"};
+  return kTypes.count(s) != 0;
+}
+
+enum class Scope { kNamespace, kRecord, kEnum, kBody };
+
+/// Reads a file into raw lines; empty on failure.
+std::vector<std::string> read_lines(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::vector<std::string> raw;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    raw.push_back(line);
+  }
+  return raw;
+}
+
+}  // namespace
+
+std::set<std::string> declared_symbols(const std::vector<std::string>& raw) {
+  std::set<std::string> out;
+
+  // Macro names come from the raw text (the scrubber keeps directives in
+  // the code view, but a simple prefix scan is clearer).
+  for (const auto& line : raw) {
+    const std::string t = trim(line);
+    if (t.compare(0, 1, "#") != 0) continue;
+    std::size_t j = 1;
+    while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j]))) ++j;
+    if (t.compare(j, 6, "define") != 0) continue;
+    j += 6;
+    while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j]))) ++j;
+    std::string name;
+    while (j < t.size() && is_ident_char(t[j])) name += t[j++];
+    if (!name.empty()) out.insert(name);
+  }
+
+  const auto tokens = tokenize(scrub_lines(raw));
+  const std::size_t n = tokens.size();
+
+  std::vector<Scope> stack;
+  int paren_depth = 0;
+  bool in_init = false;  // between a decl-scope `=` and the next `;`
+
+  // Head flags since the last `;` / `{` / `}` at brace level: used to
+  // classify the next `{`.
+  bool saw_namespace = false, saw_record = false, saw_enum = false,
+       saw_eq = false;
+  const auto reset_head = [&] {
+    saw_namespace = saw_record = saw_enum = saw_eq = false;
+  };
+
+  const auto scope = [&]() -> Scope {
+    return stack.empty() ? Scope::kNamespace : stack.back();
+  };
+  const auto at_decl_scope = [&] {
+    return paren_depth == 0 && !in_init &&
+           (scope() == Scope::kNamespace || scope() == Scope::kRecord ||
+            scope() == Scope::kEnum);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& tk = tokens[i];
+    if (tk.kind == Token::Kind::kPunct) {
+      const std::string& p = tk.text;
+      if (p == "(") {
+        ++paren_depth;
+      } else if (p == ")") {
+        if (paren_depth > 0) --paren_depth;
+      } else if (p == "{") {
+        if (paren_depth > 0 || saw_eq) {
+          stack.push_back(Scope::kBody);
+        } else if (saw_namespace) {
+          stack.push_back(Scope::kNamespace);
+        } else if (saw_enum) {
+          stack.push_back(Scope::kEnum);
+        } else if (saw_record) {
+          stack.push_back(Scope::kRecord);
+        } else {
+          stack.push_back(Scope::kBody);
+        }
+        reset_head();
+      } else if (p == "}") {
+        if (!stack.empty()) stack.pop_back();
+        reset_head();
+        in_init = false;
+      } else if (p == ";") {
+        if (paren_depth == 0) {
+          reset_head();
+          in_init = false;
+        }
+      } else if (p == "=" && paren_depth == 0 &&
+                 (scope() == Scope::kNamespace || scope() == Scope::kRecord)) {
+        saw_eq = true;
+        in_init = true;
+      }
+      continue;
+    }
+    if (tk.kind != Token::Kind::kIdent) continue;
+    const std::string& id = tk.text;
+
+    if (id == "namespace") {
+      saw_namespace = true;
+      continue;
+    }
+    if (id == "class" || id == "struct" || id == "union" || id == "enum") {
+      if (id == "enum") {
+        saw_enum = true;
+      } else {
+        saw_record = true;
+      }
+      if (paren_depth == 0 && !in_init) {
+        // Declare the tag name: skip `class`/`struct` after `enum` and
+        // any [[attributes]].
+        std::size_t j = i + 1;
+        if (j < n && (tokens[j].text == "class" || tokens[j].text == "struct"))
+          ++j;
+        while (j + 1 < n && tokens[j].text == "[" &&
+               tokens[j + 1].text == "[") {
+          int depth = 0;
+          while (j < n) {
+            if (tokens[j].text == "[") ++depth;
+            if (tokens[j].text == "]" && --depth == 0) break;
+            ++j;
+          }
+          ++j;
+        }
+        if (j < n && tokens[j].kind == Token::Kind::kIdent &&
+            !is_keyword(tokens[j].text)) {
+          out.insert(tokens[j].text);
+        }
+      }
+      continue;
+    }
+    if (id == "using" && at_decl_scope()) {
+      // `using N = ...;` declares N; `using a::b;` imports b.
+      std::size_t j = i + 1;
+      if (j < n && tokens[j].text == "namespace") continue;
+      std::string last;
+      while (j < n && tokens[j].text != ";" && tokens[j].text != "=") {
+        if (tokens[j].kind == Token::Kind::kIdent) last = tokens[j].text;
+        ++j;
+      }
+      if (j < n && !last.empty() && !is_keyword(last)) out.insert(last);
+      continue;
+    }
+    if (id == "typedef" && at_decl_scope()) {
+      std::size_t j = i + 1;
+      std::string last;
+      while (j < n && tokens[j].text != ";") {
+        if (tokens[j].kind == Token::Kind::kIdent) last = tokens[j].text;
+        ++j;
+      }
+      if (!last.empty() && !is_keyword(last)) out.insert(last);
+      continue;
+    }
+    if (is_keyword(id)) continue;
+    if (!at_decl_scope()) continue;
+
+    if (scope() == Scope::kEnum) {
+      out.insert(id);  // enumerator
+      continue;
+    }
+
+    const Token* prev = (i > 0) ? &tokens[i - 1] : nullptr;
+    const Token* next = (i + 1 < n) ? &tokens[i + 1] : nullptr;
+    if (prev == nullptr || next == nullptr) continue;
+    const bool prev_qualifies_name = prev->text == "::" || prev->text == "." ||
+                                     prev->text == "->";
+
+    // Function (or constructor) declaration: `N (`.
+    if (next->text == "(" && !prev_qualifies_name && prev->text != "(" &&
+        prev->text != "," && prev->text != "!") {
+      out.insert(id);
+      continue;
+    }
+    // Variable / field declaration: `Type N ;|=|{|[|:` with a plain
+    // type-ish token right before the name.
+    if ((next->text == ";" || next->text == "=" || next->text == "{" ||
+         next->text == "[" || next->text == ":") &&
+        (prev->kind == Token::Kind::kIdent || prev->text == ">" ||
+         prev->text == "&" || prev->text == "*" || prev->text == "]") &&
+        (!is_keyword(prev->text) || is_builtin_type(prev->text)) &&
+        !prev_qualifies_name) {
+      out.insert(id);
+      continue;
+    }
+  }
+  return out;
+}
+
+SymbolIndex build_symbol_index(const std::filesystem::path& src_root) {
+  SymbolIndex idx;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(src_root, ec)) return idx;
+
+  for (std::filesystem::recursive_directory_iterator it(src_root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".hpp" && ext != ".h") continue;
+    const std::string key =
+        std::filesystem::relative(it->path(), src_root, ec).generic_string();
+    if (ec || key.find('/') == std::string::npos) continue;  // need module/
+    const auto raw = read_lines(it->path());
+    HeaderInfo info;
+    info.declared = declared_symbols(raw);
+    info.opaque = info.declared.empty();
+    const auto scrubbed = scrub_lines(raw);
+    for (const auto& line : scrubbed) {
+      const std::string inc = include_target(line.code_strings);
+      if (inc.size() > 2 && inc.front() == '"') {
+        info.includes.push_back(inc.substr(1, inc.size() - 2));
+      }
+    }
+    idx.headers.emplace(key, std::move(info));
+  }
+
+  // Keep only include edges that resolve inside the index, then compute
+  // the transitive closure of each header (including itself).
+  for (auto& [key, info] : idx.headers) {
+    std::vector<std::string> resolved;
+    for (const auto& inc : info.includes) {
+      if (idx.headers.count(inc) != 0) resolved.push_back(inc);
+    }
+    info.includes = std::move(resolved);
+  }
+  for (auto& [key, info] : idx.headers) {
+    std::set<std::string>& reach = info.reach;
+    std::function<void(const std::string&)> visit =
+        [&](const std::string& h) {
+          if (!reach.insert(h).second) return;
+          const auto it = idx.headers.find(h);
+          if (it == idx.headers.end()) return;
+          for (const auto& inc : it->second.includes) visit(inc);
+        };
+    visit(key);
+  }
+
+  // Symbols declared by exactly one header.
+  std::map<std::string, int> counts;
+  for (const auto& [key, info] : idx.headers) {
+    for (const auto& s : info.declared) ++counts[s];
+  }
+  for (const auto& [key, info] : idx.headers) {
+    for (const auto& s : info.declared) {
+      if (counts[s] == 1) idx.unique_owner.emplace(s, key);
+    }
+  }
+  return idx;
+}
+
+}  // namespace eevfs::lint

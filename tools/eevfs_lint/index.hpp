@@ -1,0 +1,58 @@
+// eevfs-lint pass 1: a lightweight cross-translation-unit symbol index.
+//
+// build_symbol_index() walks every header under a `src/` root and
+// records, per module-qualified include path ("disk/disk_model.hpp"):
+//
+//   * the identifiers the header *declares* at namespace / class scope —
+//     type names, free functions, member functions and fields, enum
+//     enumerators, using-aliases, constants, and macro names.  The
+//     extraction is a scope-tracking scan of the token stream, not a
+//     real parse: it is deliberately generous (member names count) so
+//     that "does this TU reference anything the header declares" has no
+//     false negatives;
+//   * its direct module-qualified #include edges, from which the
+//     transitive include closure is precomputed;
+//   * an `opaque` flag for headers the scan could extract nothing from
+//     (those are never reported as unused).
+//
+// Pass 2 (rule family I in lint.cpp) joins this index against each
+// scanned TU's identifier set: a direct include none of whose declared
+// symbols appear in the TU is dead (I1), and a symbol whose sole
+// declaring header is only reachable transitively should be included
+// directly (I2).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace eevfs::lint {
+
+struct HeaderInfo {
+  std::set<std::string> declared;     ///< symbols this header declares
+  std::vector<std::string> includes;  ///< direct module-qualified includes
+  std::set<std::string> reach;        ///< transitive closure (incl. direct)
+  bool opaque = false;                ///< nothing extractable — never flag
+};
+
+struct SymbolIndex {
+  /// Keyed by module-qualified include path, e.g. "util/units.hpp".
+  std::map<std::string, HeaderInfo> headers;
+  /// Symbols declared by exactly ONE indexed header (rule I2 only
+  /// reasons about unambiguous symbols).
+  std::map<std::string, std::string> unique_owner;
+
+  bool empty() const { return headers.empty(); }
+};
+
+/// Extracts declared symbols from one header's raw lines (exposed for
+/// the index builder and for tests).
+std::set<std::string> declared_symbols(const std::vector<std::string>& raw);
+
+/// Builds the index over every *.hpp/*.h under `src_root`'s immediate
+/// module subdirectories.  A nonexistent root yields an empty index.
+SymbolIndex build_symbol_index(const std::filesystem::path& src_root);
+
+}  // namespace eevfs::lint

@@ -1,0 +1,236 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace eevfs::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+ScrubbedLine scrub_line(const std::string& line, ScrubState& st) {
+  ScrubbedLine out;
+  const std::size_t n = line.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (st.in_block_comment) {
+      const std::size_t end = line.find("*/", i);
+      if (end == std::string::npos) {
+        out.comment += line.substr(i);
+        return out;
+      }
+      out.comment += line.substr(i, end - i);
+      st.in_block_comment = false;
+      i = end + 2;
+      continue;
+    }
+    if (st.in_raw_string) {
+      const std::size_t end = line.find(st.raw_delim, i);
+      if (end == std::string::npos) {
+        out.code_strings += line.substr(i);
+        return out;
+      }
+      out.code_strings += line.substr(i, end - i + st.raw_delim.size());
+      out.code.append(st.raw_delim.size(), '"');
+      st.in_raw_string = false;
+      i = end + st.raw_delim.size();
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+      out.comment += line.substr(i + 2);
+      return out;
+    }
+    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+      st.in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
+        (i == 0 || !is_ident_char(line[i - 1]))) {
+      const std::size_t open = line.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string delim = line.substr(i + 2, open - (i + 2));
+        st.raw_delim = ")" + delim + "\"";
+        out.code += "R\"";
+        out.code_strings += line.substr(i, open - i + 1);
+        st.in_raw_string = true;
+        i = open + 1;
+        continue;
+      }
+    }
+    if (c == '"') {
+      out.code += '"';
+      out.code_strings += '"';
+      ++i;
+      while (i < n && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < n) {
+          out.code_strings += line[i];
+          out.code_strings += line[i + 1];
+          i += 2;
+          continue;
+        }
+        out.code_strings += line[i];
+        ++i;
+      }
+      if (i < n) {  // closing quote (unterminated strings just end the line)
+        out.code += '"';
+        out.code_strings += '"';
+        ++i;
+      }
+      continue;
+    }
+    // Char literal; a ' preceded by an identifier char is a digit
+    // separator (1'000'000), not a literal.
+    if (c == '\'' && (i == 0 || !is_ident_char(line[i - 1]))) {
+      out.code += '\'';
+      out.code_strings += '\'';
+      ++i;
+      while (i < n && line[i] != '\'') {
+        i += (line[i] == '\\' && i + 1 < n) ? std::size_t{2} : std::size_t{1};
+      }
+      if (i < n) {
+        out.code += '\'';
+        out.code_strings += '\'';
+        ++i;
+      }
+      continue;
+    }
+    out.code += c;
+    out.code_strings += c;
+    ++i;
+  }
+  return out;
+}
+
+std::vector<ScrubbedLine> scrub_lines(const std::vector<std::string>& raw) {
+  ScrubState st;
+  std::vector<ScrubbedLine> lines;
+  lines.reserve(raw.size());
+  for (const auto& l : raw) lines.push_back(scrub_line(l, st));
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::pair<std::size_t, std::string>> identifiers(
+    const std::string& code) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::size_t i = 0;
+  const std::size_t n = code.size();
+  while (i < n) {
+    if (is_ident_char(code[i]) &&
+        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
+      const std::size_t start = i;
+      while (i < n && is_ident_char(code[i])) ++i;
+      out.emplace_back(start, code.substr(start, i - start));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string include_target(const std::string& code_strings) {
+  const std::string t = trim(code_strings);
+  if (t.compare(0, 1, "#") != 0) return {};
+  std::size_t j = 1;
+  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])) != 0) {
+    ++j;
+  }
+  if (t.compare(j, 7, "include") != 0) return {};
+  j += 7;
+  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])) != 0) {
+    ++j;
+  }
+  if (j >= t.size()) return {};
+  if (t[j] == '<') {
+    const std::size_t close = t.find('>', j);
+    if (close == std::string::npos) return {};
+    return t.substr(j, close - j + 1);  // "<chrono>"
+  }
+  if (t[j] == '"') {
+    const std::size_t close = t.find('"', j + 1);
+    if (close == std::string::npos) return {};
+    return t.substr(j, close - j + 1);  // "\"util/rng.hpp\""
+  }
+  return {};
+}
+
+std::vector<Token> tokenize(const std::vector<ScrubbedLine>& lines) {
+  std::vector<Token> out;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int lineno = static_cast<int>(li) + 1;
+    const std::size_t n = code.size();
+    std::size_t i = 0;
+    while (i < n) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Scrubbed literal: contents are blanked, the closing quote (if
+        // any) is the next matching character.
+        std::size_t j = i + 1;
+        while (j < n && code[j] != c) ++j;
+        out.push_back({Token::Kind::kString, std::string(1, c), lineno});
+        i = (j < n) ? j + 1 : n;
+        continue;
+      }
+      // pp-number: digits, then ident chars, dots, digit separators, and
+      // exponent signs ("1'000'000", "1e-3", "0x1p4", "2.5f").
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(code[i + 1])) != 0)) {
+        const std::size_t start = i;
+        ++i;
+        while (i < n) {
+          const char d = code[i];
+          if (is_ident_char(d) || d == '.' || d == '\'') {
+            ++i;
+          } else if ((d == '+' || d == '-') &&
+                     (code[i - 1] == 'e' || code[i - 1] == 'E' ||
+                      code[i - 1] == 'p' || code[i - 1] == 'P')) {
+            ++i;
+          } else {
+            break;
+          }
+        }
+        out.push_back(
+            {Token::Kind::kNumber, code.substr(start, i - start), lineno});
+        continue;
+      }
+      if (is_ident_char(c)) {
+        const std::size_t start = i;
+        while (i < n && is_ident_char(code[i])) ++i;
+        out.push_back(
+            {Token::Kind::kIdent, code.substr(start, i - start), lineno});
+        continue;
+      }
+      // Two-character punctuators the rules care about.
+      if (c == ':' && i + 1 < n && code[i + 1] == ':') {
+        out.push_back({Token::Kind::kPunct, "::", lineno});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < n && code[i + 1] == '>') {
+        out.push_back({Token::Kind::kPunct, "->", lineno});
+        i += 2;
+        continue;
+      }
+      out.push_back({Token::Kind::kPunct, std::string(1, c), lineno});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace eevfs::lint

@@ -1,0 +1,70 @@
+// eevfs-lint lexing layer: comment/string/raw-string scrubbing and a
+// line-tagged token stream.
+//
+// The scrubber splits every physical line into three synchronized views
+// (code with string contents blanked, code with strings intact, and the
+// comment text), carrying block-comment / raw-string state across lines.
+// On top of that, tokenize() produces a flat token stream over the
+// whole file — identifiers, numeric literals (with digit separators and
+// exponents kept intact), strings, and punctuation — each tagged with
+// its 1-based source line.  The rule families that need expression
+// context (U units hygiene, E event-handle lifecycle) and the symbol
+// index (I include-what-you-use) all consume this stream; the simpler
+// per-line rules keep using the scrubbed views directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eevfs::lint {
+
+/// One physical line split into synchronized views.
+struct ScrubbedLine {
+  std::string code;          ///< comments removed, string contents blanked
+  std::string code_strings;  ///< comments removed, string literals intact
+  std::string comment;       ///< the comment text (suppression directives)
+};
+
+/// Carry-over state for multi-line block comments and raw strings.
+struct ScrubState {
+  bool in_block_comment = false;
+  bool in_raw_string = false;
+  std::string raw_delim;  ///< the `)delim"` terminator being sought
+};
+
+bool is_ident_char(char c);
+
+/// Splits one raw source line into its three views, updating `st`.
+ScrubbedLine scrub_line(const std::string& line, ScrubState& st);
+
+/// Scrubs a whole file worth of raw lines.
+std::vector<ScrubbedLine> scrub_lines(const std::vector<std::string>& raw);
+
+std::string trim(const std::string& s);
+
+/// All identifier tokens in `code` with their start offsets.
+std::vector<std::pair<std::size_t, std::string>> identifiers(
+    const std::string& code);
+
+/// If the (strings-intact) line is an #include directive, returns the
+/// target with its delimiters ("<chrono>" or "\"util/rng.hpp\"");
+/// empty otherwise.
+std::string include_target(const std::string& code_strings);
+
+/// One lexical token from the blanked-code view.
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;  ///< identifier/number spelling; punctuation chars
+  int line = 0;      ///< 1-based source line
+};
+
+/// Tokenizes the scrubbed `code` view of every line into one stream.
+/// Numbers keep digit separators, exponents, and suffixes ("1'000'000",
+/// "1e6", "0.5f"); `::` and `->` are single punctuation tokens; string
+/// and char literals appear as empty-content kString tokens.
+std::vector<Token> tokenize(const std::vector<ScrubbedLine>& lines);
+
+}  // namespace eevfs::lint

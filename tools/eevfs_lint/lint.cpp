@@ -2,151 +2,28 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
+
+#include "lexer.hpp"
 
 namespace eevfs::lint {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Line scrubbing: split each raw line into three synchronized views so the
-// rules can look at the right one.
-//   code          — comments removed AND string/char contents blanked
-//   code_strings  — comments removed, string literals intact (for rule O)
-//   comment       — the comment text (for suppression directives)
-// Block comments and raw strings may span lines; ScrubState carries that.
-// ---------------------------------------------------------------------------
-
-struct ScrubbedLine {
-  std::string code;
-  std::string code_strings;
-  std::string comment;
-};
-
-struct ScrubState {
-  bool in_block_comment = false;
-  bool in_raw_string = false;
-  std::string raw_delim;  // the `)delim"` terminator we are looking for
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-ScrubbedLine scrub_line(const std::string& line, ScrubState& st) {
-  ScrubbedLine out;
-  const std::size_t n = line.size();
-  std::size_t i = 0;
-  while (i < n) {
-    if (st.in_block_comment) {
-      const std::size_t end = line.find("*/", i);
-      if (end == std::string::npos) {
-        out.comment += line.substr(i);
-        return out;
-      }
-      out.comment += line.substr(i, end - i);
-      st.in_block_comment = false;
-      i = end + 2;
-      continue;
-    }
-    if (st.in_raw_string) {
-      const std::size_t end = line.find(st.raw_delim, i);
-      if (end == std::string::npos) {
-        out.code_strings += line.substr(i);
-        return out;
-      }
-      out.code_strings += line.substr(i, end - i + st.raw_delim.size());
-      out.code.append(st.raw_delim.size(), '"');
-      st.in_raw_string = false;
-      i = end + st.raw_delim.size();
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < n && line[i + 1] == '/') {
-      out.comment += line.substr(i + 2);
-      return out;
-    }
-    if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-      st.in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
-        (i == 0 || !is_ident_char(line[i - 1]))) {
-      const std::size_t open = line.find('(', i + 2);
-      if (open != std::string::npos) {
-        const std::string delim = line.substr(i + 2, open - (i + 2));
-        st.raw_delim = ")" + delim + "\"";
-        out.code += "R\"";
-        out.code_strings += line.substr(i, open - i + 1);
-        st.in_raw_string = true;
-        i = open + 1;
-        continue;
-      }
-    }
-    if (c == '"') {
-      out.code += '"';
-      out.code_strings += '"';
-      ++i;
-      while (i < n && line[i] != '"') {
-        if (line[i] == '\\' && i + 1 < n) {
-          out.code_strings += line[i];
-          out.code_strings += line[i + 1];
-          i += 2;
-          continue;
-        }
-        out.code_strings += line[i];
-        ++i;
-      }
-      if (i < n) {  // closing quote (unterminated strings just end the line)
-        out.code += '"';
-        out.code_strings += '"';
-        ++i;
-      }
-      continue;
-    }
-    // Char literal; a ' preceded by an identifier char is a digit
-    // separator (1'000'000), not a literal.
-    if (c == '\'' && (i == 0 || !is_ident_char(line[i - 1]))) {
-      out.code += '\'';
-      out.code_strings += '\'';
-      ++i;
-      while (i < n && line[i] != '\'') {
-        i += (line[i] == '\\' && i + 1 < n) ? std::size_t{2} : std::size_t{1};
-      }
-      if (i < n) {
-        out.code += '\'';
-        out.code_strings += '\'';
-        ++i;
-      }
-      continue;
-    }
-    out.code += c;
-    out.code_strings += c;
-    ++i;
-  }
-  return out;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return s.substr(b, e - b);
-}
-
-// ---------------------------------------------------------------------------
 // Module DAG.  Key = module, value = modules it may #include (self is
 // always allowed).  This is the single source of truth for rule L1; keep
 // it in sync with docs/static_analysis.md and the target_link_libraries
-// edges in src/*/CMakeLists.txt.
+// edges in src/*/CMakeLists.txt (tools/docs_check.py's DOC3 check
+// machine-verifies the docs/architecture.md copy against this table).
 // ---------------------------------------------------------------------------
 
-const std::map<std::string, std::set<std::string>>& layer_deps() {
+const std::map<std::string, std::set<std::string>>& layer_deps_impl() {
   static const std::map<std::string, std::set<std::string>> kDeps = {
       {"util", {}},
       {"obs", {"util"}},
@@ -230,25 +107,6 @@ const std::set<std::string>& unordered_containers() {
   return kUnordered;
 }
 
-/// All identifier tokens in `code` with their start offsets.
-std::vector<std::pair<std::size_t, std::string>> identifiers(
-    const std::string& code) {
-  std::vector<std::pair<std::size_t, std::string>> out;
-  std::size_t i = 0;
-  const std::size_t n = code.size();
-  while (i < n) {
-    if (is_ident_char(code[i]) &&
-        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
-      const std::size_t start = i;
-      while (i < n && is_ident_char(code[i])) ++i;
-      out.emplace_back(start, code.substr(start, i - start));
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
 /// `time` is only banned as a free-function call: `time(`, `std::time(`,
 /// `::time(` — never a member access (`ev.time`, `rec.time()`).
 bool is_banned_time_call(const std::string& code, std::size_t start,
@@ -328,6 +186,113 @@ std::vector<std::string> metric_literals(const std::string& code_strings) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule U: units hygiene.
+// ---------------------------------------------------------------------------
+
+/// The units.hpp quantity aliases and the name suffixes that bind to
+/// them.  A suffix mapping to "" means "must be a floating type": those
+/// names state a fractional human-facing unit (_ms/_sec) converted at
+/// the boundary with seconds_to_ticks / milliseconds_to_ticks.
+const std::vector<std::pair<std::string, std::string>>& unit_suffixes() {
+  static const std::vector<std::pair<std::string, std::string>> kSuffixes = {
+      {"_ticks", "Tick"},   {"_tick", "Tick"},     {"_us", "Tick"},
+      {"_bytes", "Bytes"},  {"_joules", "Joules"}, {"_watts", "Watts"},
+      {"_ms", ""},          {"_sec", ""},          {"_secs", ""},
+      {"_seconds", ""},
+  };
+  return kSuffixes;
+}
+
+bool is_unit_alias(const std::string& t) {
+  return t == "Tick" || t == "Bytes" || t == "Joules" || t == "Watts";
+}
+
+bool is_raw_arith_type(const std::string& t) {
+  static const std::set<std::string> kRaw = {
+      "double",  "float",    "int",      "long",     "short",   "unsigned",
+      "signed",  "size_t",   "ptrdiff_t", "int8_t",  "int16_t", "int32_t",
+      "int64_t", "uint8_t",  "uint16_t", "uint32_t", "uint64_t"};
+  return kRaw.count(t) != 0;
+}
+
+bool is_floating_type(const std::string& t) {
+  return t == "double" || t == "float";
+}
+
+/// Quantity words for rule U3: a raw-arithmetic declaration whose name's
+/// last word is one of these holds a physical quantity and must either
+/// use a units.hpp alias or state its unit in a suffix.
+const std::set<std::string>& quantity_words() {
+  static const std::set<std::string> kWords = {
+      "time",    "latency",  "delay",    "timeout", "deadline",
+      "interval", "duration", "horizon", "energy",  "power"};
+  return kWords;
+}
+
+std::string last_name_word(const std::string& name) {
+  const std::size_t us = name.rfind('_');
+  std::string w = (us == std::string::npos) ? name : name.substr(us + 1);
+  for (auto& c : w) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return w;
+}
+
+/// Canonical value of a numeric literal token: digit separators removed,
+/// integer/float suffixes stripped, parsed as double.  Returns false for
+/// hex/binary/octal-prefixed literals (never conversion constants here).
+bool literal_value(const std::string& tok, double* value) {
+  std::string t;
+  for (const char c : tok) {
+    if (c != '\'') t += c;
+  }
+  if (t.size() > 1 && t[0] == '0' &&
+      (t[1] == 'x' || t[1] == 'X' || t[1] == 'b' || t[1] == 'B')) {
+    return false;
+  }
+  while (!t.empty()) {
+    const char c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(t.back())));
+    if (c == 'u' || c == 'l' || c == 'f' || c == 'z') {
+      t.pop_back();
+    } else {
+      break;
+    }
+  }
+  if (t.empty()) return false;
+  char* end = nullptr;
+  *value = std::strtod(t.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Bare conversion constants rule U1 bans outside src/util/units.hpp,
+/// with the units.hpp replacement to name in the message.  Only
+/// unambiguous conversion spellings are banned: 1000.0 is routinely a
+/// mean parameter or a NIC line rate, and 1e-6/1e-9 are EXPECT_NEAR
+/// tolerances, so those stay legal.
+const char* banned_conversion_constant(const std::string& tok) {
+  double v = 0.0;
+  if (!literal_value(tok, &v)) return nullptr;
+  if (v == 1e6) {  // eevfs-lint: allow(U1)
+    return "use kTicksPerSecond / seconds_to_ticks for time, kMB for bytes";
+  }
+  // eevfs-lint: allow(U1)
+  if (v == 1e9) return "use kGB (decimal) or kGiB (binary)";
+  // eevfs-lint: allow(U1)
+  if (v == 86400.0) return "use kSecondsPerDay";
+  // The scientific spelling of 1000 is a conversion idiom (ms <-> s,
+  // ticks <-> ms); the plain spellings are ordinary values.
+  std::string t;
+  for (const char c : tok) {
+    t += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (t == "1e3" || t == "1e+3") {
+    return "use kTicksPerMillisecond / milliseconds_to_ticks / "
+           "ticks_to_milliseconds";
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions.
 // ---------------------------------------------------------------------------
 
@@ -370,38 +335,146 @@ bool suppressed(const std::set<std::string>& tokens, const std::string& rule) {
          tokens.count(rule.substr(0, 1)) != 0;
 }
 
-std::string include_target(const std::string& code) {
-  const std::string t = trim(code);
-  if (t.compare(0, 1, "#") != 0) return {};
-  std::size_t j = 1;
-  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])) != 0) {
-    ++j;
-  }
-  if (t.compare(j, 7, "include") != 0) return {};
-  j += 7;
-  while (j < t.size() && std::isspace(static_cast<unsigned char>(t[j])) != 0) {
-    ++j;
-  }
-  if (j >= t.size()) return {};
-  if (t[j] == '<') {
-    const std::size_t close = t.find('>', j);
-    if (close == std::string::npos) return {};
-    return t.substr(j, close - j + 1);  // "<chrono>"
-  }
-  if (t[j] == '"') {
-    const std::size_t close = t.find('"', j + 1);
-    if (close == std::string::npos) return {};
-    return t.substr(j, close - j + 1);  // "\"util/rng.hpp\""
-  }
-  return {};
-}
-
 bool is_header(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".hpp" || ext == ".h";
 }
 
+bool is_cpp_keyword_lite(const std::string& s) {
+  static const std::set<std::string> kKw = {
+      "if",      "else",   "for",      "while",  "do",       "switch",
+      "case",    "return", "break",    "continue", "goto",   "sizeof",
+      "alignof", "alignas", "decltype", "noexcept", "static_assert",
+      "new",     "delete", "throw",    "catch",  "operator", "template",
+      "typename", "using", "namespace", "class", "struct",   "enum",
+      "union",   "public", "private",  "protected", "const", "constexpr",
+      "inline",  "static", "extern",   "friend", "virtual",  "explicit",
+      "typedef", "mutable", "volatile", "auto",  "void",     "this",
+      "true",    "false",  "nullptr",  "default", "try",     "requires",
+      "concept", "override", "final",  "co_return", "co_await",
+      "co_yield"};
+  return kKw.count(s) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule E: event-handle lifecycle.  Finds schedule_at/schedule_after call
+// expressions whose EventHandle result is dropped on the floor.
+// ---------------------------------------------------------------------------
+
+/// Walks backwards over the callee's object chain (`sim_.`, `this->`,
+/// `cluster.sim().` ...) starting just before the schedule_* identifier.
+/// Returns the index of the boundary token (-1 for start of file), and
+/// sets *explicitly_discarded when the chain is prefixed with `(void)`.
+int walk_object_chain(const std::vector<Token>& toks, int j,
+                      bool* explicitly_discarded) {
+  *explicitly_discarded = false;
+  while (j >= 0) {
+    const Token& t = toks[static_cast<std::size_t>(j)];
+    if (t.kind == Token::Kind::kIdent && !is_cpp_keyword_lite(t.text)) {
+      --j;
+      continue;
+    }
+    if (t.kind == Token::Kind::kIdent && t.text == "this") {
+      --j;
+      continue;
+    }
+    if (t.kind == Token::Kind::kPunct &&
+        (t.text == "." || t.text == "->" || t.text == "::")) {
+      --j;
+      continue;
+    }
+    if (t.kind == Token::Kind::kPunct && (t.text == ")" || t.text == "]")) {
+      // Balance backwards to the opener; a parenthesized group holding
+      // exactly `void` is the explicit-discard cast.
+      const std::string close = t.text;
+      const std::string open = (close == ")") ? "(" : "[";
+      int depth = 0;
+      int k = j;
+      while (k >= 0) {
+        const Token& u = toks[static_cast<std::size_t>(k)];
+        if (u.kind == Token::Kind::kPunct && u.text == close) ++depth;
+        if (u.kind == Token::Kind::kPunct && u.text == open && --depth == 0)
+          break;
+        --k;
+      }
+      if (k < 0) return -1;
+      if (close == ")" && j - k == 2 &&
+          toks[static_cast<std::size_t>(k + 1)].text == "void") {
+        *explicitly_discarded = true;
+        return k - 1;
+      }
+      j = k - 1;
+      continue;
+    }
+    break;
+  }
+  return j;
+}
+
+/// True when the schedule_* call at token index `i` is an expression
+/// statement that drops the returned EventHandle.
+bool is_discarded_schedule_call(const std::vector<Token>& toks, int i) {
+  // `EventHandle schedule_at(` / `Simulator::schedule_at(` directly
+  // preceded by a type-ish identifier is the declaration or definition
+  // of the function, not a call.
+  if (i > 0) {
+    const Token& p = toks[static_cast<std::size_t>(i - 1)];
+    const bool after_qualifier =
+        p.kind == Token::Kind::kPunct &&
+        (p.text == "." || p.text == "->" || p.text == "::");
+    if (!after_qualifier &&
+        ((p.kind == Token::Kind::kIdent && !is_cpp_keyword_lite(p.text)) ||
+         (p.kind == Token::Kind::kPunct &&
+          (p.text == "&" || p.text == "*" || p.text == ">")))) {
+      return false;
+    }
+    if (after_qualifier && p.text == "::" && i > 1) {
+      // `Simulator::schedule_at(...)` at statement scope after a return
+      // type on the previous token run is a definition; a true static
+      // call would be preceded by the class name whose own predecessor
+      // is an expression boundary.  Definitions look like
+      // `EventHandle Simulator :: schedule_at (` — type ident two back.
+      if (i > 2 && toks[static_cast<std::size_t>(i - 2)].kind ==
+                       Token::Kind::kIdent &&
+          toks[static_cast<std::size_t>(i - 3)].kind ==
+              Token::Kind::kIdent &&
+          !is_cpp_keyword_lite(
+              toks[static_cast<std::size_t>(i - 3)].text)) {
+        return false;
+      }
+    }
+  }
+  bool discarded = false;
+  const int b = walk_object_chain(toks, i - 1, &discarded);
+  if (discarded) return false;
+  if (b < 0) return true;  // start of file: statement context
+  const Token& t = toks[static_cast<std::size_t>(b)];
+  if (t.kind == Token::Kind::kPunct && (t.text == ";" || t.text == "}")) {
+    return true;
+  }
+  if (t.kind == Token::Kind::kPunct && t.text == "{") {
+    // `{` opens a block (statement context) unless it is a braced
+    // initializer: look at what precedes it.
+    if (b == 0) return true;
+    const Token& p = toks[static_cast<std::size_t>(b - 1)];
+    if (p.kind == Token::Kind::kPunct &&
+        (p.text == ")" || p.text == ";" || p.text == "{" || p.text == "}")) {
+      return true;
+    }
+    if (p.kind == Token::Kind::kIdent &&
+        (p.text == "else" || p.text == "do" || p.text == "try")) {
+      return true;
+    }
+    return false;  // braced init — the handle is bound
+  }
+  return false;  // `=`, `return`, `(`, `,`, `?`, `:`, operators: bound/used
+}
+
 }  // namespace
+
+const std::map<std::string, std::set<std::string>>& layer_deps() {
+  return layer_deps_impl();
+}
 
 const std::vector<RuleInfo>& rule_catalogue() {
   static const std::vector<RuleInfo> kRules = {
@@ -423,6 +496,20 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"H2", "`using namespace` in a header leaks into every includer"},
       {"H3", "a .cpp must include its own header first (proves the header "
              "is self-contained)"},
+      {"U1", "bare unit-conversion constant (1e6, 1'000'000, 1e3, 86400, "
+             "...) outside src/util/units.hpp; use the units.hpp helpers"},
+      {"U2", "declaration whose name states a unit (_ticks/_bytes/_joules/"
+             "_watts/_ms/_sec) must use the matching units.hpp alias or "
+             "floating boundary type"},
+      {"U3", "quantity-named declaration (time/energy/power words) typed "
+             "with a raw arithmetic type; use Tick/Joules/Watts or state "
+             "the unit in the name"},
+      {"I1", "module-qualified include none of whose declared symbols the "
+             "file references — dead include"},
+      {"I2", "symbol whose declaring header is reached only transitively; "
+             "include what you use directly"},
+      {"E1", "EventHandle returned by schedule_at/schedule_after is "
+             "silently dropped; bind it, return it, or (void)-discard"},
   };
   return kRules;
 }
@@ -475,13 +562,13 @@ std::vector<Finding> lint_file(const std::filesystem::path& file,
     raw.push_back(line);
   }
 
-  ScrubState st;
-  std::vector<ScrubbedLine> lines;
-  lines.reserve(raw.size());
-  for (const auto& l : raw) lines.push_back(scrub_line(l, st));
+  const std::vector<ScrubbedLine> lines = scrub_lines(raw);
 
   const std::string mod = module_of(file);
   const bool header = is_header(file);
+  const std::string stem = file.stem().string();
+  const bool is_units_header = mod == "util" && stem == "units" && header;
+  const std::string own_key = mod.empty() ? "" : mod + "/" + stem + ".hpp";
 
   // Pass 1: file-level facts — emit markers (D2) and #pragma once (H1).
   bool has_pragma_once = false;
@@ -515,6 +602,9 @@ std::vector<Finding> lint_file(const std::filesystem::path& file,
     add(0, "H1", "header is missing #pragma once");
   }
 
+  // Direct module-qualified project includes (for the I rule family).
+  std::vector<std::pair<std::string, int>> project_includes;  // key, line
+
   bool first_include_seen = false;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -539,6 +629,9 @@ std::vector<Finding> lint_file(const std::filesystem::path& file,
         const std::string first =
             slash == std::string::npos ? "" : path.substr(0, slash);
         const bool first_is_module = layer_deps().count(first) != 0;
+        if (first_is_module) {
+          project_includes.emplace_back(path, static_cast<int>(i) + 1);
+        }
         if (!mod.empty()) {
           if (!first_is_module) {
             add(i, "L2",
@@ -627,6 +720,226 @@ std::vector<Finding> lint_file(const std::filesystem::path& file,
     }
   }
 
+  // ------------------------------------------------------------------
+  // Token-stream rules: U (units hygiene) and E (handle lifecycle).
+  // ------------------------------------------------------------------
+  const std::vector<Token> toks = tokenize(lines);
+  const std::set<std::size_t> include_lines = [&] {
+    std::set<std::size_t> out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!include_target(lines[i].code_strings).empty()) out.insert(i + 1);
+    }
+    return out;
+  }();
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tk = toks[i];
+    const std::size_t lineno = static_cast<std::size_t>(tk.line);
+    if (include_lines.count(lineno) != 0) continue;
+
+    // --- U1: bare conversion constants ---
+    if (tk.kind == Token::Kind::kNumber && !is_units_header) {
+      if (const char* fix = banned_conversion_constant(tk.text)) {
+        add(lineno - 1, "U1",
+            "bare conversion constant " + tk.text +
+                " outside src/util/units.hpp; " + fix);
+      }
+    }
+
+    // --- U2/U3: declaration suffix/type agreement ---
+    if (tk.kind == Token::Kind::kIdent && i > 0 && i + 1 < toks.size() &&
+        !is_cpp_keyword_lite(tk.text) && !is_units_header) {
+      const Token& next = toks[i + 1];
+      const bool decl_follower =
+          next.kind == Token::Kind::kPunct &&
+          (next.text == ";" || next.text == "=" || next.text == "," ||
+           next.text == ")" || next.text == "{" || next.text == "[" ||
+           next.text == ":");
+      if (decl_follower) {
+        // The declared type is the token right before the name (allow one
+        // `&` for pass-by-reference).
+        std::size_t ti = i - 1;
+        if (toks[ti].kind == Token::Kind::kPunct && toks[ti].text == "&" &&
+            ti > 0) {
+          --ti;
+        }
+        const Token& tt = toks[ti];
+        const bool qualified =
+            ti > 0 && toks[ti - 1].kind == Token::Kind::kPunct &&
+            toks[ti - 1].text == "::" &&
+            !(ti > 1 && toks[ti - 2].text == "std");
+        if (tt.kind == Token::Kind::kIdent && !qualified &&
+            (is_unit_alias(tt.text) || is_raw_arith_type(tt.text))) {
+          const std::string& type = tt.text;
+          const std::string& name = tk.text;
+          bool suffix_matched = false;
+          for (const auto& [suffix, alias] : unit_suffixes()) {
+            if (name.size() <= suffix.size() ||
+                name.compare(name.size() - suffix.size(), suffix.size(),
+                             suffix) != 0) {
+              continue;
+            }
+            suffix_matched = true;
+            if (alias.empty()) {
+              if (!is_floating_type(type) && type != "Tick") {
+                add(lineno - 1, "U2",
+                    "'" + name + "' states a fractional unit (" + suffix +
+                        ") but is declared " + type +
+                        "; boundary values are double (convert with "
+                        "seconds_to_ticks/milliseconds_to_ticks) — or "
+                        "rename to _ticks and use Tick");
+              } else if (type == "Tick") {
+                add(lineno - 1, "U2",
+                    "'" + name + "' is a Tick but its name says " + suffix +
+                        "; rename to _ticks (a Tick is 1 µs — mislabelled "
+                        "units are how energy results drift)");
+              }
+            } else if (type != alias) {
+              add(lineno - 1, "U2",
+                  "'" + name + "' states " + suffix +
+                      " but is declared " + type + "; use the units.hpp "
+                      "alias " + alias);
+            }
+            break;
+          }
+          if (!suffix_matched && is_raw_arith_type(type) &&
+              quantity_words().count(last_name_word(name)) != 0) {
+            add(lineno - 1, "U3",
+                "'" + name + "' holds a physical quantity but is declared "
+                "raw " + type + "; use Tick/Joules/Watts (units.hpp) or "
+                "state the unit in the name (_ticks/_ms/_sec/_joules)");
+          }
+        }
+      }
+    }
+
+    // --- E1: dropped EventHandle ---
+    if (tk.kind == Token::Kind::kIdent &&
+        (tk.text == "schedule_at" || tk.text == "schedule_after") &&
+        i + 1 < toks.size() && toks[i + 1].kind == Token::Kind::kPunct &&
+        toks[i + 1].text == "(" &&
+        is_discarded_schedule_call(toks, static_cast<int>(i))) {
+      add(lineno - 1, "E1",
+          tk.text + "(...) returns a cancellable EventHandle that is "
+          "silently dropped; bind it, return it, or mark the event "
+          "fire-and-forget with (void) — un-cancellable timers are the "
+          "root cause class the hedge machinery exists to avoid");
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Rule family I: cross-TU include hygiene (needs the symbol index).
+  // Like the L family it only applies to module files under src/ —
+  // application-level code (tests/, bench/, examples/, tools/)
+  // intentionally includes umbrella headers.
+  // ------------------------------------------------------------------
+  if (opt.index != nullptr && !opt.index->empty() && !mod.empty()) {
+    const SymbolIndex& idx = *opt.index;
+
+    // Identifier usage off include directives.  I1 (is the include used
+    // at all?) counts every identifier; I2 (must this header be included
+    // directly?) excludes member accesses — `obj.params` names a member,
+    // not a symbol this TU must see a declaration for.
+    std::map<std::string, int> first_use;         // liberal, for I1
+    std::map<std::string, int> first_use_strong;  // no member access, for I2
+    for (std::size_t ti = 0; ti < toks.size(); ++ti) {
+      const Token& t = toks[ti];
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (include_lines.count(static_cast<std::size_t>(t.line)) != 0)
+        continue;
+      first_use.emplace(t.text, t.line);
+      const Token* prev = ti > 0 ? &toks[ti - 1] : nullptr;
+      const Token* next = ti + 1 < toks.size() ? &toks[ti + 1] : nullptr;
+      // `obj.params` names a member, not a symbol needing a declaration.
+      const bool member_access =
+          prev != nullptr && prev->kind == Token::Kind::kPunct &&
+          (prev->text == "." || prev->text == "->");
+      // In `std::set` the demanded symbol is std's, and in `disk::Model`
+      // it is the one after the `::` — not the qualifier itself.
+      const bool std_qualified =
+          prev != nullptr && prev->text == "::" && ti >= 2 &&
+          toks[ti - 2].text == "std";
+      const bool is_qualifier = next != nullptr && next->text == "::";
+      // `Params params,` / `& start)` declare a name; only the type to
+      // the left is a real symbol demand.
+      const bool decl_name =
+          prev != nullptr && next != nullptr &&
+          ((prev->kind == Token::Kind::kIdent &&
+            !is_cpp_keyword_lite(prev->text)) ||
+           prev->text == ">" || prev->text == "&" || prev->text == "*" ||
+           prev->text == "]") &&
+          next->kind == Token::Kind::kPunct &&
+          (next->text == "," || next->text == ")" || next->text == ";" ||
+           next->text == "=" || next->text == "{" || next->text == "[" ||
+           next->text == ":");
+      if (!member_access && !std_qualified && !is_qualifier && !decl_name) {
+        first_use_strong.emplace(t.text, t.line);
+      }
+    }
+
+    std::set<std::string> direct;
+    for (const auto& [key, inc_line] : project_includes) direct.insert(key);
+
+    // I1: dead direct includes.
+    for (const auto& [key, inc_line] : project_includes) {
+      if (key == own_key) continue;
+      const auto it = idx.headers.find(key);
+      if (it == idx.headers.end() || it->second.opaque) continue;
+      bool used = false;
+      for (const auto& sym : it->second.declared) {
+        if (first_use.count(sym) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        add(static_cast<std::size_t>(inc_line) - 1, "I1",
+            "nothing declared by \"" + key + "\" is referenced in this "
+            "file — dead include (or the file relies on its transitive "
+            "includes; include those directly)");
+      }
+    }
+
+    // I2: symbols owned by a header that is only reachable transitively.
+    // A .cpp's own header re-exports everything it includes (the paired
+    // header is always included first, so its dependencies are a stable
+    // part of the TU's interface) — standard IWYU associated-header rule.
+    std::set<std::string> exported;
+    if (!header) {
+      if (const auto it = idx.headers.find(own_key);
+          it != idx.headers.end()) {
+        exported = it->second.reach;
+      }
+    }
+    std::set<std::string> reachable;
+    for (const auto& key : direct) {
+      const auto it = idx.headers.find(key);
+      if (it == idx.headers.end()) continue;
+      reachable.insert(it->second.reach.begin(), it->second.reach.end());
+    }
+    const std::set<std::string> own_decls = declared_symbols(raw);
+    std::map<std::string, std::pair<int, std::string>> missing;  // hdr->line,sym
+    for (const auto& [sym, use_line] : first_use_strong) {
+      if (sym.size() < 3 || own_decls.count(sym) != 0) continue;
+      const auto owner_it = idx.unique_owner.find(sym);
+      if (owner_it == idx.unique_owner.end()) continue;
+      const std::string& owner = owner_it->second;
+      if (owner == own_key || direct.count(owner) != 0) continue;
+      if (exported.count(owner) != 0) continue;  // via own header
+      if (reachable.count(owner) == 0) continue;  // not provably from here
+      const auto it = missing.find(owner);
+      if (it == missing.end() || use_line < it->second.first) {
+        missing[owner] = {use_line, sym};
+      }
+    }
+    for (const auto& [owner, where] : missing) {
+      add(static_cast<std::size_t>(where.first) - 1, "I2",
+          "'" + where.second + "' is declared in \"" + owner +
+              "\" which this file only includes transitively; include it "
+              "directly (include-what-you-use)");
+    }
+  }
+
   // Apply suppressions: tokens on the finding's line, or on the directly
   // preceding line when that line is comment-only.
   std::vector<Finding> kept;
@@ -642,6 +955,12 @@ std::vector<Finding> lint_file(const std::filesystem::path& file,
   std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
   });
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.file == b.file && a.line == b.line &&
+                                  a.rule == b.rule && a.message == b.message;
+                         }),
+             kept.end());
   return kept;
 }
 

@@ -1,9 +1,12 @@
 // eevfs-lint: project-invariant static analysis for the EEVFS tree.
 //
-// A deliberately small, dependency-free checker (own line scrubber and
-// identifier scanner, no libclang): it enforces the handful of invariants
-// the reproduction's bit-for-bit determinism claim rests on, which generic
-// tooling cannot know about.  Four rule families:
+// A deliberately small, dependency-free checker (own lexer and symbol
+// index, no libclang): it enforces the handful of invariants the
+// reproduction's bit-for-bit determinism and energy-accounting claims
+// rest on, which generic tooling cannot know about.  Seven rule
+// families, run in two passes — pass 1 builds a symbol index over the
+// headers in src/ (tools/eevfs_lint/index.hpp), pass 2 lints every TU
+// against it:
 //
 //   D  determinism   — no wall clocks, no ambient RNG, no unordered-
 //                      container iteration in files that emit results
@@ -14,6 +17,17 @@
 //                      and are documented in docs/observability.md
 //   H  header hygiene— #pragma once, no `using namespace` in headers,
 //                      a .cpp includes its own header first
+//   U  units hygiene — quantity declarations use the units.hpp aliases
+//                      (Tick/Bytes/Joules/Watts) with unit-stating name
+//                      suffixes; bare conversion constants (1e6, 86400,
+//                      ...) are banned outside src/util/units.hpp
+//   I  include-what-you-use — a module-qualified include none of whose
+//                      declared symbols the TU references is dead; a
+//                      symbol reached only through transitive includes
+//                      must be included directly
+//   E  event-handle lifecycle — the EventHandle returned by
+//                      Simulator::schedule_at/schedule_after must be
+//                      bound, returned, or explicitly (void)-discarded
 //
 // Findings are suppressible in source with
 //   // eevfs-lint: allow(<rule>[,<rule>...])
@@ -28,6 +42,8 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "index.hpp"
 
 namespace eevfs::lint {
 
@@ -53,6 +69,9 @@ struct Options {
   /// O2).  Grammar (rule O1) is checked regardless.
   bool check_docs = false;
   std::set<std::string> documented_metrics;
+  /// Cross-TU symbol index (pass 1); when set, the I rule family runs.
+  /// The index must outlive every lint_file/lint_paths call using it.
+  const SymbolIndex* index = nullptr;
 };
 
 /// Extracts every backtick-quoted `component.metric.unit` name from a
@@ -65,6 +84,12 @@ std::set<std::string> parse_metrics_doc(const std::filesystem::path& doc);
 /// application-level files (tests/, bench/, examples/, tools/), which may
 /// include anything.
 std::string module_of(const std::filesystem::path& file);
+
+/// The module DAG rule L1 enforces: module -> set of modules it may
+/// #include (self is always allowed).  Single source of truth, exposed
+/// so tools/docs_check.py's DOC3 drift check and the tests can compare
+/// against docs/architecture.md.
+const std::map<std::string, std::set<std::string>>& layer_deps();
 
 /// Lints a single file; returns findings sorted by line then rule id.
 /// Suppressed findings are dropped.  Throws std::runtime_error if the

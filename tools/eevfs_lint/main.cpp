@@ -1,11 +1,18 @@
 // eevfs-lint command-line driver.
 //
-//   eevfs_lint [--metrics-doc docs/observability.md] [--list-rules]
-//              [--quiet] <file-or-dir>...
+//   eevfs_lint [--metrics-doc docs/observability.md] [--src <dir>]
+//              [--json <path|->] [--list-rules] [--quiet] <file-or-dir>...
+//
+// The cross-TU rule family (I, include-what-you-use) needs the pass-1
+// symbol index over the project headers.  Its root is given with
+// --src <dir>; when omitted, the first scanned directory literally named
+// "src" is used, so `eevfs_lint src bench tests` gets the index for free.
 //
 // Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -15,12 +22,52 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: eevfs_lint [--metrics-doc <path>] [--list-rules] "
-               "[--quiet] <file-or-dir>...\n"
+               "usage: eevfs_lint [--metrics-doc <path>] [--src <dir>] "
+               "[--json <path|->]\n"
+               "                  [--list-rules] [--quiet] <file-or-dir>...\n"
                "  Lints .cpp/.cc/.hpp/.h files for EEVFS project "
                "invariants (determinism,\n"
-               "  layering, observability naming, header hygiene).\n"
+               "  layering, observability naming, header hygiene, units, "
+               "include-what-you-use,\n"
+               "  event-handle lifecycle).\n"
                "  Suppress a finding with: // eevfs-lint: allow(<rule>)\n");
+}
+
+void escape_json(const std::string& s, std::ostream& os) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Machine-readable report (consumed by CI as an artifact).
+void write_json(const std::vector<eevfs::lint::Finding>& findings,
+                std::size_t scanned, std::ostream& os) {
+  os << "{\n  \"files_scanned\": " << scanned
+     << ",\n  \"finding_count\": " << findings.size()
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"file\": \"";
+    escape_json(f.file, os);
+    os << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+       << "\", \"message\": \"";
+    escape_json(f.message, os);
+    os << "\"}";
+  }
+  os << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
 }
 
 }  // namespace
@@ -29,6 +76,8 @@ int main(int argc, char** argv) {
   eevfs::lint::Options opt;
   std::vector<std::filesystem::path> paths;
   std::string metrics_doc;
+  std::string src_root;
+  std::string json_out;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -47,12 +96,15 @@ int main(int argc, char** argv) {
       quiet = true;
       continue;
     }
-    if (arg == "--metrics-doc") {
+    if (arg == "--metrics-doc" || arg == "--src" || arg == "--json") {
       if (i + 1 >= argc) {
         usage();
         return 2;
       }
-      metrics_doc = argv[++i];
+      std::string& dst = arg == "--metrics-doc" ? metrics_doc
+                         : arg == "--src"       ? src_root
+                                                : json_out;
+      dst = argv[++i];
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -67,16 +119,45 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Infer the symbol-index root: the first scanned directory named "src".
+  if (src_root.empty()) {
+    for (const auto& p : paths) {
+      std::error_code ec;
+      if (p.filename() == "src" && std::filesystem::is_directory(p, ec)) {
+        src_root = p.string();
+        break;
+      }
+    }
+  }
+
   try {
     if (!metrics_doc.empty()) {
       opt.documented_metrics = eevfs::lint::parse_metrics_doc(metrics_doc);
       opt.check_docs = true;
+    }
+    eevfs::lint::SymbolIndex index;
+    if (!src_root.empty()) {
+      index = eevfs::lint::build_symbol_index(src_root);
+      opt.index = &index;
     }
     std::size_t scanned = 0;
     const auto findings = eevfs::lint::lint_paths(paths, opt, &scanned);
     for (const auto& f : findings) {
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());
+    }
+    if (!json_out.empty()) {
+      if (json_out == "-") {
+        write_json(findings, scanned, std::cout);
+      } else {
+        std::ofstream os(json_out);
+        if (!os) {
+          std::fprintf(stderr, "eevfs-lint: cannot write %s\n",
+                       json_out.c_str());
+          return 2;
+        }
+        write_json(findings, scanned, os);
+      }
     }
     if (!quiet) {
       std::fprintf(stderr, "eevfs-lint: %zu finding(s) in %zu file(s)\n",
