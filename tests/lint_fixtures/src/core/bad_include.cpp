@@ -1,0 +1,12 @@
+// I-family fixture: a dead include (I1) and a symbol whose declaring
+// header is reached only transitively (I2).  Requires the symbol index.
+#include "obs/gadget.hpp"
+#include "util/chain.hpp"
+
+namespace eevfs::core {
+
+util::ChainCounter make_counter() { return {}; }
+
+util::Widget make_widget() { return {}; }
+
+}  // namespace eevfs::core

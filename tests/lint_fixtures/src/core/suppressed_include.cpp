@@ -1,0 +1,13 @@
+// I-family suppressions: both findings from bad_include.cpp, waived.
+// eevfs-lint: allow(I1) kept as the documentation example
+#include "sim/probe.hpp"
+#include "util/chain.hpp"
+
+namespace eevfs::core {
+
+util::ChainCounter counter{};
+
+// eevfs-lint: allow(I2) widget.hpp is re-exported by chain.hpp here
+util::Widget widget{};
+
+}  // namespace eevfs::core

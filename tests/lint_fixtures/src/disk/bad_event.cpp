@@ -1,0 +1,24 @@
+// E-family fixture: the EventHandle returned by schedule_at /
+// schedule_after must be bound, returned, or explicitly discarded.
+#include "sim/engine.hpp"
+
+namespace eevfs::disk {
+
+struct Spinner {
+  sim::Simulator& sim_;
+
+  void arm() {
+    sim_.schedule_after(5, [] {});        // E1: handle dropped
+    (void)sim_.schedule_after(5, [] {});  // ok: explicit discard
+    auto h = sim_.schedule_at(9, [] {});  // ok: bound
+    h.cancel();
+    // eevfs-lint: allow(E1) fire-and-forget heartbeat
+    sim_.schedule_after(1, [] {});
+  }
+
+  sim::EventHandle rearm() {
+    return sim_.schedule_after(2, [] {});  // ok: returned
+  }
+};
+
+}  // namespace eevfs::disk

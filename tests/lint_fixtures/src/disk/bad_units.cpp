@@ -1,0 +1,22 @@
+// U-family fixture: unit-suffix/type disagreements (U2), raw-typed
+// quantity names (U3), and bare conversion constants (U1), plus the
+// accepted spellings and a suppression.
+#include "util/units.hpp"
+
+namespace eevfs::disk {
+
+double idle_watts = 5.0;       // U2: _watts must be the Watts alias
+int64_t spin_up_ms = 6000;     // U2: _ms is fractional; double or _ticks
+Tick deadline_ms = 0;          // U2: a Tick is microseconds, not _ms
+double response_time = 3.0;    // U3: quantity word with a raw type
+
+Bytes buffer_bytes = 0;        // ok: alias + matching suffix
+double at_sec = 0.5;           // ok: fractional boundary value
+Tick drain_deadline = 0;       // ok: alias type needs no suffix
+Watts spindle_watts = 12.5;    // ok
+
+inline constexpr double kScale = 1e6;  // U1: bare conversion constant
+// eevfs-lint: allow(U1) pinned paper constant
+inline constexpr double kPinned = 1e6;
+
+}  // namespace eevfs::disk

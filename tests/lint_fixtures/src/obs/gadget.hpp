@@ -1,0 +1,10 @@
+// I-family fixture header: declared symbols nobody references.
+#pragma once
+
+namespace eevfs::obs {
+
+struct Gadget {
+  double reading = 0.0;
+};
+
+}  // namespace eevfs::obs

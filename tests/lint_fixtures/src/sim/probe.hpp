@@ -1,0 +1,10 @@
+// I-family fixture header: target of a suppressed dead include.
+#pragma once
+
+namespace eevfs::sim {
+
+struct Probe {
+  int channel = 0;
+};
+
+}  // namespace eevfs::sim

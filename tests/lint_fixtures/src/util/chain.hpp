@@ -1,0 +1,12 @@
+// I-family fixture header: pulls in widget.hpp transitively.
+#pragma once
+
+#include "util/widget.hpp"
+
+namespace eevfs::util {
+
+struct ChainCounter {
+  Widget slot;
+};
+
+}  // namespace eevfs::util

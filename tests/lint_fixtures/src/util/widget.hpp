@@ -1,0 +1,10 @@
+// I-family fixture header: the uniquely-owned symbol `Widget`.
+#pragma once
+
+namespace eevfs::util {
+
+struct Widget {
+  int id = 0;
+};
+
+}  // namespace eevfs::util

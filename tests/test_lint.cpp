@@ -1,7 +1,10 @@
-// Tests for tools/eevfs_lint: each rule family (D/L/O/H) has a known-bad
-// fixture under tests/lint_fixtures/ that must produce exact rule IDs at
-// exact file:line positions, a clean fixture that must produce nothing,
-// and a suppression fixture proving `// eevfs-lint: allow(<rule>)` works.
+// Tests for tools/eevfs_lint: each rule family (D/L/O/H/U/I/E) has a
+// known-bad fixture under tests/lint_fixtures/ that must produce exact
+// rule IDs at exact file:line positions, a clean fixture that must
+// produce nothing, and a suppression fixture proving
+// `// eevfs-lint: allow(<rule>)` works.  The cross-TU I family runs
+// against a symbol index built over the fixture headers, and a final
+// invariant test proves the real tree is lint-clean.
 //
 // The fixtures live under lint_fixtures/src/<module>/ so that module
 // derivation (the component after the last `src/`) behaves exactly as it
@@ -41,14 +44,24 @@ Options doc_options() {
 
 // ------------------------------------------------------------- plumbing
 
-TEST(Lint, RuleCatalogueCoversAllFourFamilies) {
+TEST(Lint, RuleCatalogueCoversAllSevenFamilies) {
   std::string families;
   for (const auto& r : eevfs::lint::rule_catalogue()) {
     families += r.id[0];
   }
-  for (const char f : {'D', 'L', 'O', 'H'}) {
+  for (const char f : {'D', 'L', 'O', 'H', 'U', 'I', 'E'}) {
     EXPECT_NE(families.find(f), std::string::npos) << "family " << f;
   }
+}
+
+TEST(Lint, LayerDepsExposesTheModuleDag) {
+  const auto& deps = eevfs::lint::layer_deps();
+  ASSERT_NE(deps.find("util"), deps.end());
+  EXPECT_TRUE(deps.at("util").empty());
+  EXPECT_EQ(deps.at("sim"), std::set<std::string>{"util"});
+  EXPECT_NE(deps.at("core").count("disk"), 0u);
+  EXPECT_NE(deps.at("prebud").count("core"), 0u);
+  EXPECT_EQ(deps.at("fault").count("core"), 0u);  // fault sits below core
 }
 
 TEST(Lint, ModuleOfFindsComponentAfterLastSrc) {
@@ -155,6 +168,104 @@ TEST(Lint, OwnHeaderMustBeFirstInclude) {
   EXPECT_EQ(lines_and_rules(findings), expected);
 }
 
+// ------------------------------------------------------- rule family U
+
+TEST(Lint, UnitsFixtureFiresSuffixTypeAndConstantRules) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/disk/bad_units.cpp", Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {8, "U2"},   // double idle_watts
+      {9, "U2"},   // int64_t spin_up_ms
+      {10, "U2"},  // Tick deadline_ms (mislabelled microseconds)
+      {11, "U3"},  // double response_time
+      {18, "U1"},  // bare 1e6 (the suppressed copy at 20 is waived)
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+  EXPECT_NE(findings[0].message.find("Watts"), std::string::npos)
+      << findings[0].message;
+}
+
+// ------------------------------------------------------- rule family E
+
+TEST(Lint, EventFixtureFlagsOnlyTheDroppedHandle) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/disk/bad_event.cpp", Options{});
+  // Bound, returned, (void)-discarded, and suppressed calls are all ok;
+  // only the naked statement at line 11 is a drop.
+  const std::vector<std::pair<int, std::string>> expected = {
+      {11, "E1"},
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+  EXPECT_NE(findings[0].message.find("EventHandle"), std::string::npos);
+}
+
+// ------------------------------------------------------- rule family I
+
+eevfs::lint::SymbolIndex fixture_index() {
+  return eevfs::lint::build_symbol_index(kFixtures + "/src");
+}
+
+TEST(Lint, SymbolIndexRecordsDeclarationsIncludesAndOwnership) {
+  const auto idx = fixture_index();
+  ASSERT_NE(idx.headers.find("util/widget.hpp"), idx.headers.end());
+  EXPECT_NE(idx.headers.at("util/widget.hpp").declared.count("Widget"), 0u);
+  // chain.hpp reaches widget.hpp transitively (and itself).
+  const auto& chain = idx.headers.at("util/chain.hpp");
+  EXPECT_NE(chain.reach.count("util/widget.hpp"), 0u);
+  EXPECT_NE(chain.reach.count("util/chain.hpp"), 0u);
+  // Widget is declared by exactly one header.
+  ASSERT_NE(idx.unique_owner.find("Widget"), idx.unique_owner.end());
+  EXPECT_EQ(idx.unique_owner.at("Widget"), "util/widget.hpp");
+}
+
+TEST(Lint, DeclaredSymbolsHandlesTheCommonDeclarationShapes) {
+  const auto syms = eevfs::lint::declared_symbols({
+      "#define FIXTURE_FLAG 1",
+      "namespace n {",
+      "struct Record { int field = 0; };",
+      "enum class Color { kRed, kGreen };",
+      "using Alias = Record;",
+      "Record make_record(int unrelated);",
+      "}  // namespace n",
+  });
+  for (const char* s : {"FIXTURE_FLAG", "Record", "field", "Color", "kRed",
+                        "kGreen", "Alias", "make_record"}) {
+    EXPECT_NE(syms.count(s), 0u) << s;
+  }
+  EXPECT_EQ(syms.count("unrelated"), 0u);  // parameter, not a declaration
+}
+
+TEST(Lint, IncludeFixtureFlagsDeadAndTransitiveOnlyIncludes) {
+  const auto idx = fixture_index();
+  Options opt;
+  opt.index = &idx;
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/core/bad_include.cpp", opt);
+  const std::vector<std::pair<int, std::string>> expected = {
+      {3, "I1"},   // obs/gadget.hpp: nothing it declares is used
+      {10, "I2"},  // Widget comes via chain.hpp only
+  };
+  EXPECT_EQ(lines_and_rules(findings), expected);
+  EXPECT_NE(findings[1].message.find("'Widget'"), std::string::npos)
+      << findings[1].message;
+  EXPECT_NE(findings[1].message.find("util/widget.hpp"), std::string::npos);
+}
+
+TEST(Lint, IncludeRulesAreOffWithoutAnIndex) {
+  const auto findings = eevfs::lint::lint_file(
+      kFixtures + "/src/core/bad_include.cpp", Options{});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Lint, IncludeSuppressionsWaiveBothRules) {
+  const auto idx = fixture_index();
+  Options opt;
+  opt.index = &idx;
+  EXPECT_TRUE(eevfs::lint::lint_file(
+                  kFixtures + "/src/core/suppressed_include.cpp", opt)
+                  .empty());
+}
+
 // -------------------------------------------------------- suppressions
 
 TEST(Lint, SuppressionsWaiveFindingsOnlyForMatchingRules) {
@@ -182,12 +293,16 @@ TEST(Lint, CleanFixturesProduceZeroFindings) {
 // ------------------------------------------------------ directory walk
 
 TEST(Lint, DirectoryWalkIsDeterministicAndAggregatesAllFixtures) {
+  const auto idx = fixture_index();
+  Options opt = doc_options();
+  opt.index = &idx;
   std::size_t scanned = 0;
-  const auto findings = eevfs::lint::lint_paths(
-      {kFixtures + "/src"}, doc_options(), &scanned);
-  EXPECT_EQ(scanned, 9u);  // every .cpp/.hpp fixture, not metrics_doc.md
-  // 8 (D) + 3 (L) + 3 (O) + 2 (H) + 1 (H3) + 1 (suppression control).
-  EXPECT_EQ(findings.size(), 18u);
+  const auto findings =
+      eevfs::lint::lint_paths({kFixtures + "/src"}, opt, &scanned);
+  EXPECT_EQ(scanned, 17u);  // every .cpp/.hpp fixture, not metrics_doc.md
+  // 8 (D) + 3 (L) + 3 (O) + 2 (H) + 1 (H3) + 1 (suppression control)
+  // + 5 (U) + 1 (E) + 2 (I).
+  EXPECT_EQ(findings.size(), 26u);
   // Deterministic order: sorted by path, then line, then rule.
   auto sorted = findings;
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -201,13 +316,40 @@ TEST(Lint, DirectoryWalkIsDeterministicAndAggregatesAllFixtures) {
   }
   // A second run returns the identical result.
   const auto again =
-      eevfs::lint::lint_paths({kFixtures + "/src"}, doc_options(), nullptr);
+      eevfs::lint::lint_paths({kFixtures + "/src"}, opt, nullptr);
   ASSERT_EQ(again.size(), findings.size());
   for (std::size_t i = 0; i < findings.size(); ++i) {
     EXPECT_EQ(again[i].file, findings[i].file);
     EXPECT_EQ(again[i].line, findings[i].line);
     EXPECT_EQ(again[i].rule, findings[i].rule);
     EXPECT_EQ(again[i].message, findings[i].message);
+  }
+}
+
+// ------------------------------------------------- whole-tree invariant
+
+// The real tree must stay lint-clean under every rule family, with the
+// same configuration lint_tree uses (docs check + symbol index).  Any
+// new violation needs either a fix or an explicit, justified
+// `// eevfs-lint: allow(<rule>)` waiver — never a file exemption.
+TEST(Lint, RealTreeIsCleanUnderAllRuleFamilies) {
+  const std::string root = EEVFS_SOURCE_ROOT;
+  const auto idx = eevfs::lint::build_symbol_index(root + "/src");
+  ASSERT_FALSE(idx.empty());
+  Options opt;
+  opt.check_docs = true;
+  opt.documented_metrics =
+      eevfs::lint::parse_metrics_doc(root + "/docs/observability.md");
+  opt.index = &idx;
+  std::size_t scanned = 0;
+  const auto findings = eevfs::lint::lint_paths(
+      {root + "/src", root + "/bench", root + "/examples", root + "/tests",
+       root + "/tools"},
+      opt, &scanned);
+  EXPECT_GT(scanned, 100u);  // sanity: the walk really covered the tree
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
   }
 }
 
