@@ -61,9 +61,10 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 step "eevfs-lint (whole tree)"
 ./build/tools/eevfs_lint/eevfs_lint \
-  --metrics-doc docs/observability.md src bench examples tests tools
+  --metrics-doc docs/observability.md --json build/lint_report.json \
+  src bench examples tests tools
 
-step "docs check (markdown links + metrics-doc drift)"
+step "docs check (markdown links + metrics drift + DAG drift)"
 python3 tools/docs_check.py
 
 if [ "$RUN_TIDY" = 1 ]; then

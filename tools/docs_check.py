@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency check (`ctest -L lint` / CI lint job).
 
-Two rules:
+Three rules:
 
   DOC1  every relative markdown link in a tracked *.md file must point
         at a file (or directory) that exists; `#fragment` suffixes are
@@ -14,6 +14,13 @@ Two rules:
         somewhere under src/.  eevfs-lint enforces code -> doc coverage;
         this is the reverse direction, catching stale doc entries after
         a metric is renamed or removed.
+
+  DOC3  the module DAG table in docs/architecture.md must match the
+        `layer_deps()` initializer in tools/eevfs_lint/lint.cpp — same
+        module set, same "may include" list per module.  Rule L1
+        enforces the code against the initializer; this closes the loop
+        so the human-readable table cannot drift from what the linter
+        actually enforces.
 
 Usage: tools/docs_check.py [REPO_ROOT]   (default: parent of tools/)
 Exit 0 when clean, 1 with a findings listing otherwise.
@@ -91,11 +98,77 @@ def check_metric_drift(root: Path) -> list[str]:
     return findings
 
 
+DAG_ROW_RE = re.compile(r"^\|\s*`([a-z]+)`\s*\|([^|]*)\|")
+DEPS_ENTRY_RE = re.compile(r'\{\s*"([a-z]+)"\s*,\s*\{([^{}]*)\}\s*\}')
+
+
+def parse_doc_dag(root: Path) -> dict[str, set[str]]:
+    """Module -> deps from the architecture.md "may include" table."""
+    doc = root / "docs" / "architecture.md"
+    if not doc.exists():
+        return {}
+    dag = {}
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        m = DAG_ROW_RE.match(line.strip())
+        if not m:
+            continue
+        deps_cell = m.group(2).strip()
+        deps = (set() if deps_cell in ("—", "-", "")
+                else {d.strip().strip("`") for d in deps_cell.split(",")})
+        dag[m.group(1)] = deps
+    return dag
+
+
+def parse_lint_dag(root: Path) -> dict[str, set[str]]:
+    """Module -> deps from the kDeps initializer in the linter source."""
+    src = root / "tools" / "eevfs_lint" / "lint.cpp"
+    if not src.exists():
+        return {}
+    text = src.read_text(encoding="utf-8")
+    start = text.find("kDeps = {")
+    end = text.find("};", start)
+    if start < 0 or end < 0:
+        return {}
+    dag = {}
+    for m in DEPS_ENTRY_RE.finditer(text[start:end]):
+        deps = {d.strip().strip('"') for d in m.group(2).split(",")
+                if d.strip()}
+        dag[m.group(1)] = deps
+    return dag
+
+
+def check_dag_drift(root: Path) -> list[str]:
+    doc = parse_doc_dag(root)
+    lint = parse_lint_dag(root)
+    if not doc:
+        return ["docs/architecture.md: DOC3 module DAG table not found"]
+    if not lint:
+        return ["tools/eevfs_lint/lint.cpp: DOC3 kDeps initializer "
+                "not found"]
+    findings = []
+    for mod in sorted(set(doc) | set(lint)):
+        if mod not in doc:
+            findings.append(
+                f"docs/architecture.md: DOC3 module `{mod}` is in "
+                f"layer_deps() but missing from the DAG table")
+        elif mod not in lint:
+            findings.append(
+                f"docs/architecture.md: DOC3 module `{mod}` is in the "
+                f"DAG table but not in layer_deps()")
+        elif doc[mod] != lint[mod]:
+            findings.append(
+                f"docs/architecture.md: DOC3 `{mod}` deps drifted: "
+                f"table says {sorted(doc[mod])}, layer_deps() says "
+                f"{sorted(lint[mod])}")
+    return findings
+
+
 def main() -> int:
     root = (Path(sys.argv[1]) if len(sys.argv) > 1
             else Path(__file__).resolve().parent.parent)
     files = tracked_markdown(root)
-    findings = check_links(root, files) + check_metric_drift(root)
+    findings = (check_links(root, files) + check_metric_drift(root)
+                + check_dag_drift(root))
     for f in findings:
         print(f)
     print(f"docs_check: {len(files)} markdown files, "
