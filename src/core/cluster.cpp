@@ -32,6 +32,15 @@ void Cluster::build_infra() {
   recovery_hists_.ec_repair_us = &registry_->histogram("ec.repair_time.us");
   obs::Histogram* hist_ec_reconstruct =
       &registry_->histogram("ec.reconstruct_time.us");
+  // RAM-tier histograms are registered only when the tier is on: the
+  // counter universe must stay bit-identical for every ram-off config
+  // (goldens + CounterUniverseIsStableAcrossConfigs pin that).
+  hist_ram_hit_bytes_ = nullptr;
+  hist_ram_miss_bytes_ = nullptr;
+  if (config_.ram_cache_bytes > 0) {
+    hist_ram_hit_bytes_ = &registry_->histogram("ramcache.hit_size.bytes");
+    hist_ram_miss_bytes_ = &registry_->histogram("ramcache.miss_size.bytes");
+  }
   ev_client_request_ = tracer_->intern("client.request");
   net_ = std::make_unique<net::NetworkFabric>(*sim_);
   net_->set_observer(tracer_.get());
@@ -76,9 +85,18 @@ void Cluster::build_infra() {
     params.journal.header_bytes =
         static_cast<Bytes>(config_.journal_header_kb * 1024.0);
     params.journal.checkpoint_every = config_.journal_checkpoint_every;
+    params.ram_cache_bytes = config_.ram_cache_bytes;
+    params.ram_cache_policy = config_.ram_cache_policy;
+    params.ram_bytes_per_sec =
+        config_.ram_read_mbps * static_cast<double>(kMB);
+    params.ram_pin_fraction = config_.ram_pin_fraction;
+    params.ram_flush_interval =
+        seconds_to_ticks(config_.ram_flush_interval_sec);
     nodes_.push_back(
         std::make_unique<StorageNode>(*sim_, *net_, ep, params));
     nodes_.back()->set_observer(tracer_.get(), hist_queue_wait_);
+    nodes_.back()->set_ram_observer(hist_ram_hit_bytes_,
+                                    hist_ram_miss_bytes_);
     raw.push_back(nodes_.back().get());
   }
 
@@ -518,8 +536,16 @@ void Cluster::finish_run() {
     av.writes_stranded += nm.writes_stranded;
     av.lost_acked_writes += nm.lost_acked_writes;
     av.fault_energy_delta += nm.fault_energy_delta;
+    metrics_.ram.hits += nm.ram_hits;
+    metrics_.ram.misses += nm.ram_misses;
+    metrics_.ram.evictions += nm.ram_evictions;
+    metrics_.ram.writebacks += nm.ram_writebacks;
+    metrics_.ram.writes_absorbed += nm.ram_writes_absorbed;
+    metrics_.ram.lost_writes += nm.ram_lost_writes;
+    metrics_.ram.pinned_bytes += nm.ram_pinned_bytes;
     metrics_.per_node.push_back(std::move(nm));
   }
+  metrics_.ram.enabled = config_.ram_cache_bytes > 0;
   metrics_.power_transitions = metrics_.spin_ups + metrics_.spin_downs;
   metrics_.total_joules = metrics_.disk_joules + metrics_.base_joules;
 
@@ -631,6 +657,21 @@ void Cluster::snapshot_counters() {
       .add(injector_ ? injector_->messages_dropped() : 0);
   reg.counter("fault.lost_acked_writes.count")
       .add(metrics_.availability.lost_acked_writes);
+
+  // RAM-tier names join the universe only when the tier is configured, so
+  // ram-off runs keep the exact pre-RAM snapshot (and golden digests).
+  if (config_.ram_cache_bytes > 0) {
+    const RamCacheMetrics& ram = metrics_.ram;
+    reg.counter("ramcache.hits.count").add(ram.hits);
+    reg.counter("ramcache.misses.count").add(ram.misses);
+    reg.counter("ramcache.evictions.count").add(ram.evictions);
+    reg.counter("ramcache.writebacks.count").add(ram.writebacks);
+    reg.counter("ramcache.writes_absorbed.count").add(ram.writes_absorbed);
+    reg.counter("ramcache.lost_writes.count").add(ram.lost_writes);
+    reg.gauge("ramcache.hit_rate.ratio").set(ram.hit_rate());
+    reg.gauge("ramcache.pinned.bytes")
+        .set(static_cast<double>(ram.pinned_bytes));
+  }
 
   const RecoveryMetrics& rec = metrics_.recovery;
   reg.counter("recovery.episodes.count").add(rec.episodes);

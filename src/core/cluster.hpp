@@ -130,6 +130,8 @@ class Cluster {
   std::unique_ptr<obs::Tracer> tracer_;
   obs::Histogram* hist_queue_wait_ = nullptr;
   obs::Histogram* hist_req_latency_ = nullptr;
+  obs::Histogram* hist_ram_hit_bytes_ = nullptr;
+  obs::Histogram* hist_ram_miss_bytes_ = nullptr;
   obs::StringId ev_client_request_ = 0;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::NetworkFabric> net_;

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "core/ram_cache.hpp"
 #include "disk/disk_profile.hpp"
 #include "disk/write_journal.hpp"
 #include "fault/fault_injector.hpp"
@@ -168,6 +169,25 @@ struct ClusterConfig {
   /// Modeled erasure decode throughput (reconstruction CPU cost charged
   /// to degraded reads and background chunk repair).
   double ec_decode_mbps = 400.0;
+
+  // --- RAM cache tier (multi-tier extension) ---------------------------
+  /// Per-node in-memory cache above the buffer disk.  0 = disabled: the
+  /// two-tier paper system, bit-identical to runs before this knob
+  /// existed (goldens enforce that).
+  Bytes ram_cache_bytes = 0;
+  /// Admission/eviction policy for the RAM tier.
+  RamCachePolicy ram_cache_policy = RamCachePolicy::kLru;
+  /// Share of the RAM capacity tier-aware prefetch may pin with the hot
+  /// set; the rest serves admission-cached reads and write-back staging.
+  double ram_pin_fraction = 0.5;
+  /// Modeled RAM copy bandwidth (decimal MB/s) — the service time of a
+  /// RAM hit and of staging a write in memory.
+  double ram_read_mbps = 2000.0;
+  /// Cadence for flushing staged write-backs toward the buffer disk;
+  /// pressure flushes fire regardless once staged bytes exceed half the
+  /// RAM capacity.  Unflushed staged writes are LOST on a crash-stop —
+  /// the journal only covers bytes that reached the buffer-disk log.
+  double ram_flush_interval_sec = 1.0;
 
   // --- durability / crash recovery (robustness extension) --------------
   /// Write-ahead journal for the buffer-disk write buffer: a commit

@@ -91,6 +91,15 @@ struct NodeMetrics {
   disk::EnergyMeter data_disk_meter;    // aggregated over the node's data disks
   disk::EnergyMeter buffer_disk_meter;  // aggregated over buffer disks
 
+  // --- RAM cache tier (zero when ram_cache_bytes == 0) -----------------
+  std::uint64_t ram_hits = 0;
+  std::uint64_t ram_misses = 0;
+  std::uint64_t ram_evictions = 0;
+  std::uint64_t ram_writebacks = 0;        // staged writes landed downstream
+  std::uint64_t ram_writes_absorbed = 0;   // write acks served from RAM
+  std::uint64_t ram_lost_writes = 0;       // staged writes wiped by a crash
+  Bytes ram_pinned_bytes = 0;              // hot set resident at run end
+
   // --- degraded-mode accounting (zero on a fault-free run) -------------
   std::uint64_t disk_io_retries = 0;
   std::uint64_t media_errors = 0;
@@ -126,6 +135,28 @@ struct RecoveryMetrics {
     return episodes == 0 ? 0.0
                          : ticks_to_seconds(mttr_ticks) /
                                static_cast<double>(episodes);
+  }
+};
+
+/// RAM-tier accounting for one run.  `enabled` mirrors
+/// ram_cache_bytes > 0; every field stays zero (and the golden digest
+/// renders nothing) when the tier is off, so two-tier runs are
+/// bit-identical to the pre-RAM system.
+struct RamCacheMetrics {
+  bool enabled = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t writes_absorbed = 0;
+  std::uint64_t lost_writes = 0;
+  Bytes pinned_bytes = 0;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
   }
 };
 
@@ -181,6 +212,9 @@ struct RunMetrics {
 
   // --- erasure coding (robustness extension) ---------------------------
   ErasureMetrics erasure;
+
+  // --- RAM cache tier (multi-tier extension) ---------------------------
+  RamCacheMetrics ram;
 
   // --- observability ---------------------------------------------------
   /// Deterministic snapshot of the run's metric registry, sorted by name

@@ -37,9 +37,40 @@ PrefetchPlan Prefetcher::plan(
     std::span<const PrefetchCandidate> candidates,
     const std::map<trace::FileId, std::vector<Tick>>& file_accesses,
     std::vector<std::vector<Tick>> disk_accesses, Tick horizon,
-    Bytes capacity) const {
+    Bytes capacity, Bytes ram_capacity) const {
   PrefetchPlan out;
   out.residual_disk_accesses = std::move(disk_accesses);
+
+  static const std::vector<Tick> kNoAccesses;
+  const auto accesses_of = [&](trace::FileId f) -> const std::vector<Tick>& {
+    const auto it = file_accesses.find(f);
+    return it == file_accesses.end() ? kNoAccesses : it->second;
+  };
+
+  // Tier split: the hottest candidates that fit the RAM pin budget go to
+  // the RAM tier, rank-first.  A RAM hit touches no spindle, so pinning
+  // needs no energy gate; removing the pinned accesses from the residual
+  // timelines here means both the PRE-BUD gate below and the power
+  // manager's expected-gap schedule price only the post-RAM traffic.
+  Bytes ram_remaining = ram_capacity;
+  std::vector<PrefetchCandidate> buffer_candidates;
+  if (ram_capacity > 0) {
+    buffer_candidates.reserve(candidates.size());
+    for (const PrefetchCandidate& c : candidates) {
+      if (c.bytes <= ram_remaining) {
+        ram_remaining -= c.bytes;
+        for (const std::size_t d : c.disks) {
+          out.residual_disk_accesses[d] = remove_accesses(
+              out.residual_disk_accesses[d], accesses_of(c.file));
+        }
+        out.ram_pinned.push_back(c);
+        out.ram_pinned_bytes += c.bytes;
+      } else {
+        buffer_candidates.push_back(c);
+      }
+    }
+    candidates = buffer_candidates;
+  }
 
   // Group candidates by the *set* of disks they touch, preserving rank
   // order within a group.  The PRE-BUD benefit of buffering files is not
@@ -51,12 +82,6 @@ PrefetchPlan Prefetcher::plan(
   for (const PrefetchCandidate& c : candidates) {
     groups[c.disks].push_back(c);
   }
-
-  static const std::vector<Tick> kNoAccesses;
-  const auto accesses_of = [&](trace::FileId f) -> const std::vector<Tick>& {
-    const auto it = file_accesses.find(f);
-    return it == file_accesses.end() ? kNoAccesses : it->second;
-  };
   const auto set_savings =
       [&](const std::vector<std::size_t>& disks,
           const std::vector<std::vector<Tick>>& residuals) {

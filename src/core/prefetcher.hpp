@@ -37,6 +37,11 @@ struct PrefetchPlan {
   /// Per-data-disk access times with the accepted files removed — what
   /// the power manager should expect to reach each disk.
   std::vector<std::vector<Tick>> residual_disk_accesses;
+  /// Tier-aware split (RAM tier enabled): the hottest candidates that
+  /// fit the RAM pin budget, taken off the top before the buffer-disk
+  /// pass.  Serving these touches no spindle at all.
+  std::vector<PrefetchCandidate> ram_pinned;
+  Bytes ram_pinned_bytes = 0;
 };
 
 class Prefetcher {
@@ -47,11 +52,15 @@ class Prefetcher {
   /// `candidates` in priority (popularity-rank) order;
   /// `file_accesses[f]` sorted access offsets of file f;
   /// `disk_accesses[d]` sorted offsets of everything on data disk d;
-  /// `horizon` the trace duration; `capacity` remaining buffer bytes.
+  /// `horizon` the trace duration; `capacity` remaining buffer bytes;
+  /// `ram_capacity` the RAM-tier pin budget (0 = two-tier planning).
+  /// RAM pins are filled rank-first and their accesses leave the
+  /// residual timelines before the buffer tier is priced, so PRE-BUD
+  /// sees the post-RAM residual.
   PrefetchPlan plan(std::span<const PrefetchCandidate> candidates,
                     const std::map<trace::FileId, std::vector<Tick>>& file_accesses,
                     std::vector<std::vector<Tick>> disk_accesses,
-                    Tick horizon, Bytes capacity) const;
+                    Tick horizon, Bytes capacity, Bytes ram_capacity = 0) const;
 
  private:
   EnergyPredictionModel model_;

@@ -1,0 +1,195 @@
+#include "core/ram_cache.hpp"
+
+#include <stdexcept>
+
+namespace eevfs::core {
+
+const char* to_string(RamCachePolicy policy) {
+  switch (policy) {
+    case RamCachePolicy::kLru:
+      return "lru";
+    case RamCachePolicy::kPopularity:
+      return "popularity";
+    case RamCachePolicy::kTinyLfu:
+      return "tinylfu";
+  }
+  return "unknown";
+}
+
+RamCache::RamCache(Bytes capacity, RamCachePolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RamCache capacity must be positive");
+  }
+}
+
+bool RamCache::lookup(trace::FileId f) {
+  bump(f);
+  const auto it = entries_.find(f);
+  if (it == entries_.end()) return false;
+  if (!it->second.pinned) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  return true;
+}
+
+RamCache::InsertResult RamCache::admit(trace::FileId f, Bytes bytes,
+                                       std::uint64_t weight) {
+  InsertResult result;
+  bump(f);
+  const auto it = entries_.find(f);
+  if (it != entries_.end()) {
+    it->second.weight = weight;
+    if (!it->second.pinned) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    }
+    result.inserted = true;
+    return result;
+  }
+  if (bytes > capacity_) return result;
+  while (free_bytes() < bytes) {
+    const trace::FileId victim = select_victim();
+    if (victim == trace::kInvalidFile) return result;
+    if (!may_displace(f, weight, victim)) return result;
+    evict(victim);
+    result.evicted.push_back(victim);
+  }
+  lru_.push_front(f);
+  entries_[f] = Entry{bytes, weight, /*pinned=*/false, lru_.begin()};
+  cached_bytes_ += bytes;
+  result.inserted = true;
+  return result;
+}
+
+bool RamCache::pin(trace::FileId f, Bytes bytes) {
+  const auto it = entries_.find(f);
+  if (it != entries_.end()) {
+    if (it->second.pinned) return true;
+    // Promote a resident unpinned entry in place.
+    lru_.erase(it->second.lru_pos);
+    cached_bytes_ -= it->second.bytes;
+    pinned_bytes_ += it->second.bytes;
+    it->second.pinned = true;
+    return true;
+  }
+  if (bytes > capacity_) return false;
+  while (free_bytes() < bytes) {
+    const trace::FileId victim = select_victim();
+    if (victim == trace::kInvalidFile) return false;
+    evict(victim);
+  }
+  entries_[f] = Entry{bytes, /*weight=*/0, /*pinned=*/true, lru_.end()};
+  pinned_bytes_ += bytes;
+  return true;
+}
+
+void RamCache::erase(trace::FileId f) {
+  const auto it = entries_.find(f);
+  if (it == entries_.end()) return;
+  if (it->second.pinned) {
+    pinned_bytes_ -= it->second.bytes;
+  } else {
+    lru_.erase(it->second.lru_pos);
+    cached_bytes_ -= it->second.bytes;
+  }
+  entries_.erase(it);
+}
+
+bool RamCache::reserve_write(Bytes bytes) {
+  // Staged writes may displace clean cached entries but never pinned
+  // ones: the hot set stays resident through a write burst.
+  if (bytes > capacity_) return false;
+  while (free_bytes() < bytes) {
+    const trace::FileId victim = select_victim();
+    if (victim == trace::kInvalidFile) return false;
+    evict(victim);
+  }
+  write_bytes_ += bytes;
+  return true;
+}
+
+void RamCache::release_write(Bytes bytes) {
+  write_bytes_ -= bytes > write_bytes_ ? write_bytes_ : bytes;
+}
+
+trace::FileId RamCache::select_victim() const {
+  if (lru_.empty()) return trace::kInvalidFile;
+  if (policy_ == RamCachePolicy::kPopularity) {
+    // Lowest weight loses; scan from the LRU end so ties go to the
+    // least recently used entry.  The list order is deterministic.
+    trace::FileId best = trace::kInvalidFile;
+    std::uint64_t best_weight = 0;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const std::uint64_t w = entries_.at(*it).weight;
+      if (best == trace::kInvalidFile || w < best_weight) {
+        best = *it;
+        best_weight = w;
+      }
+    }
+    return best;
+  }
+  return lru_.back();
+}
+
+bool RamCache::may_displace(trace::FileId f, std::uint64_t weight,
+                            trace::FileId victim) const {
+  switch (policy_) {
+    case RamCachePolicy::kLru:
+      return true;
+    case RamCachePolicy::kPopularity:
+      return weight >= entries_.at(victim).weight;
+    case RamCachePolicy::kTinyLfu:
+      // Admission filter: only a candidate whose recent-access estimate
+      // beats the victim's may push it out.
+      return estimate(f) > estimate(victim);
+  }
+  return true;
+}
+
+void RamCache::evict(trace::FileId victim) {
+  const auto it = entries_.find(victim);
+  lru_.erase(it->second.lru_pos);
+  cached_bytes_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+std::size_t RamCache::sketch_index(trace::FileId f, std::size_t row) const {
+  // splitmix64 finalizer over (file, row) — deterministic, well mixed.
+  std::uint64_t x = static_cast<std::uint64_t>(f) +
+                    (static_cast<std::uint64_t>(row) + 1) *
+                        0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x) & (kSketchWidth - 1);
+}
+
+std::uint32_t RamCache::estimate(trace::FileId f) const {
+  if (f == trace::kInvalidFile) return 0;
+  std::uint32_t min = UINT32_MAX;
+  for (std::size_t row = 0; row < kSketchRows; ++row) {
+    const std::uint32_t c = sketch_[row][sketch_index(f, row)];
+    if (c < min) min = c;
+  }
+  return min;
+}
+
+void RamCache::bump(trace::FileId f) {
+  if (policy_ != RamCachePolicy::kTinyLfu) return;
+  for (std::size_t row = 0; row < kSketchRows; ++row) {
+    std::uint8_t& c = sketch_[row][sketch_index(f, row)];
+    if (c < UINT8_MAX) ++c;
+  }
+  if (++sketch_samples_ >= kSketchSampleLimit) age_sketch();
+}
+
+void RamCache::age_sketch() {
+  // Periodic halving keeps the sketch a sliding-window estimate instead
+  // of an all-time count, so a cooled-off file loses its seniority.
+  for (auto& row : sketch_) {
+    for (std::uint8_t& c : row) c = static_cast<std::uint8_t>(c >> 1);
+  }
+  sketch_samples_ = 0;
+}
+
+}  // namespace eevfs::core

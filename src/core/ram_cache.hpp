@@ -1,0 +1,116 @@
+// Per-node RAM tier above the buffer disk: a fixed-capacity in-memory
+// cache with pluggable admission/eviction, a pinned region for the
+// prefetch hot set, and a write-back staging region that absorbs write
+// bursts before the buffer-disk write buffer.
+//
+// Like BufferManager one tier down, this class tracks *space and
+// membership* only; StorageNode issues the modeled I/O, owns the
+// hit/miss/eviction counters (so a crash-stop can wipe the cache
+// without losing run totals), and decides when staged writes flush.
+//
+// Policies:
+//   kLru         evict the least-recently-used unpinned entry.
+//   kPopularity  evict the lowest-weight unpinned entry (weight = the
+//                caller-supplied access-pattern popularity); a new file
+//                is admitted only if it beats the victim it displaces.
+//   kTinyLfu     TinyLFU-style admission: a count-min sketch of recent
+//                accesses decides whether the candidate's estimated
+//                frequency beats the LRU victim's before evicting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/units.hpp"
+
+namespace eevfs::core {
+
+enum class RamCachePolicy { kLru, kPopularity, kTinyLfu };
+
+const char* to_string(RamCachePolicy policy);
+
+class RamCache {
+ public:
+  /// `capacity` caps cached + pinned + staged-write bytes.
+  RamCache(Bytes capacity, RamCachePolicy policy);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes cached_bytes() const { return cached_bytes_; }
+  Bytes pinned_bytes() const { return pinned_bytes_; }
+  Bytes pending_write_bytes() const { return write_bytes_; }
+  Bytes used() const { return cached_bytes_ + pinned_bytes_ + write_bytes_; }
+  std::size_t cached_files() const { return entries_.size(); }
+  bool contains(trace::FileId f) const { return entries_.contains(f); }
+
+  /// Membership probe on the serve path: feeds the frequency sketch and
+  /// refreshes recency on a hit.  Returns whether `f` is resident.
+  bool lookup(trace::FileId f);
+
+  struct InsertResult {
+    bool inserted = false;
+    std::vector<trace::FileId> evicted;
+  };
+
+  /// Offers a file for residency after a lower-tier read.  `weight` is
+  /// the caller's popularity signal (used by kPopularity).  Eviction
+  /// never touches pinned entries or staged-write space; a file larger
+  /// than the whole capacity is never admitted.
+  InsertResult admit(trace::FileId f, Bytes bytes, std::uint64_t weight);
+
+  /// Pins a prefetched hot-set file: resident until erase(), never a
+  /// victim.  Fails (false) when the pin would not fit without evicting
+  /// pinned space.  Evicts unpinned entries as needed.
+  bool pin(trace::FileId f, Bytes bytes);
+
+  void erase(trace::FileId f);
+
+  /// Reserves staging space for an in-RAM write-back; false when it
+  /// would overflow (caller falls through to the buffer-disk path).
+  bool reserve_write(Bytes bytes);
+
+  /// Releases staging space once the write-back lands downstream.
+  void release_write(Bytes bytes);
+
+ private:
+  struct Entry {
+    Bytes bytes = 0;
+    std::uint64_t weight = 0;
+    bool pinned = false;
+    // Valid only for unpinned entries; pinned files are not in lru_.
+    std::list<trace::FileId>::iterator lru_pos;
+  };
+
+  Bytes free_bytes() const { return capacity_ - used(); }
+  /// Picks the next victim per policy; kInvalidFile when none exists.
+  trace::FileId select_victim() const;
+  /// Policy admission check: may `f` displace `victim`?
+  bool may_displace(trace::FileId f, std::uint64_t weight,
+                    trace::FileId victim) const;
+  void evict(trace::FileId victim);
+
+  // --- TinyLFU frequency sketch (count-min, aged by halving) ---------
+  static constexpr std::size_t kSketchRows = 4;
+  static constexpr std::size_t kSketchWidth = 1024;  // power of two
+  static constexpr std::uint64_t kSketchSampleLimit = 8192;
+  std::size_t sketch_index(trace::FileId f, std::size_t row) const;
+  std::uint32_t estimate(trace::FileId f) const;
+  void bump(trace::FileId f);
+  void age_sketch();
+
+  Bytes capacity_;
+  RamCachePolicy policy_;
+  Bytes cached_bytes_ = 0;
+  Bytes pinned_bytes_ = 0;
+  Bytes write_bytes_ = 0;
+  // LRU list of *unpinned* entries, front = most recently used.
+  std::list<trace::FileId> lru_;
+  std::unordered_map<trace::FileId, Entry> entries_;
+  std::array<std::array<std::uint8_t, kSketchWidth>, kSketchRows> sketch_{};
+  std::uint64_t sketch_samples_ = 0;
+};
+
+}  // namespace eevfs::core

@@ -55,6 +55,21 @@ void write_availability_object(obs::JsonWriter& w, const RunMetrics& m) {
   w.end_object();
 }
 
+void write_ram_object(obs::JsonWriter& w, const RunMetrics& m) {
+  const RamCacheMetrics& ram = m.ram;
+  w.begin_object();
+  w.key("enabled").value(ram.enabled);
+  w.key("hits").value(ram.hits);
+  w.key("misses").value(ram.misses);
+  w.key("hit_rate").value(ram.hit_rate());
+  w.key("evictions").value(ram.evictions);
+  w.key("writebacks").value(ram.writebacks);
+  w.key("writes_absorbed").value(ram.writes_absorbed);
+  w.key("lost_writes").value(ram.lost_writes);
+  w.key("pinned_bytes").value(ram.pinned_bytes);
+  w.end_object();
+}
+
 void write_counters_array(obs::JsonWriter& w,
                           const std::vector<obs::Sample>& counters) {
   w.begin_array();
@@ -96,6 +111,8 @@ void append_run(obs::JsonWriter& w, const RunReportInfo& info,
   write_metrics_object(w, m);
   w.key("availability");
   write_availability_object(w, m);
+  w.key("ram");
+  write_ram_object(w, m);
   w.key("counters");
   write_counters_array(w, m.counters);
   w.end_object();
@@ -492,6 +509,22 @@ bool validate_run(const JsonValue& run, const std::string& where,
       "availability"};
   if (!require_numbers(*av, kAvail, sizeof(kAvail) / sizeof(kAvail[0]),
                        where + ".availability", error)) {
+    return false;
+  }
+
+  const JsonValue* ram = get(run, "ram");
+  if (ram == nullptr || ram->type != JsonValue::Type::kObject) {
+    return schema_fail(error, where + " is missing object 'ram'");
+  }
+  const JsonValue* ram_enabled = get(*ram, "enabled");
+  if (ram_enabled == nullptr || ram_enabled->type != JsonValue::Type::kBool) {
+    return schema_fail(error, where + ".ram is missing bool 'enabled'");
+  }
+  static constexpr const char* kRam[] = {
+      "hits",       "misses",          "hit_rate",    "evictions",
+      "writebacks", "writes_absorbed", "lost_writes", "pinned_bytes"};
+  if (!require_numbers(*ram, kRam, sizeof(kRam) / sizeof(kRam[0]),
+                       where + ".ram", error)) {
     return false;
   }
 

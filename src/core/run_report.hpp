@@ -20,7 +20,10 @@ namespace eevfs::core {
 
 /// Bump when the document layout changes; consumers hard-fail on a
 /// version they do not know (additive-only changes still bump it).
-inline constexpr std::int64_t kRunReportSchemaVersion = 1;
+/// v2: every run gains a "ram" object (three-tier cache accounting; the
+/// object is present even when the tier is disabled, with enabled=false
+/// and all-zero fields, so consumers never branch on key existence).
+inline constexpr std::int64_t kRunReportSchemaVersion = 2;
 
 /// Caller-supplied metadata for one run inside a report.
 struct RunReportInfo {
@@ -77,9 +80,10 @@ void append_run_report_object(obs::JsonWriter& w, const RunReportInfo& info,
                               const RunMetrics& m,
                               const obs::Tracer* tracer = nullptr);
 
-/// Structural validation of a report document against schema v1: parses
+/// Structural validation of a report document against schema v2: parses
 /// the JSON and checks every required key and type (top-level
-/// schema_version/bench/runs; per run name/metrics/availability/counters;
+/// schema_version/bench/runs; per run
+/// name/metrics/availability/ram/counters;
 /// per counter name/kind and the kind-specific value fields).  Returns
 /// false and fills `*error` (when non-null) with a human-readable reason
 /// on the first violation.

@@ -41,6 +41,11 @@ StorageNode::StorageNode(sim::Simulator& sim, net::NetworkFabric& net,
                                                     std::move(media));
   }
 
+  if (params_.ram_cache_bytes > 0) {
+    ram_ = std::make_unique<RamCache>(params_.ram_cache_bytes,
+                                      params_.ram_cache_policy);
+  }
+
   std::vector<disk::DiskModel*> managed;
   managed.reserve(data_disks_.size());
   for (auto& d : data_disks_) managed.push_back(d.get());
@@ -73,6 +78,12 @@ void StorageNode::set_observer(obs::Tracer* tracer,
   for (auto& d : data_disks_) d->set_observer(tracer, disk_queue_wait_us);
   for (auto& b : buffer_disks_) b->set_observer(tracer, disk_queue_wait_us);
   power_->set_observer(tracer);
+}
+
+void StorageNode::set_ram_observer(obs::Histogram* hit_bytes,
+                                   obs::Histogram* miss_bytes) {
+  hist_ram_hit_bytes_ = hit_bytes;
+  hist_ram_miss_bytes_ = miss_bytes;
 }
 
 StorageNode::ServeCallback StorageNode::trace_serve(obs::StringId op,
@@ -172,14 +183,24 @@ void StorageNode::start_prefetch(const std::vector<trace::FileId>& candidates,
       buffer_ && params_.cache_policy == CachePolicy::kPrefetch;
   const Bytes capacity =
       can_prefetch ? buffer_->capacity() - buffer_->used() : 0;
+  // Tier-aware split: a slice of the RAM capacity is pinned with the
+  // hottest candidates before the buffer tier is planned.
+  const bool ram_prefetch =
+      ram_ && params_.cache_policy == CachePolicy::kPrefetch;
+  const Bytes ram_budget =
+      ram_prefetch ? static_cast<Bytes>(
+                         static_cast<double>(ram_->capacity()) *
+                         params_.ram_pin_fraction)
+                   : 0;
   const Prefetcher prefetcher(
       EnergyPredictionModel(params_.disk_profile, params_.power.idle_threshold,
                             params_.power.sleep_margin),
       params_.disk_profile, params_.prebud_gate);
-  plan_ = prefetcher.plan(can_prefetch ? std::span<const PrefetchCandidate>(cands)
-                                       : std::span<const PrefetchCandidate>(),
+  plan_ = prefetcher.plan(can_prefetch || ram_prefetch
+                              ? std::span<const PrefetchCandidate>(cands)
+                              : std::span<const PrefetchCandidate>(),
                           pattern_, std::move(disk_accesses), horizon_,
-                          capacity);
+                          capacity, ram_budget);
   plan_ready_ = true;
 
   // Static expectation per disk for the predictive power policy: the mean
@@ -196,19 +217,27 @@ void StorageNode::start_prefetch(const std::vector<trace::FileId>& candidates,
     }
   }
 
-  if (plan_.accepted.empty()) {
+  const std::size_t total_copies =
+      plan_.accepted.size() + plan_.ram_pinned.size();
+  if (total_copies == 0) {
     (void)sim_.schedule_after(0, std::move(done));
     return;
   }
-  auto outstanding = std::make_shared<std::size_t>(plan_.accepted.size());
+  // One barrier over both tiers: done fires when the warm set is on the
+  // buffer disk AND the hot set is pinned in RAM.
+  auto outstanding = std::make_shared<std::size_t>(total_copies);
+  auto arrive = [this, outstanding, done] {
+    if (--*outstanding == 0) {
+      EEVFS_DEBUG() << "node " << params_.id << ": prefetch done at t="
+                    << ticks_to_seconds(sim_.now());
+      done();
+    }
+  };
+  for (const PrefetchCandidate& c : plan_.ram_pinned) {
+    pin_into_ram(c.file, arrive);
+  }
   for (const PrefetchCandidate& c : plan_.accepted) {
-    copy_into_buffer(c.file, [this, outstanding, done] {
-      if (--*outstanding == 0) {
-        EEVFS_DEBUG() << "node " << params_.id << ": prefetch done at t="
-                      << ticks_to_seconds(sim_.now());
-        done();
-      }
-    });
+    copy_into_buffer(c.file, arrive);
   }
 }
 
@@ -347,6 +376,37 @@ void StorageNode::copy_into_buffer(trace::FileId f,
               ++buffered_count_;
               buffer_disks_[*bd]->submit(std::move(write));
             });
+}
+
+void StorageNode::pin_into_ram(trace::FileId f, std::function<void()> done) {
+  assert(ram_);
+  const LocalFileMeta& lf = meta_.at(f);
+  const Bytes bytes = lf.size;
+  if (!stripe_set_alive(lf) || !ram_->pin(f, bytes)) {
+    (void)sim_.schedule_after(0, std::move(done));
+    return;
+  }
+  // Like copy_into_buffer, `done` is barrier control flow and must fire
+  // even across a crash; the pin itself is the state the epoch guards.
+  const std::uint64_t ep = epoch_;
+  stripe_io(lf, bytes, /*is_write=*/false, /*notify_power_manager=*/false,
+            [this, f, ep, done = std::move(done)](Tick, disk::IoStatus st) {
+              if (ep == epoch_ && st != disk::IoStatus::kOk) {
+                ram_->erase(f);  // unreadable source: drop the pin
+              }
+              done();
+            });
+}
+
+std::uint64_t StorageNode::ram_weight(trace::FileId f) const {
+  const auto it = pattern_.find(f);
+  return it == pattern_.end() ? 0
+                              : static_cast<std::uint64_t>(it->second.size());
+}
+
+void StorageNode::ram_admit(trace::FileId f, Bytes bytes) {
+  const auto res = ram_->admit(f, bytes, ram_weight(f));
+  ram_evictions_ += static_cast<std::uint64_t>(res.evicted.size());
 }
 
 void StorageNode::begin_replay(Tick replay_start) {
@@ -489,6 +549,23 @@ void StorageNode::crash() {
     buffer_ = std::make_unique<BufferManager>(buffer_capacity_);
     for (auto& [f, m] : meta_) m.buffered = false;
   }
+  // The RAM tier dies wholesale.  Clean cached bytes are re-fetchable,
+  // but staged write-backs were ACKED and are lost no matter what the
+  // journal mode is — the journal only covers bytes that reached the
+  // buffer-disk log.  A flush in flight that had not booked its journal
+  // record yet is equally gone (its completions carry a stale epoch).
+  if (ram_) {
+    const auto staged = static_cast<std::uint64_t>(ram_staged_.size()) +
+                        static_cast<std::uint64_t>(ram_flushes_in_flight_);
+    ram_lost_writes_ += staged;
+    lost_acked_writes_ += staged;
+    ram_staged_.clear();
+    ram_flushes_in_flight_ = 0;
+    ram_flush_timer_.cancel();
+    ram_flush_scheduled_ = false;
+    ram_ = std::make_unique<RamCache>(params_.ram_cache_bytes,
+                                      params_.ram_cache_policy);
+  }
   // Data-disk power management keeps running: the crash kills the file
   // service, not the shelf — firmware DPM stays powered.
   notify_flush_waiters();
@@ -582,15 +659,33 @@ void StorageNode::rewarm_prefetch(
       todo.push_back(f);
     }
   }
-  if (todo.empty()) {
+  // The crash wiped the RAM tier too: re-pin the planned hot set so
+  // post-recovery serving returns to three-tier behaviour.
+  std::vector<trace::FileId> ram_todo;
+  if (ram_) {
+    for (const PrefetchCandidate& c : plan_.ram_pinned) {
+      const LocalFileMeta* m = meta_.find(c.file);
+      if (m != nullptr && !ram_->contains(c.file) && stripe_set_alive(*m)) {
+        ram_todo.push_back(c.file);
+      }
+    }
+  }
+  if (todo.empty() && ram_todo.empty()) {
     (void)sim_.schedule_after(0, [done = std::move(done)] { done(0); });
     return;
   }
   const std::uint64_t ep = epoch_;
-  auto outstanding = std::make_shared<std::size_t>(todo.size());
+  auto outstanding =
+      std::make_shared<std::size_t>(todo.size() + ram_todo.size());
   auto copied = std::make_shared<std::size_t>(0);
   auto shared_done =
       std::make_shared<std::function<void(std::size_t)>>(std::move(done));
+  for (const trace::FileId f : ram_todo) {
+    pin_into_ram(f, [this, f, ep, outstanding, copied, shared_done] {
+      if (ep == epoch_ && ram_ && ram_->contains(f)) ++*copied;
+      if (--*outstanding == 0) (*shared_done)(*copied);
+    });
+  }
   for (const trace::FileId f : todo) {
     copies_in_flight_.insert(f);
     copy_into_buffer(f, [this, f, ep, outstanding, copied, shared_done] {
@@ -632,9 +727,12 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
   const std::uint64_t ep = epoch_;
   auto shared_result =
       std::make_shared<ServeCallback>(std::move(on_result));
-  auto ship = [this, ep, client, bytes, shared_result](Tick) {
+  auto ship = [this, f, ep, client, bytes, shared_result](Tick) {
     if (ep != epoch_) return;
     bytes_served_ += bytes;
+    // Fill the RAM tier on the way out: every successful read below this
+    // point came off a disk, so the next access can be memory-speed.
+    if (ram_) ram_admit(f, bytes);
     net_.send(self_, client, bytes, [shared_result](Tick t) {
       (*shared_result)(t, RequestStatus::kOk);
     });
@@ -644,6 +742,28 @@ void StorageNode::serve_read(trace::FileId f, net::EndpointId client,
     ++failed_serves_;
     (*shared_result)(t, RequestStatus::kDiskUnavailable);
   };
+
+  // RAM tier first: a hit touches no spindle at all — the power manager
+  // never hears about the access, which is exactly how the RAM tier
+  // stretches disk sleep windows past what the buffer disk alone can.
+  if (ram_) {
+    if (ram_->lookup(f)) {
+      ++ram_hits_;
+      if (hist_ram_hit_bytes_) hist_ram_hit_bytes_->record(bytes);
+      const Tick service = transfer_ticks(bytes, params_.ram_bytes_per_sec);
+      (void)sim_.schedule_after(
+          service, [this, ep, client, bytes, shared_result] {
+            if (ep != epoch_) return;
+            bytes_served_ += bytes;
+            net_.send(self_, client, bytes, [shared_result](Tick t) {
+              (*shared_result)(t, RequestStatus::kOk);
+            });
+          });
+      return;
+    }
+    ++ram_misses_;
+    if (hist_ram_miss_bytes_) hist_ram_miss_bytes_->record(bytes);
+  }
 
   const bool buffered_copy = buffer_ && meta.buffered && buffer_->contains(f);
   const bool buffer_alive =
@@ -786,6 +906,25 @@ void StorageNode::serve_write(trace::FileId f, Bytes bytes,
     (*shared_result)(t, RequestStatus::kDiskUnavailable);
   };
 
+  // RAM write-back tier: absorb the burst in memory and ack at RAM
+  // speed; the staged bytes flow toward the buffer-disk path on the
+  // flush interval or under space pressure.  A staged write that has not
+  // flushed dies with the process in a crash — the journal only covers
+  // bytes that reached the buffer-disk log, so this trades a durability
+  // window for burst absorption (the crash tests pin the accounting).
+  if (ram_ && params_.write_buffering && ram_->reserve_write(bytes)) {
+    ++ram_writes_absorbed_;
+    ram_staged_.push_back(RamStagedWrite{f, bytes, d});
+    schedule_ram_flush();
+    const Tick service = transfer_ticks(bytes, params_.ram_bytes_per_sec);
+    (void)sim_.schedule_after(service,
+                              [this, ack] { ack(sim_.now()); });
+    if (ram_->pending_write_bytes() * 2 > ram_->capacity()) {
+      flush_ram_writes();  // pressure flush: staged bytes passed half RAM
+    }
+    return;
+  }
+
   const auto bd =
       buffer_ ? healthy_buffer_disk(d % buffer_disks_.size()) : std::nullopt;
   if (params_.write_buffering && bd && buffer_->reserve_write(bytes)) {
@@ -890,6 +1029,116 @@ void StorageNode::direct_write_fallback(trace::FileId f, Bytes bytes,
             });
 }
 
+void StorageNode::schedule_ram_flush() {
+  if (ram_flush_scheduled_ || params_.ram_flush_interval <= 0) return;
+  ram_flush_scheduled_ = true;
+  ram_flush_timer_ =
+      sim_.schedule_after(params_.ram_flush_interval, [this] {
+        ram_flush_scheduled_ = false;
+        flush_ram_writes();
+        // Writes staged while this flush dispatched re-arm the timer.
+        if (!ram_staged_.empty()) schedule_ram_flush();
+      });
+}
+
+void StorageNode::flush_ram_writes() {
+  if (!alive_ || ram_staged_.empty()) return;
+  auto staged = std::move(ram_staged_);
+  ram_staged_.clear();
+  for (const RamStagedWrite& w : staged) flush_one_ram_write(w);
+}
+
+void StorageNode::flush_one_ram_write(const RamStagedWrite& w) {
+  ++ram_flushes_in_flight_;
+  const std::uint64_t ep = epoch_;
+  // Terminal bookkeeping: the staged bytes left RAM — landed downstream
+  // (buffer log or stripe) or were written off as stranded.
+  auto settle = [this, w, ep](bool landed) {
+    if (ep != epoch_) return;  // the crash already wrote the loss off
+    ram_->release_write(w.bytes);
+    if (landed) ++ram_writebacks_;
+    else ++writes_stranded_;
+    --ram_flushes_in_flight_;
+    notify_flush_waiters();
+  };
+  const auto bd = buffer_
+                      ? healthy_buffer_disk(w.data_disk % buffer_disks_.size())
+                      : std::nullopt;
+  if (params_.write_buffering && bd && buffer_->reserve_write(w.bytes)) {
+    submit_with_retry(
+        buffer_disks_[*bd].get(), w.bytes, /*sequential=*/true,
+        /*is_write=*/true, sim_.now(), 0,
+        [this, w, ep, bd = *bd, settle](Tick, disk::IoStatus st) {
+          if (ep != epoch_) return;
+          if (st == disk::IoStatus::kOk) {
+            if (journal_ && journal_->enabled()) {
+              journal_->append(
+                  w.file, w.bytes, bd, w.data_disk,
+                  [this, w, ep, bd, settle](Tick, disk::IoStatus jst,
+                                            std::uint64_t lsn) {
+                    if (ep != epoch_) return;
+                    if (jst == disk::IoStatus::kOk) {
+                      book_ram_writeback(w, bd, lsn, settle);
+                      return;
+                    }
+                    buffer_->release_write(w.bytes);
+                    direct_ram_writeback(w, settle);
+                  });
+              return;
+            }
+            book_ram_writeback(w, bd, /*lsn=*/0, settle);
+            return;
+          }
+          buffer_->release_write(w.bytes);
+          direct_ram_writeback(w, settle);
+        },
+        kNotPowerManaged);
+    return;
+  }
+  direct_ram_writeback(w, settle);
+}
+
+void StorageNode::book_ram_writeback(const RamStagedWrite& w, std::size_t bd,
+                                     std::uint64_t lsn,
+                                     const std::function<void(bool)>& settle) {
+  ++writes_buffered_;
+  ++undestaged_acked_;
+  backlog_add(w.bytes);
+  if (lsn != 0) live_lsns_.insert(lsn);
+  pending_writes_[w.data_disk].push_back(
+      PendingWrite{w.file, w.bytes, bd, lsn});
+  // The pending entry must be queued before settle decrements the
+  // in-flight count, or an end-of-run waiter could fire between the two.
+  settle(true);
+  if (!flush_waiters_.empty()) {
+    // End-of-run drain in progress: push the destage through now instead
+    // of waiting for the data disk's next natural wake.
+    auto batch = std::move(pending_writes_[w.data_disk]);
+    pending_writes_[w.data_disk].clear();
+    for (const PendingWrite& pw : batch) {
+      flush_one(w.data_disk, pw, [] {});
+    }
+  } else if (disk::is_spun_up(data_disks_[w.data_disk]->state())) {
+    maybe_flush(w.data_disk);
+  }
+}
+
+void StorageNode::direct_ram_writeback(
+    const RamStagedWrite& w, const std::function<void(bool)>& settle) {
+  const LocalFileMeta* m = meta_.find(w.file);
+  if (m == nullptr || !stripe_set_alive(*m)) {
+    settle(false);
+    return;
+  }
+  const std::uint64_t ep = epoch_;
+  ++writes_direct_;
+  stripe_io(*m, w.bytes, /*is_write=*/true, /*notify_power_manager=*/true,
+            [ep, this, settle](Tick, disk::IoStatus st) {
+              if (ep != epoch_) return;
+              settle(st == disk::IoStatus::kOk);
+            });
+}
+
 void StorageNode::maybe_flush(std::size_t d) {
   if (flush_in_progress_[d] || pending_writes_[d].empty()) return;
   if (!disk::is_spun_up(data_disks_[d]->state())) return;
@@ -984,7 +1233,8 @@ void StorageNode::notify_flush_waiters() {
 }
 
 bool StorageNode::has_pending_writes() const {
-  if (destages_in_flight_ > 0) return true;
+  if (destages_in_flight_ > 0 || ram_flushes_in_flight_ > 0) return true;
+  if (!ram_staged_.empty()) return true;
   for (const auto& q : pending_writes_) {
     if (!q.empty()) return true;
   }
@@ -992,6 +1242,10 @@ bool StorageNode::has_pending_writes() const {
 }
 
 void StorageNode::flush_pending_writes(std::function<void()> done) {
+  // RAM-staged write-backs first: dispatching them may add entries to
+  // the per-disk queues below (their completions force those through —
+  // see book_ram_writeback — once a waiter is registered).
+  flush_ram_writes();
   // Destage everything still queued, then wait for all in-flight
   // destages (including ones started by opportunistic maybe_flush calls)
   // to land.
@@ -1047,6 +1301,13 @@ NodeMetrics StorageNode::collect_metrics() {
   m.journal_appends = journal_ ? journal_->appends() : 0;
   m.journal_replayed = journal_replayed_;
   m.fault_energy_delta = fault_energy_delta_;
+  m.ram_hits = ram_hits_;
+  m.ram_misses = ram_misses_;
+  m.ram_evictions = ram_evictions_;
+  m.ram_writebacks = ram_writebacks_;
+  m.ram_writes_absorbed = ram_writes_absorbed_;
+  m.ram_lost_writes = ram_lost_writes_;
+  m.ram_pinned_bytes = ram_ ? ram_->pinned_bytes() : 0;
   return m;
 }
 

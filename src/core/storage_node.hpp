@@ -39,6 +39,7 @@
 #include "core/metrics.hpp"
 #include "core/power_manager.hpp"
 #include "core/prefetcher.hpp"
+#include "core/ram_cache.hpp"
 #include "disk/disk_model.hpp"
 #include "disk/disk_profile.hpp"
 #include "disk/write_journal.hpp"
@@ -74,6 +75,16 @@ struct NodeParams {
   /// Write-ahead journal for the buffer-disk write buffer (kOff
   /// reproduces the lossy pre-journal behaviour for ablation).
   disk::JournalParams journal;
+  /// RAM cache tier above the buffer disk; 0 = disabled (two-tier
+  /// behaviour bit-identical to the pre-RAM node).
+  Bytes ram_cache_bytes = 0;
+  RamCachePolicy ram_cache_policy = RamCachePolicy::kLru;
+  /// Modeled RAM copy bandwidth — service time of a RAM hit / stage.
+  double ram_bytes_per_sec = 2000.0 * static_cast<double>(kMB);
+  /// Hot-set share of the RAM capacity pinned at prefetch time.
+  double ram_pin_fraction = 0.5;
+  /// Staged write-back flush cadence (pressure flushes fire regardless).
+  Tick ram_flush_interval = seconds_to_ticks(1.0);
 };
 
 class StorageNode {
@@ -183,14 +194,23 @@ class StorageNode {
   void flush_pending_writes(std::function<void()> done);
 
   /// Ends the measured phase: stops the power manager (cancelling its
-  /// pending sleep/wake marks so the simulation can drain).
-  void shutdown() { power_->stop(); }
+  /// pending sleep/wake marks so the simulation can drain) and the RAM
+  /// flush timer.
+  void shutdown() {
+    power_->stop();
+    ram_flush_timer_.cancel();
+    ram_flush_scheduled_ = false;
+  }
 
   /// Attaches observability to the node and everything it owns (disks,
   /// power manager).  `tracer` may be null; `disk_queue_wait_us` (may be
   /// null) is shared across all this node's disks and recorded whether or
   /// not tracing is enabled.
   void set_observer(obs::Tracer* tracer, obs::Histogram* disk_queue_wait_us);
+
+  /// Attaches the RAM-tier byte histograms (either may be null); recorded
+  /// only when the RAM tier is enabled.
+  void set_ram_observer(obs::Histogram* hit_bytes, obs::Histogram* miss_bytes);
 
   /// Snapshot of the node's counters and meters as of sim.now().
   NodeMetrics collect_metrics();
@@ -244,6 +264,19 @@ class StorageNode {
   std::uint64_t destages() const { return destages_; }
   /// High-water mark of bytes queued or in flight toward data disks.
   Bytes destage_backlog_peak() const { return destage_backlog_peak_; }
+  /// Null when the RAM tier is disabled.
+  const RamCache* ram_cache() const { return ram_.get(); }
+  std::uint64_t ram_hits() const { return ram_hits_; }
+  std::uint64_t ram_misses() const { return ram_misses_; }
+  std::uint64_t ram_evictions() const { return ram_evictions_; }
+  /// Write acks served from RAM staging (before any disk was touched).
+  std::uint64_t ram_writes_absorbed() const { return ram_writes_absorbed_; }
+  /// Staged RAM writes that landed downstream (buffer log or stripe).
+  std::uint64_t ram_writebacks() const { return ram_writebacks_; }
+  /// Acked staged writes wiped by a crash before they left RAM.  The
+  /// journal cannot help here — it only covers bytes that reached the
+  /// buffer-disk log.
+  std::uint64_t ram_lost_writes() const { return ram_lost_writes_; }
 
  private:
   struct PendingWrite {
@@ -321,6 +354,33 @@ class StorageNode {
   /// disks are dead would strand it again forever.
   void retire_destage(const PendingWrite& w);
 
+  // --- RAM cache tier ---------------------------------------------------
+  struct RamStagedWrite {
+    trace::FileId file = 0;
+    Bytes bytes = 0;
+    std::size_t data_disk = 0;
+  };
+  /// Popularity weight for RAM admission: the file's access count in the
+  /// node's pattern slice.
+  std::uint64_t ram_weight(trace::FileId f) const;
+  /// Offers a freshly read file to the RAM tier (no-op when disabled).
+  void ram_admit(trace::FileId f, Bytes bytes);
+  /// Reads `f`'s stripe set into RAM and pins it (prefetch hot set).
+  void pin_into_ram(trace::FileId f, std::function<void()> done);
+  /// Arms the interval flush timer if not already armed.
+  void schedule_ram_flush();
+  /// Dispatches every staged write-back toward the buffer-disk path.
+  void flush_ram_writes();
+  void flush_one_ram_write(const RamStagedWrite& w);
+  /// Books one RAM write-back that reached the buffer log: destage queue
+  /// + journal accounting, like finish_buffered_write without the ack.
+  void book_ram_writeback(const RamStagedWrite& w, std::size_t bd,
+                          std::uint64_t lsn,
+                          const std::function<void(bool)>& settle);
+  /// Stripe-write fallback when the buffer path cannot take a write-back.
+  void direct_ram_writeback(const RamStagedWrite& w,
+                            const std::function<void(bool)>& settle);
+
   sim::Simulator& sim_;
   net::NetworkFabric& net_;
   net::EndpointId self_;
@@ -359,6 +419,21 @@ class StorageNode {
   std::vector<bool> flush_in_progress_;
   std::size_t destages_in_flight_ = 0;
   std::vector<std::function<void()>> flush_waiters_;
+
+  // RAM cache tier (null/empty when params_.ram_cache_bytes == 0)
+  std::unique_ptr<RamCache> ram_;
+  std::vector<RamStagedWrite> ram_staged_;
+  std::size_t ram_flushes_in_flight_ = 0;
+  sim::EventHandle ram_flush_timer_;
+  bool ram_flush_scheduled_ = false;
+  std::uint64_t ram_hits_ = 0;
+  std::uint64_t ram_misses_ = 0;
+  std::uint64_t ram_evictions_ = 0;
+  std::uint64_t ram_writes_absorbed_ = 0;
+  std::uint64_t ram_writebacks_ = 0;
+  std::uint64_t ram_lost_writes_ = 0;
+  obs::Histogram* hist_ram_hit_bytes_ = nullptr;
+  obs::Histogram* hist_ram_miss_bytes_ = nullptr;
 
   // counters
   std::uint64_t buffer_hits_ = 0;

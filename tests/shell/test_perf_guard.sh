@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Exit-contract test for tools/perf_step.sh (bats-style, zero deps): a
+# perf binary that produces no output JSON must fail the step — this
+# used to be masked by the warn-only comparison path — and a healthy
+# binary must pass it.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fails=0
+
+check() { # <name> <expected-exit> <actual-exit>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+# 1. The binary runs fine but writes nothing: the step must exit 1.
+cat > "$TMP/no_output" <<'EOF'
+#!/usr/bin/env bash
+exit 0
+EOF
+chmod +x "$TMP/no_output"
+(cd "$ROOT" && PERF_SMOKE_BIN="$TMP/no_output" PERF_OUT="$TMP/missing.json" \
+  PERF_BASELINE="$TMP/nonexistent" tools/perf_step.sh > /dev/null 2>&1)
+check "missing output fails the step" 1 $?
+
+# 2. The binary honours --out: the step passes (no baseline on purpose,
+#    so the comparison path is skipped and only the guard is exercised).
+cat > "$TMP/writes_output" <<'EOF'
+#!/usr/bin/env bash
+out=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out) shift; out="$1" ;;
+  esac
+  shift
+done
+echo '{}' > "$out"
+EOF
+chmod +x "$TMP/writes_output"
+(cd "$ROOT" && PERF_SMOKE_BIN="$TMP/writes_output" PERF_OUT="$TMP/ok.json" \
+  PERF_BASELINE="$TMP/nonexistent" tools/perf_step.sh > /dev/null 2>&1)
+check "produced output passes the step" 0 $?
+
+exit "$((fails > 0))"

@@ -112,6 +112,17 @@ std::string digest_text(const RunMetrics& m) {
   field(out, "ec_reconstruct_ticks",
         static_cast<std::uint64_t>(ec.reconstruct_ticks));
   field(out, "ec_energy_estimate", ec.degraded_energy_estimate);
+  // RAM-tier fields render only when the tier is on: ram-off digests are
+  // byte-identical to the pre-RAM captures above.
+  if (m.ram.enabled) {
+    field(out, "ram_hits", m.ram.hits);
+    field(out, "ram_misses", m.ram.misses);
+    field(out, "ram_evictions", m.ram.evictions);
+    field(out, "ram_writebacks", m.ram.writebacks);
+    field(out, "ram_absorbed", m.ram.writes_absorbed);
+    field(out, "ram_lost", m.ram.lost_writes);
+    field(out, "ram_pinned_bytes", static_cast<std::uint64_t>(m.ram.pinned_bytes));
+  }
   for (const obs::Sample& s : m.counters) {
     out += s.name;
     out += ':';
@@ -243,6 +254,26 @@ TEST(EngineGolden, CrashRecovery) {
       /*count=*/2, /*downtime_sec=*/30.0);
   expect_golden("crash_recovery/journal=commit", cfg, w,
                 6338302244866422302ull);
+}
+
+TEST(EngineGolden, TieredRamCache) {
+  // The PR-10 scenario: 512 MiB RAM tier with the TinyLFU policy over a
+  // write-mixed workload.  Pins the three-tier serve path — RAM pin split
+  // at prefetch time, RAM-first reads, write absorption + interval
+  // flush-back — and the ramcache.* counter block.
+  workload::Workload w = paper_workload();
+  trace::Trace mixed;
+  std::size_t i = 0;
+  for (const auto& r : w.requests.records()) {
+    trace::TraceRecord copy = r;
+    if (++i % 4 == 0) copy.op = trace::Op::kWrite;
+    mixed.append(copy);
+  }
+  w.requests = std::move(mixed);
+  ClusterConfig cfg;
+  cfg.ram_cache_bytes = 512 * kMB;
+  cfg.ram_cache_policy = RamCachePolicy::kTinyLfu;
+  expect_golden("ram=512mb/tinylfu", cfg, w, 17432053919728318419ull);
 }
 
 TEST(EngineGolden, ErasureCoded) {

@@ -353,5 +353,64 @@ TEST_F(NodeJournalTest, CrashDuringPowerTransitionDropsTheRacingDestage) {
   EXPECT_EQ(node->undestaged_acked(), 0u);
 }
 
+// --- RAM write-back tier vs the journal --------------------------------
+//
+// The RAM tier acks writes before anything reaches the buffer-disk log,
+// so the journal's durability guarantee starts only at flush time.  The
+// two tests pin both sides of that boundary.
+
+TEST_F(NodeJournalTest, RamStagedWriteDiesWithTheProcessRegardlessOfJournal) {
+  core::NodeParams p = params(JournalMode::kCommit);
+  p.ram_cache_bytes = 64 * kMB;
+  auto node = make_node(p);
+  core::RequestStatus st = core::RequestStatus::kNoReplica;
+  node->serve_write(0, 10 * kMB, client_ep,
+                    [&](Tick, core::RequestStatus s) { st = s; });
+  // Crash after the RAM-speed ack but before the 1 s flush interval: the
+  // staged bytes never reached the buffer-disk log, so journal=commit
+  // cannot save them — the loss is charged to lost_acked_writes.
+  (void)sim.schedule_after(milliseconds_to_ticks(100.0),
+                           [&] { node->crash(); });
+  sim.run();
+  EXPECT_EQ(st, core::RequestStatus::kOk);  // the ack was a lie
+  EXPECT_EQ(node->ram_writes_absorbed(), 1u);
+  EXPECT_EQ(node->ram_lost_writes(), 1u);
+  EXPECT_EQ(node->lost_acked_writes(), 1u);
+  EXPECT_EQ(node->ram_writebacks(), 0u);
+  EXPECT_FALSE(node->has_pending_writes());
+  node->restart();
+  EXPECT_EQ(replay(*node), 0u);  // the journal never heard of the write
+}
+
+TEST_F(NodeJournalTest, RamFlushedWriteIsRecoveredByTheJournal) {
+  core::NodeParams p = params(JournalMode::kCommit);
+  p.ram_cache_bytes = 64 * kMB;
+  auto node = make_node(p);
+  sleep_data_disks(*node);
+  core::RequestStatus st = core::RequestStatus::kNoReplica;
+  node->serve_write(0, 10 * kMB, client_ep,
+                    [&](Tick, core::RequestStatus s) { st = s; });
+  // Run the flush interval out: the staged write lands on the buffer
+  // disk with a commit header and parks behind the sleeping data disk.
+  sim.run();
+  ASSERT_EQ(st, core::RequestStatus::kOk);
+  EXPECT_EQ(node->ram_writebacks(), 1u);
+  EXPECT_EQ(node->undestaged_acked(), 1u);
+  node->crash();
+  // Past the durability window: the flushed write is journal-covered.
+  EXPECT_EQ(node->ram_lost_writes(), 0u);
+  EXPECT_EQ(node->lost_acked_writes(), 0u);
+  ASSERT_NE(node->journal(), nullptr);
+  EXPECT_EQ(node->journal()->durable_records(), 1u);
+  node->restart();
+  EXPECT_EQ(replay(*node), 1u);
+  bool flushed = false;
+  node->flush_pending_writes([&] { flushed = true; });
+  sim.run();
+  EXPECT_TRUE(flushed);
+  EXPECT_EQ(node->data_disk(0).requests_completed(), 1u);
+  EXPECT_EQ(node->journal()->durable_records(), 0u);
+}
+
 }  // namespace
 }  // namespace eevfs

@@ -354,18 +354,22 @@ TEST(RunReport, ValidatorRejectsBadDocuments) {
   EXPECT_FALSE(validate_run_report(
       R"({"schema_version":999,"bench":"x","runs":[]})", &error));
   EXPECT_NE(error.find("schema_version"), std::string::npos);
+  // Prior schema versions hard-fail too (v1 documents lack "ram").
+  EXPECT_FALSE(validate_run_report(
+      R"({"schema_version":1,"bench":"x","runs":[]})", &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos);
   // runs must be an array.
   EXPECT_FALSE(validate_run_report(
-      R"({"schema_version":1,"bench":"x","runs":{}})", &error));
+      R"({"schema_version":2,"bench":"x","runs":{}})", &error));
   // Minimal valid document.
   EXPECT_TRUE(validate_run_report(
-      R"({"schema_version":1,"bench":"x","runs":[]})", &error))
+      R"({"schema_version":2,"bench":"x","runs":[]})", &error))
       << error;
 }
 
 TEST(RunReport, ValidatorEnforcesCounterShape) {
   const char* bad_name =
-      R"({"schema_version":1,"bench":"x","runs":[{"name":"r","config":"",
+      R"({"schema_version":2,"bench":"x","runs":[{"name":"r","config":"",
           "meta":{"wall_seconds":0},
           "metrics":{"energy_joules":1,"disk_joules":1,"base_joules":0,
             "power_transitions":0,"spin_ups":0,"spin_downs":0,
@@ -377,6 +381,9 @@ TEST(RunReport, ValidatorEnforcesCounterShape) {
           "availability":{"faults_injected":0,"failed_requests":0,
             "timed_out_requests":0,"client_retries":0,"degraded_sec":0,
             "mttr_sec":0,"availability":1},
+          "ram":{"enabled":false,"hits":0,"misses":0,"hit_rate":0,
+            "evictions":0,"writebacks":0,"writes_absorbed":0,
+            "lost_writes":0,"pinned_bytes":0},
           "counters":[{"name":"two.segments","kind":"counter","value":0}]}]})";
   std::string error;
   EXPECT_FALSE(validate_run_report(bad_name, &error));

@@ -1,0 +1,170 @@
+// RamCache policy semantics: admission, eviction order, pinning, the
+// write-reservation ledger, and the TinyLFU frequency sketch.  The cache
+// is pure bookkeeping (no sim time, no I/O), so every test is a direct
+// state-machine check.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/ram_cache.hpp"
+
+namespace eevfs::core {
+namespace {
+
+constexpr Bytes kSlot = 10 * kMB;
+
+TEST(RamCache, RejectsZeroCapacity) {
+  EXPECT_THROW(RamCache(0, RamCachePolicy::kLru), std::invalid_argument);
+}
+
+TEST(RamCache, AdmitsUntilFullThenEvictsLeastRecentlyUsed) {
+  RamCache c(3 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.admit(1, kSlot, 0).inserted);
+  EXPECT_TRUE(c.admit(2, kSlot, 0).inserted);
+  EXPECT_TRUE(c.admit(3, kSlot, 0).inserted);
+  EXPECT_EQ(c.cached_bytes(), 3 * kSlot);
+
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(c.lookup(1));
+  const auto res = c.admit(4, kSlot, 0);
+  EXPECT_TRUE(res.inserted);
+  ASSERT_EQ(res.evicted.size(), 1u);
+  EXPECT_EQ(res.evicted[0], 2u);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(RamCache, OversizedObjectIsNotAdmitted) {
+  RamCache c(kSlot, RamCachePolicy::kLru);
+  EXPECT_FALSE(c.admit(1, 2 * kSlot, 0).inserted);
+  EXPECT_EQ(c.cached_bytes(), 0u);
+}
+
+TEST(RamCache, LookupMissReportsFalse) {
+  RamCache c(kSlot, RamCachePolicy::kLru);
+  EXPECT_FALSE(c.lookup(7));
+  EXPECT_TRUE(c.admit(7, kSlot, 0).inserted);
+  EXPECT_TRUE(c.lookup(7));
+}
+
+TEST(RamCache, PopularityPolicyKeepsHeavierEntries) {
+  RamCache c(2 * kSlot, RamCachePolicy::kPopularity);
+  EXPECT_TRUE(c.admit(1, kSlot, /*weight=*/100).inserted);
+  EXPECT_TRUE(c.admit(2, kSlot, /*weight=*/50).inserted);
+  // A lighter newcomer cannot displace the lightest resident entry.
+  EXPECT_FALSE(c.admit(3, kSlot, /*weight=*/10).inserted);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  // A heavier newcomer displaces the lightest resident entry.
+  const auto res = c.admit(4, kSlot, /*weight=*/60);
+  EXPECT_TRUE(res.inserted);
+  ASSERT_EQ(res.evicted.size(), 1u);
+  EXPECT_EQ(res.evicted[0], 2u);
+}
+
+TEST(RamCache, TinyLfuAdmitsOnlyFrequentNewcomers) {
+  RamCache c(kSlot, RamCachePolicy::kTinyLfu);
+  EXPECT_TRUE(c.admit(1, kSlot, 0).inserted);
+  // The resident entry has been seen once (its admit).  A cold newcomer
+  // ties at 1 after its own admit bump, and ties lose.
+  EXPECT_FALSE(c.admit(2, kSlot, 0).inserted);
+  EXPECT_TRUE(c.contains(1));
+  // Repeated lookups raise the newcomer's sketch estimate past the
+  // resident's; the next admit displaces it.
+  for (int i = 0; i < 4; ++i) c.lookup(2);
+  const auto res = c.admit(2, kSlot, 0);
+  EXPECT_TRUE(res.inserted);
+  ASSERT_EQ(res.evicted.size(), 1u);
+  EXPECT_EQ(res.evicted[0], 1u);
+}
+
+TEST(RamCache, PinnedEntriesAreNeverEvicted) {
+  RamCache c(2 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.pin(1, kSlot));
+  EXPECT_EQ(c.pinned_bytes(), kSlot);
+  EXPECT_TRUE(c.admit(2, kSlot, 0).inserted);
+  // Only file 2 is evictable; repeated inserts churn it, never file 1.
+  const auto res = c.admit(3, kSlot, 0);
+  EXPECT_TRUE(res.inserted);
+  ASSERT_EQ(res.evicted.size(), 1u);
+  EXPECT_EQ(res.evicted[0], 2u);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(RamCache, PinPromotesAnExistingCachedEntry) {
+  RamCache c(2 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.admit(1, kSlot, 0).inserted);
+  EXPECT_TRUE(c.pin(1, kSlot));
+  EXPECT_EQ(c.cached_bytes(), 0u);
+  EXPECT_EQ(c.pinned_bytes(), kSlot);
+  // Promotion must not double-count the bytes.
+  EXPECT_EQ(c.used(), kSlot);
+}
+
+TEST(RamCache, PinFailsWhenOnlyPinsRemain) {
+  RamCache c(2 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.pin(1, kSlot));
+  EXPECT_TRUE(c.pin(2, kSlot));
+  EXPECT_FALSE(c.pin(3, kSlot));
+  EXPECT_EQ(c.pinned_bytes(), 2 * kSlot);
+}
+
+TEST(RamCache, PinEvictsCleanEntriesToMakeRoom) {
+  RamCache c(2 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.admit(1, kSlot, 0).inserted);
+  EXPECT_TRUE(c.admit(2, kSlot, 0).inserted);
+  EXPECT_TRUE(c.pin(3, kSlot));
+  EXPECT_FALSE(c.contains(1));  // LRU victim made room for the pin
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(RamCache, WriteReservationConsumesAndReleasesSpace) {
+  RamCache c(2 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.reserve_write(kSlot));
+  EXPECT_EQ(c.pending_write_bytes(), kSlot);
+  EXPECT_TRUE(c.reserve_write(kSlot));
+  EXPECT_FALSE(c.reserve_write(1));  // full
+  c.release_write(kSlot);
+  EXPECT_EQ(c.pending_write_bytes(), kSlot);
+  EXPECT_TRUE(c.reserve_write(kSlot));
+}
+
+TEST(RamCache, WriteReservationEvictsCleanButNotPinned) {
+  RamCache c(2 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.pin(1, kSlot));
+  EXPECT_TRUE(c.admit(2, kSlot, 0).inserted);
+  // The clean entry is sacrificed for write space; the pin survives.
+  EXPECT_TRUE(c.reserve_write(kSlot));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+  // Nothing evictable remains: further reservations fail.
+  EXPECT_FALSE(c.reserve_write(1));
+}
+
+TEST(RamCache, EraseFreesBothPinnedAndCleanEntries) {
+  RamCache c(2 * kSlot, RamCachePolicy::kLru);
+  EXPECT_TRUE(c.pin(1, kSlot));
+  EXPECT_TRUE(c.admit(2, kSlot, 0).inserted);
+  c.erase(1);
+  c.erase(2);
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(RamCache, AdmittingAnExistingFileRefreshesItsWeight) {
+  RamCache c(2 * kSlot, RamCachePolicy::kPopularity);
+  EXPECT_TRUE(c.admit(1, kSlot, 10).inserted);
+  EXPECT_TRUE(c.admit(2, kSlot, 20).inserted);
+  // Re-admitting 1 with a higher weight makes 2 the lightest victim.
+  EXPECT_TRUE(c.admit(1, kSlot, 30).inserted);
+  const auto res = c.admit(3, kSlot, 25);
+  EXPECT_TRUE(res.inserted);
+  ASSERT_EQ(res.evicted.size(), 1u);
+  EXPECT_EQ(res.evicted[0], 2u);
+}
+
+}  // namespace
+}  // namespace eevfs::core

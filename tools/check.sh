@@ -8,13 +8,18 @@
 #   tools/check.sh --asan       # ... plus an ASan+UBSan build & test run
 #   tools/check.sh --tsan       # ... plus a TSan build of the thread-pool
 #                               #     stress test (EEVFS_TSAN=ON)
-#   tools/check.sh --perf       # ... plus bench/perf_smoke: emits
-#                               #     build/BENCH_perf.json and, when a
-#                               #     committed BENCH_perf.json baseline
-#                               #     exists, runs tools/perf_compare.py
-#                               #     (warn-only; see docs/perf.md)
+#   tools/check.sh --perf       # ... plus tools/perf_step.sh: emits
+#                               #     build/BENCH_perf.json (hard-fails if
+#                               #     missing) and, when a committed
+#                               #     BENCH_perf.json baseline exists, runs
+#                               #     tools/perf_compare.py (warn-only;
+#                               #     see docs/perf.md)
 #   tools/check.sh --build-type Debug   # configure with another build type
 #   tools/check.sh --no-tidy    # skip clang-tidy even if installed
+#   tools/check.sh --label-timing   # split ctest by label, time each
+#                               #     slice against a 600 s budget, and
+#                               #     append a table to
+#                               #     $GITHUB_STEP_SUMMARY when set
 #
 # *clang-tidy runs only on files changed vs the merge-base with the
 #  default branch (falls back to all of src/ outside a git checkout), and
@@ -27,6 +32,8 @@ RUN_ASAN=0
 RUN_TSAN=0
 RUN_TIDY=1
 RUN_PERF=0
+LABEL_TIMING=0
+LABEL_BUDGET_S="${LABEL_BUDGET_S:-600}"
 BUILD_TYPE=Release
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -34,6 +41,7 @@ while [ $# -gt 0 ]; do
     --tsan) RUN_TSAN=1 ;;
     --perf) RUN_PERF=1 ;;
     --no-tidy) RUN_TIDY=0 ;;
+    --label-timing) LABEL_TIMING=1 ;;
     --build-type)
       shift
       [ $# -gt 0 ] || { echo "--build-type needs a value" >&2; exit 2; }
@@ -41,7 +49,7 @@ while [ $# -gt 0 ]; do
       ;;
     *)
       echo "usage: tools/check.sh [--asan] [--tsan] [--perf]" \
-           "[--build-type TYPE] [--no-tidy]" >&2
+           "[--build-type TYPE] [--no-tidy] [--label-timing]" >&2
       exit 2
       ;;
   esac
@@ -56,8 +64,45 @@ step "configure + build (build/, $BUILD_TYPE)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" > /dev/null
 cmake --build build -j "$JOBS"
 
-step "ctest (unit + obs + fault + lint + determinism + examples)"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+CTEST_LABELS="unit obs fault lint determinism golden perf"
+if [ "$LABEL_TIMING" = 1 ]; then
+  step "ctest split by label (budget ${LABEL_BUDGET_S}s per label)"
+  TIMING_ROWS=""
+  BUDGET_BLOWN=0
+  run_label() { # <display name> <ctest selector args...>
+    local name="$1" start elapsed
+    shift
+    start="$(date +%s)"
+    ctest --test-dir build --output-on-failure -j "$JOBS" "$@"
+    elapsed=$(( $(date +%s) - start ))
+    printf '   label %-12s %5ss\n' "$name" "$elapsed"
+    TIMING_ROWS="${TIMING_ROWS}| ${name} | ${elapsed}s |"$'\n'
+    if [ "$elapsed" -gt "$LABEL_BUDGET_S" ]; then
+      echo "label '$name' blew the ${LABEL_BUDGET_S}s budget (${elapsed}s)" >&2
+      BUDGET_BLOWN=1
+    fi
+  }
+  for label in $CTEST_LABELS; do
+    run_label "$label" -L "^${label}\$"
+  done
+  # Catch-all slice: the example smoke tests carry no label.
+  run_label "unlabelled" -LE "$(echo "$CTEST_LABELS" | tr ' ' '|')"
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+      echo "### ctest label timing (budget ${LABEL_BUDGET_S}s)"
+      echo "| label | time |"
+      echo "| --- | --- |"
+      printf '%s' "$TIMING_ROWS"
+    } >> "$GITHUB_STEP_SUMMARY"
+  fi
+  if [ "$BUDGET_BLOWN" != 0 ]; then
+    echo "FAIL: a ctest label exceeded its ${LABEL_BUDGET_S}s budget" >&2
+    exit 1
+  fi
+else
+  step "ctest (unit + obs + fault + lint + determinism + examples)"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
 
 step "eevfs-lint (whole tree)"
 ./build/tools/eevfs_lint/eevfs_lint \
@@ -104,17 +149,11 @@ if [ "$RUN_TSAN" = 1 ]; then
 fi
 
 if [ "$RUN_PERF" = 1 ]; then
-  step "perf smoke (build/BENCH_perf.json)"
-  GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
-  ./build/bench/perf_smoke --repeats 3 --git-rev "$GIT_REV" \
-    --out build/BENCH_perf.json
-  if [ -f BENCH_perf.json ]; then
-    step "perf regression check vs committed baseline (warn-only)"
-    python3 tools/perf_compare.py --baseline BENCH_perf.json \
-      --current build/BENCH_perf.json --warn-only
-  else
-    echo "no committed BENCH_perf.json baseline; skipping comparison"
-  fi
+  step "perf smoke (tools/perf_step.sh -> build/BENCH_perf.json)"
+  # The step script owns the exit contract: a missing output JSON is a
+  # hard failure even though the baseline comparison is warn-only
+  # (tests/shell/test_perf_guard.sh pins this).
+  tools/perf_step.sh
 fi
 
 step "all checks passed"

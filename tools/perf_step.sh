@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The perf-smoke step of tools/check.sh, factored out so its exit
+# contract is testable: run the perf smoke, hard-fail when the output
+# JSON was not produced (a missing build/BENCH_perf.json used to slip
+# straight past the warn-only comparison), then compare against the
+# committed baseline when one exists.
+#
+# Env overrides (used by tests/shell/test_perf_guard.sh):
+#   PERF_SMOKE_BIN  perf smoke binary     (default build/bench/perf_smoke)
+#   PERF_OUT        output JSON path      (default build/BENCH_perf.json)
+#   PERF_BASELINE   committed baseline    (default BENCH_perf.json)
+#   PERF_REPEATS    perf smoke --repeats  (default 3)
+set -euo pipefail
+
+PERF_SMOKE_BIN="${PERF_SMOKE_BIN:-build/bench/perf_smoke}"
+PERF_OUT="${PERF_OUT:-build/BENCH_perf.json}"
+PERF_BASELINE="${PERF_BASELINE:-BENCH_perf.json}"
+
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+"$PERF_SMOKE_BIN" --repeats "${PERF_REPEATS:-3}" --git-rev "$GIT_REV" \
+  --out "$PERF_OUT"
+
+if [ ! -s "$PERF_OUT" ]; then
+  echo "perf step: $PERF_OUT was not produced by $PERF_SMOKE_BIN" >&2
+  exit 1
+fi
+
+if [ -f "$PERF_BASELINE" ]; then
+  echo "perf regression check vs $PERF_BASELINE (warn-only)"
+  python3 tools/perf_compare.py --baseline "$PERF_BASELINE" \
+    --current "$PERF_OUT" --warn-only
+else
+  echo "no committed $PERF_BASELINE baseline; skipping comparison"
+fi
